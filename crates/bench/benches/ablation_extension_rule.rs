@@ -1,0 +1,52 @@
+//! Ablation: the per-bucket query-extension rule.
+//!
+//! §3.1's text extends each query side by the *full* average rectangle
+//! width/height; the geometrically exact Minkowski correction uses *half*.
+//! This bench quantifies the difference (and the no-extension baseline the
+//! paper argues against) across query sizes on both datasets.
+//!
+//! Expectation: Minkowski ≤ paper-literal everywhere, with the gap largest
+//! for small queries (where the over-extension is proportionally biggest);
+//! no-extension underestimates and is worst for point-like queries.
+
+use minskew_bench::{charminar_scaled, nj_road, print_error_table, Scale};
+use minskew_core::{ExtensionRule, MinSkewBuilder};
+use minskew_workload::{evaluate, GroundTruth, QueryWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rules = [
+        ("Minkowski", ExtensionRule::Minkowski),
+        ("PaperLiteral", ExtensionRule::PaperLiteral),
+        ("NoExtension", ExtensionRule::None),
+    ];
+    let names: Vec<String> = rules.iter().map(|(n, _)| n.to_string()).collect();
+
+    for (ds_name, data) in [
+        ("Charminar", charminar_scaled(scale)),
+        ("NJ Road", nj_road(scale)),
+    ] {
+        eprintln!("[ablation-ext] indexing {ds_name}...");
+        let truth = GroundTruth::index(&data);
+        let base = MinSkewBuilder::new(100).regions(10_000).build(&data);
+        let mut rows = Vec::new();
+        for (i, qs) in [0.02, 0.05, 0.10, 0.25].into_iter().enumerate() {
+            let w = QueryWorkload::generate(&data, qs, scale.queries, 5_000 + i as u64);
+            let counts = truth.counts(w.queries());
+            let vals = rules
+                .iter()
+                .map(|(_, rule)| {
+                    let h = base.clone().with_extension_rule(*rule);
+                    evaluate(&h, &w, &counts).avg_relative_error
+                })
+                .collect();
+            rows.push((format!("QSize {:>4.0}%", qs * 100.0), vals));
+        }
+        print_error_table(
+            &format!("Ablation: query-extension rule ({ds_name}, Min-Skew, 100 buckets)"),
+            "QSize",
+            &names,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation: query-centre model.
+//!
+//! The paper seeds query centres at input-rectangle centres (§5.2), so
+//! queries concentrate where data lives. This ablation re-runs the main
+//! comparison with centres *uniform over the input MBR* instead, probing
+//! empty space as well.
+//!
+//! Expected: absolute errors shift for everyone (empty-region queries have
+//! tiny true counts, and the Σ-normalised metric re-weights), but the
+//! technique ordering — Min-Skew first — is robust to the workload model,
+//! which is the property a query optimizer actually relies on.
+
+use minskew_bench::{all_techniques, charminar_scaled, print_error_table, Scale};
+use minskew_workload::{evaluate, CenterMode, GroundTruth, QueryWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[ablation-centers] generating Charminar...");
+    let data = charminar_scaled(scale);
+    let truth = GroundTruth::index(&data);
+    let estimators = all_techniques(&data, 100);
+    let names: Vec<String> = estimators.iter().map(|e| e.name().to_owned()).collect();
+
+    for (label, mode) in [
+        ("data-seeded centres (paper)", CenterMode::DataCenters),
+        ("uniform centres", CenterMode::UniformInMbr),
+    ] {
+        let mut rows = Vec::new();
+        for (i, qs) in [0.05, 0.25].into_iter().enumerate() {
+            let w = QueryWorkload::generate_with_centers(
+                &data,
+                qs,
+                scale.queries,
+                7_000 + i as u64,
+                mode,
+            );
+            let counts = truth.counts(w.queries());
+            if counts.iter().all(|&c| c == 0) {
+                eprintln!("[ablation-centers] all-empty workload at {qs}; skipping");
+                continue;
+            }
+            let vals = estimators
+                .iter()
+                .map(|e| evaluate(e.as_ref(), &w, &counts).avg_relative_error)
+                .collect();
+            rows.push((format!("QSize {:>4.0}%", qs * 100.0), vals));
+        }
+        print_error_table(
+            &format!("Ablation: {label} (Charminar, 100 buckets)"),
+            "QSize",
+            &names,
+            &rows,
+        );
+    }
+}

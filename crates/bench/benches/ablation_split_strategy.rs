@@ -1,0 +1,56 @@
+//! Ablation: exact-2D split scoring vs. the paper's marginal-distribution
+//! shortcut, on both datasets. Reports accuracy and construction time.
+//!
+//! Expectation: the marginal shortcut builds slightly faster but may choose
+//! worse splits on distributions whose structure is invisible in the
+//! marginals (e.g. diagonal features); on Charminar and road data the two
+//! should be close — evidence that the paper's shortcut was benign.
+
+use minskew_bench::{charminar_scaled, nj_road, time_it, Scale};
+use minskew_core::{MinSkewBuilder, SplitStrategy};
+use minskew_workload::{evaluate, GroundTruth, QueryWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("\n## Ablation: Min-Skew split strategy (100 buckets, 10,000 regions)\n");
+    println!("| dataset    | strategy | build (s) | err QSize 5% | err QSize 25% |");
+    println!("|------------|----------|-----------|--------------|---------------|");
+
+    let datasets = [
+        ("Charminar", charminar_scaled(scale)),
+        ("NJ Road", nj_road(scale)),
+    ];
+    for (name, data) in &datasets {
+        eprintln!("[ablation-split] indexing {name}...");
+        let truth = GroundTruth::index(data);
+        let workloads: Vec<(QueryWorkload, Vec<usize>)> = [0.05, 0.25]
+            .iter()
+            .enumerate()
+            .map(|(i, &qs)| {
+                let w = QueryWorkload::generate(data, qs, scale.queries, 4_000 + i as u64);
+                let counts = truth.counts(w.queries());
+                (w, counts)
+            })
+            .collect();
+        for (label, strategy) in [
+            ("exact-2d", SplitStrategy::Exact2d),
+            ("marginal", SplitStrategy::Marginal),
+        ] {
+            let (hist, secs) = time_it(|| {
+                MinSkewBuilder::new(100)
+                    .regions(10_000)
+                    .split_strategy(strategy)
+                    .build(data)
+            });
+            let errs: Vec<f64> = workloads
+                .iter()
+                .map(|(w, c)| evaluate(&hist, w, c).avg_relative_error)
+                .collect();
+            println!(
+                "| {name:<10} | {label:<8} | {secs:>9.3} | {:>11.1}% | {:>12.1}% |",
+                errs[0] * 100.0,
+                errs[1] * 100.0
+            );
+        }
+    }
+}

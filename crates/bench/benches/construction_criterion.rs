@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of partitioning construction and estimation,
+//! complementing Table 1's wall-clock numbers with statistically robust
+//! timings at a fixed input size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use minskew_core::{
+    build_equi_area, build_equi_count, build_rtree_partitioning, build_uniform, MinSkewBuilder,
+    RTreeBuildMethod, RTreePartitioningOptions, SamplingEstimator, SpatialEstimator,
+};
+use minskew_datagen::SyntheticSpec;
+use minskew_workload::QueryWorkload;
+
+const N: usize = 50_000;
+const BUCKETS: usize = 100;
+
+fn construction_benches(c: &mut Criterion) {
+    let data = SyntheticSpec::default().with_n(N).generate(0xC0FFEE);
+    let mut g = c.benchmark_group("construction_50k_100buckets");
+    g.sample_size(10);
+    g.bench_function("min_skew", |b| {
+        b.iter(|| MinSkewBuilder::new(BUCKETS).regions(10_000).build(&data))
+    });
+    g.bench_function("min_skew_3_refinements", |b| {
+        b.iter(|| {
+            MinSkewBuilder::new(BUCKETS)
+                .regions(10_000)
+                .progressive_refinements(3)
+                .build(&data)
+        })
+    });
+    g.bench_function("equi_area", |b| b.iter(|| build_equi_area(&data, BUCKETS)));
+    g.bench_function("equi_count", |b| b.iter(|| build_equi_count(&data, BUCKETS)));
+    g.bench_function("rtree_insertion", |b| {
+        b.iter(|| build_rtree_partitioning(&data, BUCKETS, RTreePartitioningOptions::default()))
+    });
+    g.bench_function("rtree_bulk", |b| {
+        b.iter(|| {
+            build_rtree_partitioning(
+                &data,
+                BUCKETS,
+                RTreePartitioningOptions {
+                    method: RTreeBuildMethod::StrBulk,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("rtree_hilbert", |b| {
+        b.iter(|| {
+            build_rtree_partitioning(
+                &data,
+                BUCKETS,
+                RTreePartitioningOptions {
+                    method: RTreeBuildMethod::HilbertBulk,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("sampling", |b| {
+        b.iter(|| SamplingEstimator::build(&data, BUCKETS, 1))
+    });
+    g.bench_function("uniform", |b| b.iter(|| build_uniform(&data)));
+    g.finish();
+}
+
+fn estimation_benches(c: &mut Criterion) {
+    let data = SyntheticSpec::default().with_n(N).generate(0xC0FFEE);
+    let hist = MinSkewBuilder::new(BUCKETS).regions(10_000).build(&data);
+    let queries = QueryWorkload::generate(&data, 0.1, 1_000, 7);
+    let mut g = c.benchmark_group("estimation");
+    g.bench_function("min_skew_1000_queries", |b| {
+        b.iter_batched(
+            || queries.queries().to_vec(),
+            |qs| {
+                let mut acc = 0.0;
+                for q in &qs {
+                    acc += hist.estimate_count(q);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, construction_benches, estimation_benches);
+criterion_main!(benches);

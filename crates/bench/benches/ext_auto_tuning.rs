@@ -1,0 +1,35 @@
+//! Extension experiment: automatic region/refinement selection — the
+//! paper's stated future work ("finding the correct number of regions which
+//! provides the least error"), implemented as an ANALYZE-time tuner.
+//!
+//! Expected: the tuner's pick lands at (or within noise of) the best entry
+//! of the manual sweeps in Figures 10–11, without anyone having to read
+//! those figures.
+
+use minskew_bench::{charminar_scaled, nj_road, time_it, Scale};
+use minskew_workload::{tune_min_skew, TuneOptions};
+
+fn main() {
+    let scale = Scale::from_env();
+    for (name, data) in [
+        ("Charminar", charminar_scaled(scale)),
+        ("NJ Road", nj_road(scale)),
+    ] {
+        eprintln!("[autotune] tuning on {name} ({} rects)...", data.len());
+        let mut opts = TuneOptions::for_buckets(100);
+        opts.queries_per_size = scale.queries / 10;
+        let (tuned, secs) = time_it(|| tune_min_skew(&data, 100, &opts));
+        println!("\n## Auto-tuning Min-Skew on {name} (100 buckets, {secs:.1}s)\n");
+        println!("| regions | refinements | validation error |");
+        println!("|---------|-------------|------------------|");
+        for t in &tuned.trials {
+            let marker = if *t == tuned.best { " <- chosen" } else { "" };
+            println!(
+                "| {:>7} | {:>11} | {:>14.1}%{marker} |",
+                t.regions,
+                t.refinements,
+                t.error * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Extension experiment: does a distribution-aware R-tree make a better
+//! histogram?
+//!
+//! §3.4 of the paper: "recent proposals to minimize the number of disk
+//! reads performed by the R-tree by taking the data distribution into
+//! account can be expected to produce partitions which are more conducive
+//! to selectivity estimation [TS96]". We test that speculation with three
+//! constructions of the same index — repeated R\*-insertion (the paper's),
+//! STR packing, and Hilbert-curve packing — each turned into a 100-bucket
+//! histogram, against Min-Skew as the reference.
+
+use minskew_bench::{charminar_scaled, nj_road, time_it, Scale};
+use minskew_core::{
+    build_rtree_partitioning, MinSkewBuilder, RTreeBuildMethod, RTreePartitioningOptions,
+};
+use minskew_workload::{evaluate, GroundTruth, QueryWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("\n## R-tree construction variants as histograms (100 buckets)\n");
+    println!("| dataset    | construction  | build (s) | buckets | err QSize 5% | err QSize 25% |");
+    println!("|------------|---------------|-----------|---------|--------------|---------------|");
+    for (name, data) in [
+        ("Charminar", charminar_scaled(scale)),
+        ("NJ Road", nj_road(scale)),
+    ] {
+        eprintln!("[rtree-variants] indexing {name} ({} rects)...", data.len());
+        let truth = GroundTruth::index(&data);
+        let workloads: Vec<(QueryWorkload, Vec<usize>)> = [0.05, 0.25]
+            .iter()
+            .enumerate()
+            .map(|(i, &qs)| {
+                let w = QueryWorkload::generate(&data, qs, scale.queries, 8_000 + i as u64);
+                let counts = truth.counts(w.queries());
+                (w, counts)
+            })
+            .collect();
+        let row = |label: &str, hist: minskew_core::SpatialHistogram, secs: f64| {
+            let errs: Vec<f64> = workloads
+                .iter()
+                .map(|(w, c)| evaluate(&hist, w, c).avg_relative_error)
+                .collect();
+            println!(
+                "| {name:<10} | {label:<13} | {secs:>9.3} | {:>7} | {:>11.1}% | {:>12.1}% |",
+                hist.num_buckets(),
+                errs[0] * 100.0,
+                errs[1] * 100.0
+            );
+        };
+        for (label, method) in [
+            ("R*-insertion", RTreeBuildMethod::Insertion),
+            ("STR-packed", RTreeBuildMethod::StrBulk),
+            ("Hilbert-packed", RTreeBuildMethod::HilbertBulk),
+        ] {
+            let (hist, secs) = time_it(|| {
+                build_rtree_partitioning(
+                    &data,
+                    100,
+                    RTreePartitioningOptions {
+                        method,
+                        ..Default::default()
+                    },
+                )
+            });
+            row(label, hist, secs);
+        }
+        let (ms, secs) = time_it(|| MinSkewBuilder::new(100).regions(10_000).build(&data));
+        row("Min-Skew (ref)", ms, secs);
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 10(a): Min-Skew error vs. number of grid regions on the NJ Road
+//! dataset, 100 buckets, QSize 5% and 25%.
+//!
+//! Paper shape: errors fall steeply with the first few thousand regions and
+//! then flatten — real data is skewed but not extremely so, and past a point
+//! extra regions capture nothing new.
+
+use minskew_bench::{nj_road, print_error_table, Scale};
+use minskew_core::MinSkewBuilder;
+use minskew_workload::{evaluate, GroundTruth, QueryWorkload};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig10a] generating NJ-road stand-in...");
+    let data = nj_road(scale);
+    eprintln!("[fig10a] indexing ground truth over {} rects...", data.len());
+    let truth = GroundTruth::index(&data);
+
+    let region_counts = [100usize, 400, 1_600, 6_400, 10_000, 25_600, 40_000];
+    let qsizes = [0.05, 0.25];
+    let names: Vec<String> = qsizes
+        .iter()
+        .map(|q| format!("QSize {:.0}%", q * 100.0))
+        .collect();
+
+    // One workload per query size, reused across region settings so the
+    // comparison isolates the region parameter.
+    let workloads: Vec<(QueryWorkload, Vec<usize>)> = qsizes
+        .iter()
+        .enumerate()
+        .map(|(i, &qs)| {
+            let w = QueryWorkload::generate(&data, qs, scale.queries, 1_000 + i as u64);
+            let counts = truth.counts(w.queries());
+            (w, counts)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for &regions in &region_counts {
+        eprintln!("[fig10a] {regions} regions...");
+        let hist = MinSkewBuilder::new(100).regions(regions).build(&data);
+        let vals = workloads
+            .iter()
+            .map(|(w, counts)| evaluate(&hist, w, counts).avg_relative_error)
+            .collect();
+        rows.push((format!("{regions:>6} regions"), vals));
+    }
+    print_error_table(
+        "Figure 10(a): Min-Skew error vs regions (NJ Road, 100 buckets)",
+        "Regions",
+        &names,
+        &rows,
+    );
+}

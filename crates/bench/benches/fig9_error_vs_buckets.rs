@@ -1,0 +1,51 @@
+//! Figure 9: average relative error vs. number of buckets (50–750) for
+//! QSize 5% and 25%, NJ Road dataset.
+//!
+//! Paper shape: more buckets help everyone; Min-Skew leads across the whole
+//! range and especially at small budgets (50–100 buckets); technique gaps
+//! shrink as budgets grow; Sample stays ineffective.
+
+use minskew_bench::{all_techniques, nj_road, print_error_table, run_point, Scale};
+use minskew_workload::GroundTruth;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig9] generating NJ-road stand-in...");
+    let data = nj_road(scale);
+    eprintln!("[fig9] indexing ground truth over {} rects...", data.len());
+    let truth = GroundTruth::index(&data);
+
+    let bucket_counts = [50usize, 100, 200, 400, 750];
+    for (qi, qsize) in [0.05, 0.25].into_iter().enumerate() {
+        let mut rows = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        for (bi, &buckets) in bucket_counts.iter().enumerate() {
+            eprintln!("[fig9] QSize {:.0}%, {buckets} buckets...", qsize * 100.0);
+            let estimators = all_techniques(&data, buckets);
+            if names.is_empty() {
+                names = estimators.iter().map(|e| e.name().to_owned()).collect();
+            }
+            let reports = run_point(
+                &data,
+                &truth,
+                &estimators,
+                qsize,
+                scale.queries,
+                900 + (qi * 10 + bi) as u64,
+            );
+            rows.push((
+                format!("{buckets} buckets"),
+                reports.iter().map(|r| r.avg_relative_error).collect(),
+            ));
+        }
+        print_error_table(
+            &format!(
+                "Figure 9: error vs bucket budget (NJ Road, QSize {:.0}%)",
+                qsize * 100.0
+            ),
+            "Buckets",
+            &names,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the R\*-tree substrate itself:
+//! insertion, bulk loading, range counting, kNN, and deletion. These are
+//! the index's own performance envelope, separate from its role as a
+//! partitioning source.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use minskew_datagen::SyntheticSpec;
+use minskew_geom::{Point, Rect};
+use minskew_rtree::{Item, RStarTree, RTreeConfig};
+
+const N: usize = 50_000;
+
+fn dataset() -> Vec<Rect> {
+    SyntheticSpec::default()
+        .with_n(N)
+        .generate(0xFEED)
+        .rects()
+        .to_vec()
+}
+
+fn build_benches(c: &mut Criterion) {
+    let rects = dataset();
+    let mut g = c.benchmark_group("rtree_build_50k");
+    g.sample_size(10);
+    g.bench_function("insertion", |b| {
+        b.iter(|| {
+            let mut t = RStarTree::new(RTreeConfig::default());
+            for (i, &r) in rects.iter().enumerate() {
+                t.insert(r, i);
+            }
+            t
+        })
+    });
+    g.bench_function("str_bulk", |b| {
+        b.iter(|| {
+            RStarTree::bulk_load(
+                RTreeConfig::default(),
+                rects.iter().enumerate().map(|(i, &r)| Item::new(r, i)).collect(),
+            )
+        })
+    });
+    g.bench_function("hilbert_bulk", |b| {
+        b.iter(|| {
+            RStarTree::bulk_load_hilbert(
+                RTreeConfig::default(),
+                rects.iter().enumerate().map(|(i, &r)| Item::new(r, i)).collect(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn query_benches(c: &mut Criterion) {
+    let rects = dataset();
+    let tree = RStarTree::bulk_load(
+        RTreeConfig::with_max_entries(64),
+        rects.iter().enumerate().map(|(i, &r)| Item::new(r, i)).collect(),
+    );
+    let mbr = tree.mbr();
+    let queries: Vec<Rect> = (0..256)
+        .map(|i| {
+            let fx = (i % 16) as f64 / 16.0;
+            let fy = (i / 16) as f64 / 16.0;
+            let cx = mbr.lo.x + fx * mbr.width();
+            let cy = mbr.lo.y + fy * mbr.height();
+            Rect::from_center_size(Point::new(cx, cy), mbr.width() * 0.05, mbr.height() * 0.05)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("rtree_query_50k");
+    g.bench_function("count_256_range_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += tree.count_intersecting(q);
+            }
+            acc
+        })
+    });
+    g.bench_function("knn10_256_points", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += tree.nearest_neighbors(q.center(), 10).len();
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("rtree_mutation");
+    g.sample_size(10);
+    g.bench_function("remove_reinsert_1000", |b| {
+        let mut t = RStarTree::new(RTreeConfig::default());
+        for (i, &r) in rects.iter().enumerate() {
+            t.insert(r, i);
+        }
+        b.iter_batched(
+            || t.clone(),
+            |mut t| {
+                for (i, &r) in rects.iter().enumerate().take(1_000) {
+                    assert!(t.remove(&r, &i));
+                }
+                for (i, &r) in rects.iter().enumerate().take(1_000) {
+                    t.insert(r, i);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, build_benches, query_benches);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Table 1: construction time of each partitioning for input sizes 50 K and
+//! 400 K and bucket budgets β ∈ {100, 750}.
+//!
+//! Paper shape (absolute times are hardware-bound; the *scaling* is the
+//! claim): bucket count barely matters; Min-Skew and Uniform are nearly
+//! flat in N; Equi-Area/Equi-Count grow steeply with N; R-Tree (repeated
+//! R\*-insertion) grows worst of all at large β.
+
+use minskew_bench::{time_it, Scale};
+use minskew_core::{
+    build_equi_area, build_equi_count, build_rtree_partitioning, build_uniform, MinSkewBuilder,
+    RTreePartitioningOptions,
+};
+use minskew_datagen::SyntheticSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes = [50_000 / scale.data_divisor, 400_000 / scale.data_divisor];
+    let betas = [100usize, 750];
+
+    println!("\n## Table 1: construction time (seconds)\n");
+    println!("| technique  | N=50K b=100 | N=50K b=750 | N=400K b=100 | N=400K b=750 |");
+    println!("|------------|-------------|-------------|--------------|--------------|");
+
+    let datasets: Vec<_> = sizes
+        .iter()
+        .map(|&n| {
+            eprintln!("[tab1] generating synthetic dataset N = {n}...");
+            SyntheticSpec::default().with_n(n).generate(0x7AB1)
+        })
+        .collect();
+
+    type Builder = Box<dyn Fn(&minskew_data::Dataset, usize)>;
+    let techniques: Vec<(&str, Builder)> = vec![
+        (
+            "Min-Skew",
+            Box::new(|ds, b| {
+                MinSkewBuilder::new(b).regions(10_000).build(ds);
+            }),
+        ),
+        (
+            "Equi-Area",
+            Box::new(|ds, b| {
+                build_equi_area(ds, b);
+            }),
+        ),
+        (
+            "Equi-Count",
+            Box::new(|ds, b| {
+                build_equi_count(ds, b);
+            }),
+        ),
+        (
+            "R-Tree",
+            Box::new(|ds, b| {
+                build_rtree_partitioning(ds, b, RTreePartitioningOptions::default());
+            }),
+        ),
+        (
+            "Uniform",
+            Box::new(|ds, _b| {
+                build_uniform(ds);
+            }),
+        ),
+    ];
+
+    for (name, build) in &techniques {
+        print!("| {name:<10} |");
+        for ds in &datasets {
+            for &b in &betas {
+                let (_, secs) = time_it(|| build(ds, b));
+                print!(" {secs:>11.3} |");
+                eprintln!("[tab1] {name} N={} b={b}: {secs:.3}s", ds.len());
+            }
+        }
+        println!();
+    }
+}

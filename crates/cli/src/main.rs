@@ -1,0 +1,474 @@
+//! `minskew` — command-line driver for the spatial selectivity estimation
+//! library.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! minskew generate --kind charminar|road|synthetic|uniform|points
+//!                  [--n N] [--seed S] --out data.csv
+//! minskew build    --input data.csv --technique min-skew|equi-area|
+//!                  equi-count|rtree|uniform [--buckets B] [--regions R]
+//!                  [--refinements K] --out stats.bin
+//! minskew estimate --stats stats.bin --query x1,y1,x2,y2 [--input data.csv]
+//! minskew evaluate --input data.csv [--buckets B] [--qsize F]
+//!                  [--queries N] [--seed S]
+//! minskew tune     --input data.csv [--buckets B] [--queries N]
+//!                  [--out stats.bin]
+//! minskew render   --input data.csv --technique <t> [--buckets B]
+//!                  --out out.svg
+//! ```
+//!
+//! Dataset files are `x1,y1,x2,y2` CSV; statistics files use the library's
+//! versioned catalog codec.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use minskew_core::{
+    build_equi_area, build_equi_count, build_rtree_partitioning_default, build_uniform,
+    FractalEstimator, MinSkewBuilder, SamplingEstimator, SpatialEstimator, SpatialHistogram,
+};
+use minskew_data::{read_rects_csv, write_rects_csv, Dataset};
+use minskew_datagen::{
+    charminar_with, clustered_points, uniform_rects, ClusteredPointSpec, RoadNetworkSpec,
+    SyntheticSpec,
+};
+use minskew_geom::Rect;
+use minskew_workload::{evaluate_all, GroundTruth, QueryWorkload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `minskew help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let opts = parse_flags(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&opts),
+        "build" => build(&opts),
+        "estimate" => estimate(&opts),
+        "evaluate" => evaluate_cmd(&opts),
+        "tune" => tune(&opts),
+        "render" => render(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+const USAGE: &str = "\
+minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
+
+  minskew generate --kind charminar|road|synthetic|uniform|points \\
+                   [--n N] [--seed S] --out data.csv
+  minskew build    --input data.csv --technique min-skew|equi-area|equi-count|rtree|uniform \\
+                   [--buckets B] [--regions R] [--refinements K] --out stats.bin
+  minskew estimate --stats stats.bin --query x1,y1,x2,y2 [--input data.csv]
+  minskew evaluate --input data.csv [--buckets B] [--qsize F] [--queries N] [--seed S]
+  minskew tune     --input data.csv [--buckets B] [--queries N]
+  minskew render   --input data.csv --technique T [--buckets B] [--regions R] --out out.svg
+";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {flag:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        out.insert(name.to_owned(), value.clone());
+    }
+    Ok(out)
+}
+
+fn req<'a>(opts: &'a Flags, name: &str) -> Result<&'a str, String> {
+    opts.get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn num<T: std::str::FromStr>(opts: &Flags, name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("bad value for --{name}: {e}")),
+    }
+}
+
+fn load(opts: &Flags) -> Result<Dataset, String> {
+    let path = req(opts, "input")?;
+    read_rects_csv(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn generate(opts: &Flags) -> Result<(), String> {
+    let kind = req(opts, "kind")?;
+    let out = req(opts, "out")?;
+    let seed = num(opts, "seed", 0u64)?;
+    let data = match kind {
+        "charminar" => charminar_with(num(opts, "n", 40_000)?, seed),
+        "road" => RoadNetworkSpec {
+            segments: num(opts, "n", 414_442)?,
+            ..RoadNetworkSpec::default()
+        }
+        .generate(seed),
+        "synthetic" => SyntheticSpec::default()
+            .with_n(num(opts, "n", 50_000)?)
+            .generate(seed),
+        "uniform" => uniform_rects(
+            num(opts, "n", 50_000)?,
+            Rect::new(0.0, 0.0, 100_000.0, 100_000.0),
+            num(opts, "width", 100.0)?,
+            num(opts, "height", 100.0)?,
+            seed,
+        ),
+        "points" => clustered_points(
+            &ClusteredPointSpec {
+                n: num(opts, "n", 62_000)?,
+                ..ClusteredPointSpec::default()
+            },
+            seed,
+        ),
+        other => return Err(format!("unknown dataset kind {other:?}")),
+    };
+    write_rects_csv(&data, out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} rectangles to {out}", data.len());
+    Ok(())
+}
+
+fn build_technique(
+    data: &Dataset,
+    technique: &str,
+    opts: &Flags,
+) -> Result<SpatialHistogram, String> {
+    let buckets = num(opts, "buckets", 100usize)?;
+    Ok(match technique {
+        "min-skew" => {
+            let mut b = MinSkewBuilder::new(buckets).regions(num(opts, "regions", 10_000)?);
+            let k = num(opts, "refinements", 0usize)?;
+            if k > 0 {
+                b = b.progressive_refinements(k);
+            }
+            b.build(data)
+        }
+        "equi-area" => build_equi_area(data, buckets),
+        "equi-count" => build_equi_count(data, buckets),
+        "rtree" => build_rtree_partitioning_default(data, buckets),
+        "uniform" => build_uniform(data),
+        other => return Err(format!("unknown technique {other:?}")),
+    })
+}
+
+fn build(opts: &Flags) -> Result<(), String> {
+    let data = load(opts)?;
+    let technique = req(opts, "technique")?;
+    let out = req(opts, "out")?;
+    let hist = build_technique(&data, technique, opts)?;
+    std::fs::write(out, hist.to_bytes()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "built {} with {} buckets ({} bytes) over {} rects -> {out}",
+        hist.name(),
+        hist.num_buckets(),
+        hist.size_bytes(),
+        data.len()
+    );
+    Ok(())
+}
+
+fn parse_query(s: &str) -> Result<Rect, String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 4 {
+        return Err(format!("query must be x1,y1,x2,y2, got {s:?}"));
+    }
+    let mut v = [0.0; 4];
+    for (slot, p) in v.iter_mut().zip(&parts) {
+        *slot = p
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad query coordinate {p:?}: {e}"))?;
+    }
+    Ok(Rect::new(v[0], v[1], v[2], v[3]))
+}
+
+fn estimate(opts: &Flags) -> Result<(), String> {
+    let stats_path = req(opts, "stats")?;
+    let bytes = std::fs::read(stats_path).map_err(|e| format!("reading {stats_path}: {e}"))?;
+    let hist =
+        SpatialHistogram::from_bytes(&bytes).map_err(|e| format!("decoding {stats_path}: {e}"))?;
+    let query = parse_query(req(opts, "query")?)?;
+    println!(
+        "{}: estimated |Q| = {:.1} (selectivity {:.5})",
+        hist.name(),
+        hist.estimate_count(&query),
+        hist.estimate_selectivity(&query)
+    );
+    if opts.contains_key("input") {
+        let data = load(opts)?;
+        println!("exact:    |Q| = {}", data.count_intersecting(&query));
+    }
+    Ok(())
+}
+
+fn evaluate_cmd(opts: &Flags) -> Result<(), String> {
+    let data = load(opts)?;
+    let buckets = num(opts, "buckets", 100usize)?;
+    let qsize = num(opts, "qsize", 0.05f64)?;
+    let queries = num(opts, "queries", 1_000usize)?;
+    let seed = num(opts, "seed", 1u64)?;
+
+    println!(
+        "evaluating 7 techniques: {} rects, {buckets} buckets, QSize {:.0}%, {queries} queries",
+        data.len(),
+        qsize * 100.0
+    );
+    let truth = GroundTruth::index(&data);
+    let minskew = MinSkewBuilder::new(buckets)
+        .regions(num(opts, "regions", 10_000)?)
+        .build(&data);
+    let equi_count = build_equi_count(&data, buckets);
+    let equi_area = build_equi_area(&data, buckets);
+    let rtree = build_rtree_partitioning_default(&data, buckets);
+    let sample = SamplingEstimator::build(&data, buckets, seed);
+    let fractal = FractalEstimator::build(&data);
+    let uniform = build_uniform(&data);
+    let roster: Vec<&dyn SpatialEstimator> = vec![
+        &minskew, &equi_count, &equi_area, &rtree, &sample, &fractal, &uniform,
+    ];
+    let workload = QueryWorkload::generate(&data, qsize, queries, seed);
+    for report in evaluate_all(&roster, &workload, &truth) {
+        println!("{report}");
+    }
+    Ok(())
+}
+
+fn tune(opts: &Flags) -> Result<(), String> {
+    let data = load(opts)?;
+    let buckets = num(opts, "buckets", 100usize)?;
+    let mut tune_opts = minskew_workload::TuneOptions::for_buckets(buckets);
+    tune_opts.queries_per_size = num(opts, "queries", 500usize)?;
+    println!(
+        "tuning Min-Skew over {} rects, {buckets} buckets ({} configurations)...",
+        data.len(),
+        tune_opts.region_ladder.len() + tune_opts.refinement_ladder.len() - 1
+    );
+    let tuned = minskew_workload::tune_min_skew(&data, buckets, &tune_opts);
+    for t in &tuned.trials {
+        println!(
+            "  regions {:>7}  refinements {}  ->  {:>5.1}%{}",
+            t.regions,
+            t.refinements,
+            t.error * 100.0,
+            if *t == tuned.best { "  <- chosen" } else { "" }
+        );
+    }
+    if let Some(out) = opts.get("out") {
+        std::fs::write(out, tuned.histogram.to_bytes())
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote tuned histogram to {out}");
+    }
+    Ok(())
+}
+
+fn render(opts: &Flags) -> Result<(), String> {
+    let data = load(opts)?;
+    let technique = req(opts, "technique")?;
+    let out = req(opts, "out")?;
+    let hist = build_technique(&data, technique, opts)?;
+    let svg = minskew_viz::partitioning_svg(&data, &hist, 800);
+    std::fs::write(out, svg).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "rendered {} ({} buckets) over {} rects -> {out}",
+        hist.name(),
+        hist.num_buckets(),
+        data.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let flags = parse_flags(&[
+            "--kind".into(),
+            "road".into(),
+            "--n".into(),
+            "100".into(),
+        ])
+        .unwrap();
+        assert_eq!(flags["kind"], "road");
+        assert_eq!(num::<usize>(&flags, "n", 5).unwrap(), 100);
+        assert_eq!(num::<usize>(&flags, "missing", 5).unwrap(), 5);
+        assert!(parse_flags(&["oops".into()]).is_err());
+        assert!(parse_flags(&["--dangling".into()]).is_err());
+    }
+
+    #[test]
+    fn query_parsing() {
+        assert_eq!(parse_query("1,2,3,4").unwrap(), Rect::new(1.0, 2.0, 3.0, 4.0));
+        assert!(parse_query("1,2,3").is_err());
+        assert!(parse_query("a,2,3,4").is_err());
+    }
+
+    #[test]
+    fn end_to_end_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("minskew-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let stats = dir.join("s.bin");
+        let svg = dir.join("p.svg");
+
+        run(vec![
+            "generate".into(),
+            "--kind".into(),
+            "charminar".into(),
+            "--n".into(),
+            "2000".into(),
+            "--out".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+
+        run(vec![
+            "build".into(),
+            "--input".into(),
+            csv.display().to_string(),
+            "--technique".into(),
+            "min-skew".into(),
+            "--buckets".into(),
+            "20".into(),
+            "--regions".into(),
+            "400".into(),
+            "--out".into(),
+            stats.display().to_string(),
+        ])
+        .unwrap();
+
+        run(vec![
+            "estimate".into(),
+            "--stats".into(),
+            stats.display().to_string(),
+            "--query".into(),
+            "0,0,2000,2000".into(),
+        ])
+        .unwrap();
+
+        run(vec![
+            "render".into(),
+            "--input".into(),
+            csv.display().to_string(),
+            "--technique".into(),
+            "equi-count".into(),
+            "--buckets".into(),
+            "10".into(),
+            "--out".into(),
+            svg.display().to_string(),
+        ])
+        .unwrap();
+
+        assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evaluate_subcommand_runs() {
+        let dir = std::env::temp_dir().join(format!("minskew-cli-eval-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        run(vec![
+            "generate".into(),
+            "--kind".into(),
+            "uniform".into(),
+            "--n".into(),
+            "800".into(),
+            "--out".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+        run(vec![
+            "evaluate".into(),
+            "--input".into(),
+            csv.display().to_string(),
+            "--buckets".into(),
+            "10".into(),
+            "--queries".into(),
+            "50".into(),
+            "--qsize".into(),
+            "0.2".into(),
+        ])
+        .unwrap();
+        // Missing input file surfaces a readable error.
+        assert!(run(vec![
+            "evaluate".into(),
+            "--input".into(),
+            "/no/such/file.csv".into(),
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tune_subcommand_runs() {
+        let dir = std::env::temp_dir().join(format!("minskew-cli-tune-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        run(vec![
+            "generate".into(),
+            "--kind".into(),
+            "charminar".into(),
+            "--n".into(),
+            "1500".into(),
+            "--out".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+        let stats = dir.join("tuned.bin");
+        run(vec![
+            "tune".into(),
+            "--input".into(),
+            csv.display().to_string(),
+            "--buckets".into(),
+            "20".into(),
+            "--queries".into(),
+            "60".into(),
+            "--out".into(),
+            stats.display().to_string(),
+        ])
+        .unwrap();
+        assert!(stats.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_subcommand_and_kind() {
+        assert!(run(vec!["frobnicate".into()]).is_err());
+        assert!(generate(
+            &[("kind".to_string(), "nope".to_string()), ("out".to_string(), "/tmp/x".to_string())]
+                .into_iter()
+                .collect()
+        )
+        .is_err());
+    }
+}

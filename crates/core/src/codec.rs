@@ -1,0 +1,251 @@
+//! Compact binary persistence for histograms.
+//!
+//! A DBMS stores optimizer statistics in its catalog; this module gives
+//! [`SpatialHistogram`] a versioned little-endian wire format for exactly
+//! that purpose. The format is deliberately simple: a magic/version header,
+//! the estimation parameters, then the flat bucket array — mirroring the
+//! paper's eight-words-per-bucket layout.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use minskew_geom::Rect;
+
+use crate::{Bucket, ExtensionRule, SpatialEstimator, SpatialHistogram};
+
+const MAGIC: &[u8; 4] = b"MSKH";
+const VERSION: u8 = 1;
+
+/// Errors produced when decoding a serialised histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the `MSKH` magic.
+    BadMagic,
+    /// The format version is unknown to this library.
+    UnsupportedVersion(u8),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A field held an invalid value (description inside).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a Min-Skew histogram (bad magic)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::Truncated => write!(f, "buffer truncated"),
+            CodecError::Invalid(msg) => write!(f, "invalid field: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl SpatialHistogram {
+    /// Serialises the histogram to its catalog format.
+    pub fn to_bytes(&self) -> Bytes {
+        let name = self.name().as_bytes();
+        let mut buf = BytesMut::with_capacity(32 + name.len() + self.buckets().len() * 56);
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(match self.extension_rule() {
+            ExtensionRule::Minkowski => 0,
+            ExtensionRule::PaperLiteral => 1,
+            ExtensionRule::None => 2,
+        });
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        buf.put_u64_le(self.input_len() as u64);
+        buf.put_u32_le(self.buckets().len() as u32);
+        for b in self.buckets() {
+            buf.put_f64_le(b.mbr.lo.x);
+            buf.put_f64_le(b.mbr.lo.y);
+            buf.put_f64_le(b.mbr.hi.x);
+            buf.put_f64_le(b.mbr.hi.y);
+            buf.put_f64_le(b.count);
+            buf.put_f64_le(b.avg_width);
+            buf.put_f64_le(b.avg_height);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a histogram previously produced by [`Self::to_bytes`].
+    pub fn from_bytes(mut data: &[u8]) -> Result<SpatialHistogram, CodecError> {
+        if data.remaining() < 4 || &data[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        data.advance(4);
+        let version = take_u8(&mut data)?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let rule = match take_u8(&mut data)? {
+            0 => ExtensionRule::Minkowski,
+            1 => ExtensionRule::PaperLiteral,
+            2 => ExtensionRule::None,
+            x => return Err(CodecError::Invalid(format!("extension rule tag {x}"))),
+        };
+        let name_len = take_u16(&mut data)? as usize;
+        if data.remaining() < name_len {
+            return Err(CodecError::Truncated);
+        }
+        let name = std::str::from_utf8(&data[..name_len])
+            .map_err(|_| CodecError::Invalid("name is not UTF-8".into()))?
+            .to_owned();
+        data.advance(name_len);
+        let input_len = take_u64(&mut data)? as usize;
+        let n_buckets = take_u32(&mut data)? as usize;
+        if data.remaining() < n_buckets * 56 {
+            return Err(CodecError::Truncated);
+        }
+        let mut buckets = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            let x1 = data.get_f64_le();
+            let y1 = data.get_f64_le();
+            let x2 = data.get_f64_le();
+            let y2 = data.get_f64_le();
+            let count = data.get_f64_le();
+            let avg_width = data.get_f64_le();
+            let avg_height = data.get_f64_le();
+            if ![x1, y1, x2, y2, count, avg_width, avg_height]
+                .iter()
+                .all(|v| v.is_finite())
+            {
+                return Err(CodecError::Invalid("non-finite bucket field".into()));
+            }
+            if x2 < x1 || y2 < y1 {
+                return Err(CodecError::Invalid("inverted bucket box".into()));
+            }
+            if count < 0.0 || avg_width < 0.0 || avg_height < 0.0 {
+                return Err(CodecError::Invalid("negative bucket statistic".into()));
+            }
+            buckets.push(Bucket {
+                mbr: Rect::new(x1, y1, x2, y2),
+                count,
+                avg_width,
+                avg_height,
+            });
+        }
+        Ok(SpatialHistogram::from_parts(name, buckets, input_len, rule))
+    }
+}
+
+fn take_u8(data: &mut &[u8]) -> Result<u8, CodecError> {
+    if data.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(data.get_u8())
+}
+
+fn take_u16(data: &mut &[u8]) -> Result<u16, CodecError> {
+    if data.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(data.get_u16_le())
+}
+
+fn take_u32(data: &mut &[u8]) -> Result<u32, CodecError> {
+    if data.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(data.get_u32_le())
+}
+
+fn take_u64(data: &mut &[u8]) -> Result<u64, CodecError> {
+    if data.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(data.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MinSkewBuilder, SpatialEstimator};
+    use minskew_datagen::charminar_with;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = charminar_with(3_000, 1);
+        let h = MinSkewBuilder::new(40).regions(1_600).build(&ds);
+        let bytes = h.to_bytes();
+        let back = SpatialHistogram::from_bytes(&bytes).unwrap();
+        assert_eq!(back, h);
+        // Estimates identical after roundtrip.
+        let q = Rect::new(0.0, 0.0, 2_000.0, 2_000.0);
+        assert_eq!(back.estimate_count(&q), h.estimate_count(&q));
+    }
+
+    #[test]
+    fn roundtrip_empty_histogram() {
+        let h = SpatialHistogram::from_parts("x", vec![], 0, ExtensionRule::None);
+        let back = SpatialHistogram::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            SpatialHistogram::from_bytes(b"NOPE....."),
+            Err(CodecError::BadMagic)
+        );
+        assert_eq!(SpatialHistogram::from_bytes(b""), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let ds = charminar_with(500, 2);
+        let h = MinSkewBuilder::new(10).regions(400).build(&ds);
+        let bytes = h.to_bytes();
+        for cut in [5, 8, bytes.len() - 3] {
+            let r = SpatialHistogram::from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn version_checked() {
+        let ds = charminar_with(100, 3);
+        let h = MinSkewBuilder::new(4).regions(100).build(&ds);
+        let mut bytes = h.to_bytes().to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            SpatialHistogram::from_bytes(&bytes),
+            Err(CodecError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        // Decoding is total: any byte soup yields Ok or Err, never a panic.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xFAD);
+        for _ in 0..2_000 {
+            let len = rng.gen_range(0..200);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let _ = SpatialHistogram::from_bytes(&bytes);
+        }
+        // Single-byte corruptions of a valid image are also total.
+        let ds = charminar_with(200, 9);
+        let valid = MinSkewBuilder::new(6).regions(100).build(&ds).to_bytes();
+        for pos in 0..valid.len() {
+            let mut corrupt = valid.to_vec();
+            corrupt[pos] ^= 0xFF;
+            let _ = SpatialHistogram::from_bytes(&corrupt);
+        }
+    }
+
+    #[test]
+    fn corrupt_bucket_rejected() {
+        let ds = charminar_with(100, 4);
+        let h = MinSkewBuilder::new(2).regions(100).build(&ds);
+        let mut bytes = h.to_bytes().to_vec();
+        // Overwrite the first bucket's count with a negative number.
+        let header = 4 + 1 + 1 + 2 + h.name().len() + 8 + 4;
+        let count_off = header + 4 * 8;
+        bytes[count_off..count_off + 8].copy_from_slice(&(-5.0f64).to_le_bytes());
+        assert!(matches!(
+            SpatialHistogram::from_bytes(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,139 @@
+//! Histogram introspection for operators and tests.
+//!
+//! A DBA looking at optimizer statistics wants to know how the budget was
+//! spent: how unbalanced the buckets are, how much area they cover, whether
+//! a few mega-buckets dominate. [`HistogramDiagnostics`] summarises exactly
+//! that, and its `Display` output is what a `\d+ stats`-style admin command
+//! would print.
+
+use crate::{SpatialEstimator, SpatialHistogram};
+
+/// Summary statistics over a histogram's buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramDiagnostics {
+    /// Number of buckets.
+    pub buckets: usize,
+    /// Total rectangles represented.
+    pub total_count: f64,
+    /// Smallest / mean / largest bucket cardinality.
+    pub count_min: f64,
+    /// Mean bucket cardinality.
+    pub count_mean: f64,
+    /// Largest bucket cardinality.
+    pub count_max: f64,
+    /// Fraction of all rectangles held by the largest 10% of buckets —
+    /// a quick imbalance indicator (1.0/10 ≈ balanced).
+    pub top_decile_share: f64,
+    /// Smallest bucket area.
+    pub area_min: f64,
+    /// Mean bucket area.
+    pub area_mean: f64,
+    /// Largest bucket area.
+    pub area_max: f64,
+    /// Summary footprint in bytes.
+    pub size_bytes: usize,
+}
+
+impl SpatialHistogram {
+    /// Computes bucket-level diagnostics. Returns `None` for an empty
+    /// histogram (nothing to summarise).
+    pub fn diagnostics(&self) -> Option<HistogramDiagnostics> {
+        let bs = self.buckets();
+        if bs.is_empty() {
+            return None;
+        }
+        let n = bs.len();
+        let mut counts: Vec<f64> = bs.iter().map(|b| b.count).collect();
+        counts.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+        let total: f64 = counts.iter().sum();
+        let decile = (n.div_ceil(10)).max(1);
+        let top_decile: f64 = counts.iter().rev().take(decile).sum();
+        let areas: Vec<f64> = bs.iter().map(|b| b.mbr.area()).collect();
+        Some(HistogramDiagnostics {
+            buckets: n,
+            total_count: total,
+            count_min: counts[0],
+            count_mean: total / n as f64,
+            count_max: counts[n - 1],
+            top_decile_share: if total > 0.0 { top_decile / total } else { 0.0 },
+            area_min: areas.iter().cloned().fold(f64::INFINITY, f64::min),
+            area_mean: areas.iter().sum::<f64>() / n as f64,
+            area_max: areas.iter().cloned().fold(0.0, f64::max),
+            size_bytes: self.size_bytes(),
+        })
+    }
+}
+
+impl std::fmt::Display for HistogramDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} buckets over {:.0} rects ({} B)",
+            self.buckets, self.total_count, self.size_bytes
+        )?;
+        writeln!(
+            f,
+            "  counts: min {:.0} / mean {:.1} / max {:.0}  (top decile holds {:.0}%)",
+            self.count_min,
+            self.count_mean,
+            self.count_max,
+            self.top_decile_share * 100.0
+        )?;
+        write!(
+            f,
+            "  areas:  min {:.3e} / mean {:.3e} / max {:.3e}",
+            self.area_min, self.area_mean, self.area_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{build_equi_count, build_uniform, MinSkewBuilder};
+    use minskew_datagen::{charminar_with, uniform_rects};
+    use minskew_geom::Rect;
+
+    #[test]
+    fn diagnostics_match_hand_computation() {
+        let ds = uniform_rects(1_000, Rect::new(0.0, 0.0, 100.0, 100.0), 1.0, 1.0, 1);
+        let h = build_uniform(&ds);
+        let d = h.diagnostics().unwrap();
+        assert_eq!(d.buckets, 1);
+        assert_eq!(d.total_count, 1_000.0);
+        assert_eq!(d.count_min, 1_000.0);
+        assert_eq!(d.count_max, 1_000.0);
+        assert_eq!(d.top_decile_share, 1.0); // one bucket = the whole decile
+        assert_eq!(d.size_bytes, 64);
+    }
+
+    #[test]
+    fn equi_count_is_balanced_min_skew_is_not() {
+        let ds = charminar_with(10_000, 2);
+        let ec = build_equi_count(&ds, 64).diagnostics().unwrap();
+        let ms = MinSkewBuilder::new(64)
+            .regions(2_500)
+            .build(&ds)
+            .diagnostics()
+            .unwrap();
+        // Equi-Count balances cardinalities by construction; Min-Skew
+        // deliberately concentrates buckets where density varies, leaving
+        // big uniform buckets elsewhere.
+        assert!(ec.count_max / ec.count_min.max(1.0) < ms.count_max / ms.count_min.max(1.0));
+        assert!(ec.top_decile_share < ms.top_decile_share);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let ds = charminar_with(500, 3);
+        let h = MinSkewBuilder::new(10).regions(400).build(&ds);
+        let text = h.diagnostics().unwrap().to_string();
+        assert!(text.contains("buckets over"));
+        assert!(text.contains("top decile"));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_diagnostics() {
+        let h = build_uniform(&minskew_data::Dataset::new(vec![]));
+        assert!(h.diagnostics().is_none());
+    }
+}

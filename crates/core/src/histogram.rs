@@ -1,0 +1,193 @@
+//! The shared bucket-set estimator used by every partitioning technique.
+
+use minskew_geom::Rect;
+
+use crate::{Bucket, ExtensionRule, SpatialEstimator};
+
+/// A spatial histogram: a flat set of disjoint-by-construction buckets, each
+/// approximated under the uniformity assumption.
+///
+/// The buckets are produced by one of the partitioning techniques
+/// ([`crate::build_equi_area`], [`crate::build_equi_count`],
+/// [`crate::build_rtree_partitioning`], [`crate::MinSkewBuilder`], or the
+/// trivial [`crate::build_uniform`]); the estimation logic is identical for
+/// all of them, per §3.2 of the paper: "once the buckets are identified, the
+/// problem of selectivity estimation reduces to solving selectivity
+/// estimation over the individual buckets".
+#[derive(Debug, Clone)]
+pub struct SpatialHistogram {
+    name: String,
+    buckets: Vec<Bucket>,
+    input_len: usize,
+    rule: ExtensionRule,
+    /// Weighted volume of mutations applied since construction; see the
+    /// `maintenance` module. Not persisted and excluded from equality so
+    /// that codec round-trips compare cleanly.
+    churn: f64,
+}
+
+impl PartialEq for SpatialHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.buckets == other.buckets
+            && self.input_len == other.input_len
+            && self.rule == other.rule
+    }
+}
+
+impl SpatialHistogram {
+    /// Assembles a histogram from parts. Intended for the partitioning
+    /// builders in this crate and for deserialisation; typical callers use
+    /// the technique constructors instead.
+    pub fn from_parts(
+        name: impl Into<String>,
+        buckets: Vec<Bucket>,
+        input_len: usize,
+        rule: ExtensionRule,
+    ) -> SpatialHistogram {
+        SpatialHistogram {
+            name: name.into(),
+            buckets,
+            input_len,
+            rule,
+            churn: 0.0,
+        }
+    }
+
+    pub(crate) fn buckets_mut(&mut self) -> &mut [Bucket] {
+        &mut self.buckets
+    }
+
+    pub(crate) fn input_len_mut(&mut self, delta: isize) {
+        self.input_len = self.input_len.saturating_add_signed(delta);
+    }
+
+    pub(crate) fn churn_mut(&mut self, weight: f64) {
+        self.churn += weight;
+    }
+
+    pub(crate) fn churn(&self) -> f64 {
+        self.churn
+    }
+
+    /// The histogram's buckets.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The query-extension rule used at estimation time.
+    pub fn extension_rule(&self) -> ExtensionRule {
+        self.rule
+    }
+
+    /// Returns the histogram with a different extension rule (for
+    /// ablation experiments).
+    pub fn with_extension_rule(mut self, rule: ExtensionRule) -> SpatialHistogram {
+        self.rule = rule;
+        self
+    }
+
+    /// Sum of bucket counts; equals the number of input rectangles whose
+    /// centre fell inside some bucket (normally all of them).
+    pub fn total_count(&self) -> f64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+}
+
+impl SpatialEstimator for SpatialHistogram {
+    fn estimate_count(&self, query: &Rect) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| b.estimate(query, self.rule))
+            .sum()
+    }
+
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.buckets.len() * Bucket::SIZE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_bucket_hist() -> SpatialHistogram {
+        SpatialHistogram::from_parts(
+            "test",
+            vec![
+                Bucket {
+                    mbr: Rect::new(0.0, 0.0, 10.0, 10.0),
+                    count: 60.0,
+                    avg_width: 0.0,
+                    avg_height: 0.0,
+                },
+                Bucket {
+                    mbr: Rect::new(10.0, 0.0, 20.0, 10.0),
+                    count: 40.0,
+                    avg_width: 0.0,
+                    avg_height: 0.0,
+                },
+            ],
+            100,
+            ExtensionRule::Minkowski,
+        )
+    }
+
+    #[test]
+    fn sums_bucket_contributions() {
+        let h = two_bucket_hist();
+        // Covers all of bucket 1 and half of bucket 2.
+        let q = Rect::new(0.0, 0.0, 15.0, 10.0);
+        assert!((h.estimate_count(&q) - (60.0 + 20.0)).abs() < 1e-9);
+        assert!((h.estimate_selectivity(&q) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accounting() {
+        let h = two_bucket_hist();
+        assert_eq!(h.num_buckets(), 2);
+        assert_eq!(h.size_bytes(), 2 * 64);
+        assert_eq!(h.total_count(), 100.0);
+        assert_eq!(h.input_len(), 100);
+        assert_eq!(h.name(), "test");
+    }
+
+    #[test]
+    fn rule_swap_changes_estimates() {
+        let h = SpatialHistogram::from_parts(
+            "t",
+            vec![Bucket {
+                mbr: Rect::new(0.0, 0.0, 10.0, 10.0),
+                count: 100.0,
+                avg_width: 2.0,
+                avg_height: 2.0,
+            }],
+            100,
+            ExtensionRule::Minkowski,
+        );
+        let q = Rect::new(0.0, 0.0, 5.0, 10.0);
+        let a = h.estimate_count(&q);
+        let b = h.clone().with_extension_rule(ExtensionRule::PaperLiteral).estimate_count(&q);
+        assert!(b > a, "paper-literal extension must estimate higher");
+    }
+
+    #[test]
+    fn empty_histogram_estimates_zero() {
+        let h = SpatialHistogram::from_parts("e", vec![], 0, ExtensionRule::Minkowski);
+        assert_eq!(h.estimate_count(&Rect::new(0.0, 0.0, 1.0, 1.0)), 0.0);
+        assert_eq!(h.estimate_selectivity(&Rect::new(0.0, 0.0, 1.0, 1.0)), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Plain-text dataset I/O.
+//!
+//! The paper's real-life inputs are TIGER/Sequoia extracts — line-segment or
+//! polygon bounding boxes. Users who have such data can bring it as a CSV
+//! of `x1,y1,x2,y2` rows (one rectangle per line, `#`-prefixed comment lines
+//! and blank lines ignored) and run every estimator and experiment in this
+//! workspace on it.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use minskew_geom::Rect;
+
+use crate::Dataset;
+
+/// Errors produced while reading a rectangle CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line was malformed; payload is (1-based line number, reason).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse(line, why) => write!(f, "line {line}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> CsvError {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads a dataset from a `x1,y1,x2,y2` CSV file.
+///
+/// Corner order per row is normalised; non-finite values are rejected.
+pub fn read_rects_csv(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut rects = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(CsvError::Parse(
+                line_no,
+                format!("expected 4 comma-separated values, got {}", fields.len()),
+            ));
+        }
+        let mut vals = [0.0f64; 4];
+        for (slot, field) in vals.iter_mut().zip(&fields) {
+            *slot = field.parse().map_err(|e| {
+                CsvError::Parse(line_no, format!("bad number {field:?}: {e}"))
+            })?;
+            if !slot.is_finite() {
+                return Err(CsvError::Parse(line_no, format!("non-finite value {field:?}")));
+            }
+        }
+        rects.push(Rect::new(vals[0], vals[1], vals[2], vals[3]));
+    }
+    Ok(Dataset::new(rects))
+}
+
+/// Writes a dataset as a `x1,y1,x2,y2` CSV file (with a header comment).
+pub fn write_rects_csv(data: &Dataset, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# x1,y1,x2,y2 — {} rectangles", data.len())?;
+    for r in data.rects() {
+        writeln!(w, "{},{},{},{}", r.lo.x, r.lo.y, r.hi.x, r.hi.y)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("minskew-io-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = Dataset::new(vec![
+            Rect::new(0.0, 1.5, 2.0, 3.0),
+            Rect::new(-4.25, 0.0, 0.0, 10.0),
+        ]);
+        let path = tmp("roundtrip.csv");
+        write_rects_csv(&ds, &path).unwrap();
+        let back = read_rects_csv(&path).unwrap();
+        assert_eq!(back.rects(), ds.rects());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let path = tmp("comments.csv");
+        std::fs::write(&path, "# header\n\n1,2,3,4\n  # another\n5,6,7,8\n").unwrap();
+        let ds = read_rects_csv(&path).unwrap();
+        assert_eq!(ds.len(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corner_order_normalised() {
+        let path = tmp("order.csv");
+        std::fs::write(&path, "3,4,1,2\n").unwrap();
+        let ds = read_rects_csv(&path).unwrap();
+        assert_eq!(ds.rects()[0], Rect::new(1.0, 2.0, 3.0, 4.0));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_rows_reported_with_line_numbers() {
+        for (content, expect_line) in [
+            ("1,2,3\n", 1),
+            ("1,2,3,4\nx,2,3,4\n", 2),
+            ("1,2,3,4\n\n1,2,3,inf\n", 3),
+        ] {
+            let path = tmp("bad.csv");
+            std::fs::write(&path, content).unwrap();
+            match read_rects_csv(&path) {
+                Err(CsvError::Parse(line, _)) => assert_eq!(line, expect_line, "{content:?}"),
+                other => panic!("expected parse error for {content:?}, got {other:?}"),
+            }
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match read_rects_csv("/definitely/not/here.csv") {
+            Err(CsvError::Io(_)) => {}
+            other => panic!("expected I/O error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Dataset model, summary statistics, density grids, and exact counting.
+//!
+//! This crate provides the input-side substrate of the selectivity-estimation
+//! pipeline:
+//!
+//! * [`Dataset`] — an immutable collection of input rectangles together with
+//!   the summary statistics the paper's formulas use (`N`, the input MBR,
+//!   the total rectangle area `TA`, and average width/height).
+//! * [`DensityGrid`] — a uniform grid of rectangular regions over the input
+//!   MBR where each region carries its *spatial density* (the number of input
+//!   rectangles intersecting it, §4 of the paper). The grid is the compact
+//!   approximation Min-Skew partitions instead of the raw data.
+//! * [`GridPrefixSums`] — 2-D prefix-sum tables of density and squared
+//!   density, giving O(1) evaluation of the sum / sum-of-squares / SSE of any
+//!   axis-aligned block of cells. The SSE of a block equals `n·s` from the
+//!   paper's spatial-skew definition (Definition 4.1), so split searches
+//!   become linear scans of O(1) probes.
+//! * [`CellBlock`] — an inclusive rectangular range of grid cells, the unit a
+//!   BSP over the grid manipulates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod grid;
+mod io;
+mod prefix;
+mod source;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use grid::{CellBlock, DensityGrid};
+pub use io::{read_rects_csv, write_rects_csv, CsvError};
+pub use prefix::GridPrefixSums;
+pub use source::{source_mbr, CsvRectSource, RectSource};

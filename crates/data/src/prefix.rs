@@ -1,0 +1,208 @@
+//! 2-D prefix sums over a density grid: O(1) block aggregates.
+
+use crate::{CellBlock, DensityGrid};
+
+/// Prefix-sum tables of cell density and squared density.
+///
+/// The spatial-skew objective of Min-Skew (Definition 4.1) weights each
+/// bucket's density variance by its cell count:
+/// `n·s = Σ d_j² − (Σ d_j)² / n`, the *sum of squared errors* (SSE) of the
+/// bucket. With prefix sums of `d` and `d²`, the SSE of **any** rectangular
+/// block of cells is a constant-time computation, which turns the greedy
+/// split search into a linear scan of O(1) probes per candidate position.
+#[derive(Debug, Clone)]
+pub struct GridPrefixSums {
+    nx: usize,
+    ny: usize,
+    /// `(nx + 1) × (ny + 1)` inclusive-exclusive prefix table of density.
+    sum: Vec<f64>,
+    /// Same layout, of squared density.
+    sum2: Vec<f64>,
+}
+
+impl GridPrefixSums {
+    /// Builds the tables from a density grid in O(nx · ny).
+    pub fn from_grid(grid: &DensityGrid) -> GridPrefixSums {
+        let nx = grid.nx();
+        let ny = grid.ny();
+        let w = nx + 1;
+        let mut sum = vec![0.0; w * (ny + 1)];
+        let mut sum2 = vec![0.0; w * (ny + 1)];
+        for iy in 0..ny {
+            let mut row_s = 0.0;
+            let mut row_s2 = 0.0;
+            for ix in 0..nx {
+                let d = grid.density(ix, iy) as f64;
+                row_s += d;
+                row_s2 += d * d;
+                let above = (iy) * w + (ix + 1);
+                let here = (iy + 1) * w + (ix + 1);
+                sum[here] = sum[above] + row_s;
+                sum2[here] = sum2[above] + row_s2;
+            }
+        }
+        GridPrefixSums { nx, ny, sum, sum2 }
+    }
+
+    /// Sum of densities over the block.
+    #[inline]
+    pub fn block_sum(&self, b: &CellBlock) -> f64 {
+        self.rect_query(&self.sum, b)
+    }
+
+    /// Sum of squared densities over the block.
+    #[inline]
+    pub fn block_sum2(&self, b: &CellBlock) -> f64 {
+        self.rect_query(&self.sum2, b)
+    }
+
+    /// Mean density over the block.
+    #[inline]
+    pub fn block_mean(&self, b: &CellBlock) -> f64 {
+        self.block_sum(b) / b.num_cells() as f64
+    }
+
+    /// Sum of squared errors of the block's densities around their mean:
+    /// `Σ d_j² − (Σ d_j)² / n`.
+    ///
+    /// This equals `n_i × s_i` in the paper's Definition 4.1, so the total
+    /// spatial-skew `S` of a partitioning is the sum of `block_sse` over its
+    /// buckets. Clamped at zero to absorb floating-point cancellation.
+    #[inline]
+    pub fn block_sse(&self, b: &CellBlock) -> f64 {
+        let s = self.block_sum(b);
+        let s2 = self.block_sum2(b);
+        (s2 - s * s / b.num_cells() as f64).max(0.0)
+    }
+
+    /// Sum of densities in column `ix`, rows `y0..=y1`.
+    #[inline]
+    pub fn column_sum(&self, ix: usize, y0: usize, y1: usize) -> f64 {
+        self.block_sum(&CellBlock::new(ix, ix, y0, y1))
+    }
+
+    /// Sum of densities in row `iy`, columns `x0..=x1`.
+    #[inline]
+    pub fn row_sum(&self, iy: usize, x0: usize, x1: usize) -> f64 {
+        self.block_sum(&CellBlock::new(x0, x1, iy, iy))
+    }
+
+    #[inline]
+    fn rect_query(&self, table: &[f64], b: &CellBlock) -> f64 {
+        debug_assert!(b.x1 < self.nx && b.y1 < self.ny, "block outside grid");
+        let w = self.nx + 1;
+        let (x0, x1, y0, y1) = (b.x0, b.x1 + 1, b.y0, b.y1 + 1);
+        table[y1 * w + x1] - table[y0 * w + x1] - table[y1 * w + x0] + table[y0 * w + x0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minskew_geom::Rect;
+    use proptest::prelude::*;
+
+    /// Builds a grid whose densities are exactly `vals` (row-major),
+    /// by placing `vals[i]` unit rects inside cell `i`.
+    fn grid_from(vals: &[u32], nx: usize, ny: usize) -> DensityGrid {
+        let bounds = Rect::new(0.0, 0.0, nx as f64, ny as f64);
+        let mut rects = Vec::new();
+        for iy in 0..ny {
+            for ix in 0..nx {
+                for _ in 0..vals[iy * nx + ix] {
+                    let cx = ix as f64 + 0.5;
+                    let cy = iy as f64 + 0.5;
+                    rects.push(Rect::new(cx - 0.1, cy - 0.1, cx + 0.1, cy + 0.1));
+                }
+            }
+        }
+        let g = DensityGrid::build(rects.iter(), bounds, nx, ny);
+        assert_eq!(g.densities(), vals);
+        g
+    }
+
+    fn naive_sse(vals: &[f64]) -> f64 {
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        vals.iter().map(|v| (v - mean) * (v - mean)).sum()
+    }
+
+    #[test]
+    fn block_aggregates_match_hand_computation() {
+        #[rustfmt::skip]
+        let vals = [
+            1, 2, 3,
+            4, 5, 6,
+            7, 8, 9,
+        ];
+        let g = grid_from(&vals, 3, 3);
+        let p = GridPrefixSums::from_grid(&g);
+        let full = g.full_block();
+        assert_eq!(p.block_sum(&full), 45.0);
+        assert_eq!(p.block_sum2(&full), 285.0);
+        assert!((p.block_mean(&full) - 5.0).abs() < 1e-12);
+        // SSE of 1..9 around mean 5 = 60.
+        assert!((p.block_sse(&full) - 60.0).abs() < 1e-9);
+        // Sub-block: top-right 2x2 = [5, 6, 8, 9].
+        let b = CellBlock::new(1, 2, 1, 2);
+        assert_eq!(p.block_sum(&b), 28.0);
+        assert_eq!(p.block_sum2(&b), 25.0 + 36.0 + 64.0 + 81.0);
+        assert!((p.block_sse(&b) - naive_sse(&[5.0, 6.0, 8.0, 9.0])).abs() < 1e-9);
+        // Row / column helpers.
+        assert_eq!(p.row_sum(0, 0, 2), 6.0);
+        assert_eq!(p.column_sum(2, 0, 2), 3.0 + 6.0 + 9.0);
+    }
+
+    #[test]
+    fn uniform_block_has_zero_sse() {
+        let vals = vec![7u32; 12];
+        let g = grid_from(&vals, 4, 3);
+        let p = GridPrefixSums::from_grid(&g);
+        assert_eq!(p.block_sse(&g.full_block()), 0.0);
+    }
+
+    #[test]
+    fn sse_is_additive_lower_bound_under_splits() {
+        // Splitting never increases total SSE (variance decomposition).
+        #[rustfmt::skip]
+        let vals = [
+            0, 0, 9, 9,
+            0, 0, 9, 9,
+        ];
+        let g = grid_from(&vals, 4, 2);
+        let p = GridPrefixSums::from_grid(&g);
+        let full = g.full_block();
+        let (l, r) = full.split_after(minskew_geom::Axis::X, 1);
+        assert!(p.block_sse(&l) + p.block_sse(&r) <= p.block_sse(&full) + 1e-9);
+        // The perfect split separates the two uniform halves entirely.
+        assert_eq!(p.block_sse(&l), 0.0);
+        assert_eq!(p.block_sse(&r), 0.0);
+        assert!(p.block_sse(&full) > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prefix_matches_naive(
+            vals in proptest::collection::vec(0u32..20, 24),
+            x0 in 0usize..6, y0 in 0usize..4,
+        ) {
+            let (nx, ny) = (6, 4);
+            let g = grid_from(&vals, nx, ny);
+            let p = GridPrefixSums::from_grid(&g);
+            let x1 = x0 + (nx - 1 - x0) / 2; // arbitrary in-range end
+            let y1 = y0 + (ny - 1 - y0) / 2;
+            let b = CellBlock::new(x0, x1, y0, y1);
+            let mut cells = Vec::new();
+            for iy in y0..=y1 {
+                for ix in x0..=x1 {
+                    cells.push(vals[iy * nx + ix] as f64);
+                }
+            }
+            let sum: f64 = cells.iter().sum();
+            let sum2: f64 = cells.iter().map(|v| v * v).sum();
+            prop_assert!((p.block_sum(&b) - sum).abs() < 1e-9);
+            prop_assert!((p.block_sum2(&b) - sum2).abs() < 1e-9);
+            prop_assert!((p.block_sse(&b) - naive_sse(&cells)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Streaming access to rectangle collections.
+//!
+//! A central advantage the paper claims for Min-Skew is that "the
+//! construction algorithm does not require the entire data distribution to
+//! fit in main memory" — it only ever needs sequential sweeps. This module
+//! makes that concrete: [`RectSource`] abstracts "something that can be
+//! swept", implemented both by the in-memory [`Dataset`] and by
+//! [`CsvRectSource`], which re-reads a CSV file per sweep and keeps only
+//! summary statistics resident.
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+
+use minskew_geom::{mbr_of, Rect};
+
+use crate::io::CsvError;
+use crate::{Dataset, DatasetStats};
+
+/// A rectangle collection that supports repeated sequential sweeps.
+///
+/// Construction algorithms that honour the paper's memory model
+/// (Min-Skew's density-grid builds, the final bucket-assignment pass)
+/// consume data exclusively through this trait.
+pub trait RectSource {
+    /// Starts a fresh sweep over all rectangles.
+    fn scan(&self) -> Box<dyn Iterator<Item = Rect> + '_>;
+
+    /// Summary statistics (`N`, MBR, total area, average dimensions),
+    /// computed once when the source is opened.
+    fn stats(&self) -> DatasetStats;
+}
+
+impl RectSource for Dataset {
+    fn scan(&self) -> Box<dyn Iterator<Item = Rect> + '_> {
+        Box::new(self.rects().iter().copied())
+    }
+
+    fn stats(&self) -> DatasetStats {
+        *Dataset::stats(self)
+    }
+}
+
+/// A disk-resident rectangle collection: each sweep re-reads the CSV file,
+/// so resident memory stays O(1) regardless of dataset size.
+///
+/// The file is fully validated once at [`CsvRectSource::open`]; subsequent
+/// sweeps assume the file is unchanged (a malformed or vanished file
+/// mid-sweep panics with a clear message rather than silently corrupting
+/// statistics).
+#[derive(Debug, Clone)]
+pub struct CsvRectSource {
+    path: PathBuf,
+    stats: DatasetStats,
+}
+
+impl CsvRectSource {
+    /// Opens and validates a `x1,y1,x2,y2` CSV file, computing the summary
+    /// statistics in one pass.
+    pub fn open(path: impl AsRef<Path>) -> Result<CsvRectSource, CsvError> {
+        let path = path.as_ref().to_path_buf();
+        let mut n = 0usize;
+        let mut mbr: Option<Rect> = None;
+        let mut total_area = 0.0;
+        let mut sum_w = 0.0;
+        let mut sum_h = 0.0;
+        for r in scan_file(&path)? {
+            let r = r?;
+            n += 1;
+            mbr = Some(match mbr {
+                Some(m) => m.union(&r),
+                None => r,
+            });
+            total_area += r.area();
+            sum_w += r.width();
+            sum_h += r.height();
+        }
+        let denom = n.max(1) as f64;
+        Ok(CsvRectSource {
+            path,
+            stats: DatasetStats {
+                n,
+                mbr: mbr.unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0)),
+                total_area,
+                avg_width: sum_w / denom,
+                avg_height: sum_h / denom,
+            },
+        })
+    }
+
+    /// The file backing this source.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl RectSource for CsvRectSource {
+    fn scan(&self) -> Box<dyn Iterator<Item = Rect> + '_> {
+        let iter = scan_file(&self.path)
+            .unwrap_or_else(|e| panic!("re-opening {}: {e}", self.path.display()));
+        Box::new(iter.map(|r| {
+            r.unwrap_or_else(|e| {
+                panic!("file changed since validation: {e}")
+            })
+        }))
+    }
+
+    fn stats(&self) -> DatasetStats {
+        self.stats
+    }
+}
+
+/// Lazily parses a rect CSV, yielding one result per data line.
+fn scan_file(
+    path: &Path,
+) -> Result<impl Iterator<Item = Result<Rect, CsvError>>, CsvError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    Ok(reader
+        .lines()
+        .enumerate()
+        .filter_map(|(i, line)| match line {
+            Err(e) => Some(Err(CsvError::Io(e))),
+            Ok(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    return None;
+                }
+                Some(parse_line(trimmed, i + 1))
+            }
+        }))
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Rect, CsvError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != 4 {
+        return Err(CsvError::Parse(
+            line_no,
+            format!("expected 4 comma-separated values, got {}", fields.len()),
+        ));
+    }
+    let mut vals = [0.0f64; 4];
+    for (slot, field) in vals.iter_mut().zip(&fields) {
+        *slot = field
+            .parse()
+            .map_err(|e| CsvError::Parse(line_no, format!("bad number {field:?}: {e}")))?;
+        if !slot.is_finite() {
+            return Err(CsvError::Parse(line_no, format!("non-finite value {field:?}")));
+        }
+    }
+    Ok(Rect::new(vals[0], vals[1], vals[2], vals[3]))
+}
+
+/// Computes the MBR of a source by sweeping it (for callers holding only
+/// the trait object; concrete sources answer from their cached stats).
+pub fn source_mbr<S: RectSource + ?Sized>(source: &S) -> Option<Rect> {
+    mbr_of(source.scan())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write_rects_csv;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("minskew-source-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn csv_source_stats_match_dataset() {
+        let ds = Dataset::new(vec![
+            Rect::new(0.0, 0.0, 2.0, 2.0),
+            Rect::new(5.0, 1.0, 9.0, 4.0),
+            Rect::new(-1.0, -2.0, 0.0, 0.0),
+        ]);
+        let path = tmp("stats.csv");
+        write_rects_csv(&ds, &path).unwrap();
+        let src = CsvRectSource::open(&path).unwrap();
+        let a = src.stats();
+        let b = *ds.stats();
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.mbr, b.mbr);
+        assert!((a.total_area - b.total_area).abs() < 1e-12);
+        assert!((a.avg_width - b.avg_width).abs() < 1e-12);
+        // Sweeps yield the same rects, repeatedly.
+        for _ in 0..2 {
+            let got: Vec<Rect> = src.scan().collect();
+            assert_eq!(got, ds.rects());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn dataset_is_a_source() {
+        let ds = Dataset::new(vec![Rect::new(0.0, 0.0, 1.0, 1.0)]);
+        let src: &dyn RectSource = &ds;
+        assert_eq!(src.scan().count(), 1);
+        assert_eq!(src.stats().n, 1);
+        assert_eq!(source_mbr(src), Some(Rect::new(0.0, 0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn open_rejects_malformed_files() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1,2,3,4\noops\n").unwrap();
+        assert!(matches!(
+            CsvRectSource::open(&path),
+            Err(CsvError::Parse(2, _))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_source() {
+        let path = tmp("empty.csv");
+        std::fs::write(&path, "# just a header\n").unwrap();
+        let src = CsvRectSource::open(&path).unwrap();
+        assert_eq!(src.stats().n, 0);
+        assert_eq!(src.scan().count(), 0);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,129 @@
+//! The *Charminar* dataset (§5.1.2, Figure 1 of the paper).
+//!
+//! 40 000 rectangles of identical 100×100 size in a 10 000×10 000 space,
+//! concentrated in the four corners ("four minarets") with *varying* density
+//! levels per corner, plus a thin uniform scatter across the interior. The
+//! varying corner densities are what make the set interesting: a good
+//! partitioning must spend buckets unevenly.
+
+use minskew_data::Dataset;
+use minskew_geom::{Point, Rect};
+use rand::{Rng, SeedableRng};
+
+/// Side length of the Charminar space.
+const SPACE: f64 = 10_000.0;
+/// Side length of every rectangle.
+const RECT_SIDE: f64 = 100.0;
+
+/// Generates the standard 40 000-rectangle Charminar set.
+pub fn charminar(seed: u64) -> Dataset {
+    charminar_with(40_000, seed)
+}
+
+/// Generates a Charminar-style set with `n` rectangles.
+///
+/// Mass distribution: the four corner clusters receive 30 %, 27 %, 22 % and
+/// 14 % of the rectangles (distinct densities, as in Figure 5 of the paper,
+/// where the corner peaks differ in height), and the remaining 7 % scatter
+/// uniformly over the whole space. Within a cluster, centre offsets from the
+/// corner follow an exponential falloff, giving the smooth density decay
+/// visible in the paper's density plot.
+pub fn charminar_with(n: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // (corner x, corner y, direction into the space, share of mass)
+    let corners = [
+        (0.0, 0.0, 1.0, 1.0, 0.30),
+        (SPACE, 0.0, -1.0, 1.0, 0.27),
+        (0.0, SPACE, 1.0, -1.0, 0.22),
+        (SPACE, SPACE, -1.0, -1.0, 0.14),
+    ];
+    // Mean distance of cluster points from their corner, per axis.
+    let falloff = 900.0;
+    let half = RECT_SIDE / 2.0;
+
+    let mut rects = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut placed = false;
+        for &(cx, cy, dx, dy, share) in &corners {
+            acc += share;
+            if u < acc {
+                // Exponential falloff from the corner, clamped into space.
+                let off_x: f64 = -falloff * (1.0 - rng.gen::<f64>()).ln();
+                let off_y: f64 = -falloff * (1.0 - rng.gen::<f64>()).ln();
+                let x = (cx + dx * off_x).clamp(half, SPACE - half);
+                let y = (cy + dy * off_y).clamp(half, SPACE - half);
+                rects.push(Rect::from_center_size(Point::new(x, y), RECT_SIDE, RECT_SIDE));
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // Uniform interior scatter.
+            let x = rng.gen_range(half..SPACE - half);
+            let y = rng.gen_range(half..SPACE - half);
+            rects.push(Rect::from_center_size(Point::new(x, y), RECT_SIDE, RECT_SIDE));
+        }
+    }
+    Dataset::new(rects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_charminar_shape() {
+        let ds = charminar(1);
+        assert_eq!(ds.len(), 40_000);
+        let s = ds.stats();
+        // All rects are 100x100.
+        assert!((s.avg_width - RECT_SIDE).abs() < 1e-9);
+        assert!((s.avg_height - RECT_SIDE).abs() < 1e-9);
+        assert!(s.total_area > 0.0);
+        // Everything inside the space.
+        let space = Rect::new(0.0, 0.0, SPACE, SPACE);
+        assert!(ds.rects().iter().all(|r| space.contains_rect(r)));
+    }
+
+    #[test]
+    fn corners_are_denser_than_center() {
+        let ds = charminar_with(20_000, 2);
+        let corner = Rect::new(0.0, 0.0, 1500.0, 1500.0);
+        let center = Rect::new(4250.0, 4250.0, 5750.0, 5750.0);
+        let c_corner = ds.count_intersecting(&corner);
+        let c_center = ds.count_intersecting(&center);
+        assert!(
+            c_corner > 5 * c_center.max(1),
+            "corner {c_corner} should dominate centre {c_center}"
+        );
+    }
+
+    #[test]
+    fn corner_densities_differ() {
+        let ds = charminar_with(40_000, 3);
+        let probe = 1200.0;
+        let counts: Vec<usize> = [
+            Rect::new(0.0, 0.0, probe, probe),
+            Rect::new(SPACE - probe, 0.0, SPACE, probe),
+            Rect::new(0.0, SPACE - probe, probe, SPACE),
+            Rect::new(SPACE - probe, SPACE - probe, SPACE, SPACE),
+        ]
+        .iter()
+        .map(|q| ds.count_intersecting(q))
+        .collect();
+        // Densities ordered by the configured shares (allow generous noise).
+        assert!(counts[0] > counts[3], "counts = {counts:?}");
+        assert!(counts[1] > counts[3], "counts = {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = charminar_with(500, 42);
+        let b = charminar_with(500, 42);
+        let c = charminar_with(500, 43);
+        assert_eq!(a.rects(), b.rects());
+        assert_ne!(a.rects(), c.rects());
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic spatial dataset generators.
+//!
+//! The paper evaluates on two families of inputs:
+//!
+//! * **Synthetic data** (§5.1.2) varying in size, sparsity, placement skew
+//!   and size skew, with skew modelled by Zipf distributions; the showcased
+//!   instance is the *Charminar* set — 40 000 identical 100×100 rectangles
+//!   in a 10 000×10 000 space, concentrated at the four corners.
+//! * **Real-life data**: TIGER *NJ Road* (414 442 line-segment bounding
+//!   boxes) and Sequoia. Those files are not redistributable here, so this
+//!   crate provides a *road-network generator* ([`nj_road_like`])
+//!   reproducing their statistical character: a large number of tiny, thin
+//!   rectangles whose placement follows strongly skewed curvilinear clusters
+//!   (cities, highway corridors). See DESIGN.md §6 for the substitution
+//!   rationale.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod charminar;
+mod points;
+mod roadnet;
+mod synthetic;
+mod zipf;
+
+pub use charminar::{charminar, charminar_with};
+pub use points::{clustered_points, ClusteredPointSpec};
+pub use roadnet::{nj_road_like, RoadNetworkSpec};
+pub use synthetic::{uniform_rects, SyntheticSpec};
+pub use zipf::Zipf;

@@ -1,0 +1,137 @@
+//! Clustered point-data generator (Sequoia-style).
+//!
+//! The Sequoia 2000 benchmark's point data (California landmark locations)
+//! is the paper's second real-life dataset; its results are deferred to the
+//! paper's full version, so no experiment here depends on it, but the
+//! generator is provided for completeness and for exercising the estimators
+//! on *degenerate* rectangles (points), which the problem definition
+//! explicitly covers.
+
+use minskew_data::Dataset;
+use minskew_geom::{Point, Rect};
+use rand::{Rng, SeedableRng};
+
+use crate::Zipf;
+
+/// Parameters for clustered point generation.
+#[derive(Debug, Clone)]
+pub struct ClusteredPointSpec {
+    /// Number of points.
+    pub n: usize,
+    /// The space points are placed in.
+    pub space: Rect,
+    /// Number of cluster centres.
+    pub clusters: usize,
+    /// Zipf parameter of cluster sizes.
+    pub cluster_theta: f64,
+    /// Standard deviation of point offsets around their cluster centre,
+    /// as a fraction of the space diagonal.
+    pub spread: f64,
+    /// Fraction of points placed uniformly (background noise).
+    pub noise: f64,
+}
+
+impl Default for ClusteredPointSpec {
+    fn default() -> ClusteredPointSpec {
+        ClusteredPointSpec {
+            n: 62_000,
+            space: Rect::new(0.0, 0.0, 100_000.0, 100_000.0),
+            clusters: 40,
+            cluster_theta: 1.0,
+            spread: 0.02,
+            noise: 0.05,
+        }
+    }
+}
+
+/// Generates clustered point data (as degenerate rectangles).
+pub fn clustered_points(spec: &ClusteredPointSpec, seed: u64) -> Dataset {
+    assert!(spec.clusters > 0, "need at least one cluster");
+    assert!((0.0..=1.0).contains(&spec.noise), "noise must be in [0, 1]");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..spec.clusters)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(spec.space.lo.x..=spec.space.hi.x),
+                rng.gen_range(spec.space.lo.y..=spec.space.hi.y),
+            )
+        })
+        .collect();
+    let zipf = Zipf::new(spec.clusters, spec.cluster_theta);
+    let sigma = spec.spread * (spec.space.width().powi(2) + spec.space.height().powi(2)).sqrt();
+
+    let mut rects = Vec::with_capacity(spec.n);
+    for _ in 0..spec.n {
+        let p = if rng.gen::<f64>() < spec.noise {
+            Point::new(
+                rng.gen_range(spec.space.lo.x..=spec.space.hi.x),
+                rng.gen_range(spec.space.lo.y..=spec.space.hi.y),
+            )
+        } else {
+            let c = centers[zipf.sample(&mut rng) - 1];
+            // Box-Muller normal offsets.
+            let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
+            let r = sigma * (-2.0 * u1.ln()).sqrt();
+            let th = std::f64::consts::TAU * u2;
+            Point::new(
+                (c.x + r * th.cos()).clamp(spec.space.lo.x, spec.space.hi.x),
+                (c.y + r * th.sin()).clamp(spec.space.lo.y, spec.space.hi.y),
+            )
+        };
+        rects.push(Rect::from_point(p));
+    }
+    Dataset::new(rects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_degenerate_rects() {
+        let spec = ClusteredPointSpec {
+            n: 5_000,
+            ..ClusteredPointSpec::default()
+        };
+        let ds = clustered_points(&spec, 1);
+        assert_eq!(ds.len(), 5_000);
+        assert!(ds.rects().iter().all(|r| r.area() == 0.0));
+        assert_eq!(ds.stats().avg_width, 0.0);
+        assert!(ds
+            .rects()
+            .iter()
+            .all(|r| spec.space.contains_rect(r)));
+    }
+
+    #[test]
+    fn clustering_creates_hotspots() {
+        let spec = ClusteredPointSpec {
+            n: 30_000,
+            noise: 0.0,
+            ..ClusteredPointSpec::default()
+        };
+        let ds = clustered_points(&spec, 2);
+        let g = 10;
+        let mut counts = vec![0usize; g * g];
+        for r in ds.rects() {
+            let c = r.center();
+            let ix = ((c.x / spec.space.width() * g as f64) as usize).min(g - 1);
+            let iy = ((c.y / spec.space.height() * g as f64) as usize).min(g - 1);
+            counts[iy * g + ix] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 5 * (30_000 / (g * g)), "max cell holds {max}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = ClusteredPointSpec {
+            n: 1_000,
+            ..ClusteredPointSpec::default()
+        };
+        assert_eq!(
+            clustered_points(&spec, 3).rects(),
+            clustered_points(&spec, 3).rects()
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! A synthetic road-network generator standing in for the TIGER *NJ Road*
+//! dataset (see DESIGN.md §6).
+//!
+//! TIGER road data consists of line segments; the paper uses the bounding
+//! boxes of all 414 442 NJ road segments as its real-life input. What makes
+//! that input hard for selectivity estimation is its *placement skew*: tiny,
+//! thin rectangles tracing curvilinear clusters — dense urban grids around
+//! population centres connected by sparse highway corridors, with large
+//! empty regions in between. This generator reproduces exactly those
+//! properties:
+//!
+//! * **Population centres** with Zipf-distributed sizes (a few large metros,
+//!   many small towns), biased towards a diagonal "corridor" through an
+//!   elongated state-shaped space.
+//! * **Highways**: jittered polylines connecting each centre to its nearest
+//!   neighbours.
+//! * **Local streets**: random-walk polylines seeded around each centre,
+//!   with counts proportional to the centre's size.
+//!
+//! Every polyline is emitted as per-segment bounding boxes, matching the
+//! paper's preprocessing of the TIGER line segments.
+
+use minskew_data::Dataset;
+use minskew_geom::{Point, Rect};
+use rand::{Rng, SeedableRng};
+
+use crate::Zipf;
+
+/// Parameters of the road-network generator.
+#[derive(Debug, Clone)]
+pub struct RoadNetworkSpec {
+    /// Total number of road segments (= output rectangles).
+    pub segments: usize,
+    /// The state-shaped space (default elongated like New Jersey).
+    pub space: Rect,
+    /// Number of population centres.
+    pub centers: usize,
+    /// Zipf parameter of centre sizes.
+    pub center_theta: f64,
+    /// Mean local-street segment length.
+    pub street_step: f64,
+    /// Mean highway segment length.
+    pub highway_step: f64,
+    /// Fraction of segments belonging to highways (the rest are streets).
+    pub highway_fraction: f64,
+    /// Fraction of street walks seeded uniformly over the whole space
+    /// (rural roads) rather than near a population centre.
+    pub rural_fraction: f64,
+}
+
+impl Default for RoadNetworkSpec {
+    fn default() -> RoadNetworkSpec {
+        RoadNetworkSpec {
+            segments: 414_442,
+            space: Rect::new(0.0, 0.0, 60_000.0, 100_000.0),
+            centers: 220,
+            center_theta: 0.9,
+            street_step: 120.0,
+            highway_step: 400.0,
+            highway_fraction: 0.12,
+            rural_fraction: 0.25,
+        }
+    }
+}
+
+/// Generates a road-network dataset with the paper's NJ Road cardinality
+/// (414 442 segment bounding boxes) and the given seed.
+pub fn nj_road_like(seed: u64) -> Dataset {
+    RoadNetworkSpec::default().generate(seed)
+}
+
+/// Folds `v` into `[lo, hi]` by reflection at the boundaries.
+///
+/// Clamping instead would stack thousands of points onto exactly the
+/// boundary coordinate — a mass duplication real survey data does not
+/// exhibit (and which degenerates distinct-count-based techniques).
+fn reflect_into(v: f64, lo: f64, hi: f64) -> f64 {
+    let range = hi - lo;
+    if range <= 0.0 {
+        return lo;
+    }
+    let mut t = (v - lo) % (2.0 * range);
+    if t < 0.0 {
+        t += 2.0 * range;
+    }
+    if t > range {
+        t = 2.0 * range - t;
+    }
+    lo + t
+}
+
+impl RoadNetworkSpec {
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        assert!(self.centers >= 2, "need at least two population centres");
+        assert!(
+            (0.0..=1.0).contains(&self.highway_fraction),
+            "highway fraction must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.rural_fraction),
+            "rural fraction must be in [0, 1]"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let centers = self.place_centers(&mut rng);
+
+        let mut rects = Vec::with_capacity(self.segments);
+        let highway_budget =
+            ((self.segments as f64) * self.highway_fraction).round() as usize;
+
+        // Highways: connect each centre to its 2 nearest neighbours.
+        'outer: for (i, &a) in centers.iter().enumerate() {
+            let mut others: Vec<(f64, usize)> = centers
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(j, &b)| (a.dist2(&b), j))
+                .collect();
+            others.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+            for &(_, j) in others.iter().take(2) {
+                if j < i {
+                    continue; // each pair once
+                }
+                let b = centers[j];
+                for seg in self.polyline_between(a, b, &mut rng) {
+                    rects.push(seg);
+                    if rects.len() >= highway_budget {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        // Local streets: random walks around centres, Zipf-weighted.
+        let center_zipf = Zipf::new(self.centers, self.center_theta);
+        while rects.len() < self.segments {
+            let mut p = if rng.gen::<f64>() < self.rural_fraction {
+                // Rural road: anywhere in the state.
+                Point::new(
+                    rng.gen_range(self.space.lo.x..=self.space.hi.x),
+                    rng.gen_range(self.space.lo.y..=self.space.hi.y),
+                )
+            } else {
+                // Urban/suburban street near a Zipf-weighted centre, with
+                // exponential falloff.
+                let c = centers[center_zipf.sample(&mut rng) - 1];
+                let r_off: f64 = -3_200.0 * (1.0 - rng.gen::<f64>()).ln();
+                let ang: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                Point::new(
+                    reflect_into(c.x + r_off * ang.cos(), self.space.lo.x, self.space.hi.x),
+                    reflect_into(c.y + r_off * ang.sin(), self.space.lo.y, self.space.hi.y),
+                )
+            };
+            // Walk a short street (grid-ish: mostly axis-aligned headings).
+            let mut heading: f64 = if rng.gen::<bool>() { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+            if rng.gen::<bool>() {
+                heading += std::f64::consts::PI;
+            }
+            let steps = rng.gen_range(3..25usize);
+            for _ in 0..steps {
+                if rects.len() >= self.segments {
+                    break;
+                }
+                heading += rng.gen_range(-0.3..0.3);
+                let len = self.street_step * rng.gen_range(0.4..1.6);
+                let q = Point::new(
+                    reflect_into(p.x + len * heading.cos(), self.space.lo.x, self.space.hi.x),
+                    reflect_into(p.y + len * heading.sin(), self.space.lo.y, self.space.hi.y),
+                );
+                rects.push(Rect::from_corners(p, q));
+                p = q;
+            }
+        }
+        Dataset::new(rects)
+    }
+
+    /// Places population centres along a jittered diagonal corridor.
+    fn place_centers<R: Rng>(&self, rng: &mut R) -> Vec<Point> {
+        let mut centers = Vec::with_capacity(self.centers);
+        for i in 0..self.centers {
+            let t = (i as f64 + rng.gen::<f64>()) / self.centers as f64;
+            // Corridor runs corner-to-corner; centres jitter around it.
+            let base_x = self.space.lo.x + t * self.space.width();
+            let base_y = self.space.lo.y + t * self.space.height();
+            let jx = rng.gen_range(-0.25..0.25) * self.space.width();
+            let jy = rng.gen_range(-0.12..0.12) * self.space.height();
+            centers.push(Point::new(
+                (base_x + jx).clamp(self.space.lo.x, self.space.hi.x),
+                (base_y + jy).clamp(self.space.lo.y, self.space.hi.y),
+            ));
+        }
+        centers
+    }
+
+    /// A jittered polyline from `a` to `b`, returned as segment bounding
+    /// boxes.
+    fn polyline_between<R: Rng>(&self, a: Point, b: Point, rng: &mut R) -> Vec<Rect> {
+        let dist = a.dist2(&b).sqrt();
+        let steps = ((dist / self.highway_step).ceil() as usize).max(1);
+        let mut out = Vec::with_capacity(steps);
+        let mut p = a;
+        for s in 1..=steps {
+            let t = s as f64 / steps as f64;
+            let jitter = self.highway_step * 0.4;
+            let q = if s == steps {
+                b
+            } else {
+                Point::new(
+                    reflect_into(
+                        a.x + t * (b.x - a.x) + rng.gen_range(-jitter..jitter),
+                        self.space.lo.x,
+                        self.space.hi.x,
+                    ),
+                    reflect_into(
+                        a.y + t * (b.y - a.y) + rng.gen_range(-jitter..jitter),
+                        self.space.lo.y,
+                        self.space.hi.y,
+                    ),
+                )
+            };
+            out.push(Rect::from_corners(p, q));
+            p = q;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(segments: usize) -> RoadNetworkSpec {
+        RoadNetworkSpec {
+            segments,
+            centers: 12,
+            ..RoadNetworkSpec::default()
+        }
+    }
+
+    #[test]
+    fn generates_exact_segment_count() {
+        let ds = small_spec(30_000).generate(1);
+        assert_eq!(ds.len(), 30_000);
+        let space = RoadNetworkSpec::default().space;
+        assert!(ds.rects().iter().all(|r| space.contains_rect(r)));
+    }
+
+    #[test]
+    fn segments_are_small_and_thin() {
+        let ds = small_spec(20_000).generate(2);
+        let s = ds.stats();
+        // Average segment extent is a tiny fraction of the space, as with
+        // real road segments.
+        assert!(s.avg_width < s.mbr.width() / 100.0);
+        assert!(s.avg_height < s.mbr.height() / 100.0);
+    }
+
+    #[test]
+    fn placement_is_strongly_skewed() {
+        let ds = small_spec(40_000).generate(3);
+        // Split the space into a 8x8 lattice of cells and compare the most
+        // and least populated cells by rect centers.
+        let space = RoadNetworkSpec::default().space;
+        let g = 8;
+        let mut counts = vec![0usize; g * g];
+        for r in ds.rects() {
+            let c = r.center();
+            let ix = (((c.x - space.lo.x) / space.width() * g as f64) as usize).min(g - 1);
+            let iy = (((c.y - space.lo.y) / space.height() * g as f64) as usize).min(g - 1);
+            counts[iy * g + ix] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let mean = 40_000 / (g * g);
+        assert!(max > 4 * mean, "max cell {max}, uniform mean {mean}");
+        // And a meaningful share of cells should be nearly empty.
+        let sparse = counts.iter().filter(|&&c| c < mean / 4).count();
+        assert!(sparse > g * g / 8, "only {sparse} sparse cells");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small_spec(5_000).generate(10);
+        let b = small_spec(5_000).generate(10);
+        assert_eq!(a.rects(), b.rects());
+    }
+
+    #[test]
+    fn default_matches_paper_cardinality() {
+        assert_eq!(RoadNetworkSpec::default().segments, 414_442);
+    }
+
+    #[test]
+    fn reflection_folds_into_range() {
+        assert_eq!(reflect_into(5.0, 0.0, 10.0), 5.0);
+        assert_eq!(reflect_into(-3.0, 0.0, 10.0), 3.0);
+        assert_eq!(reflect_into(13.0, 0.0, 10.0), 7.0);
+        assert_eq!(reflect_into(27.0, 0.0, 10.0), 7.0); // multiple folds
+        assert_eq!(reflect_into(4.0, 4.0, 4.0), 4.0); // degenerate range
+        for v in [-100.0, -0.1, 0.0, 9.99, 10.0, 55.5] {
+            let r = reflect_into(v, 0.0, 10.0);
+            assert!((0.0..=10.0).contains(&r), "{v} -> {r}");
+        }
+    }
+
+    #[test]
+    fn coordinates_rarely_duplicate() {
+        // Reflection (unlike clamping) must not pile mass onto the
+        // boundary coordinate; distinct centre counts stay near n.
+        let ds = small_spec(20_000).generate(5);
+        let mut xs: Vec<f64> = ds.rects().iter().map(|r| r.center().x).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let distinct = 1 + xs.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            distinct as f64 > 0.99 * ds.len() as f64,
+            "only {distinct}/{} distinct x centres",
+            ds.len()
+        );
+    }
+}

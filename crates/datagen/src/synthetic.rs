@@ -1,0 +1,249 @@
+//! The parameterised synthetic family of §5.1.2: datasets varying in size,
+//! sparsity, placement skew, and size skew, all driven by Zipf distributions.
+
+use minskew_data::Dataset;
+use minskew_geom::{Point, Rect};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::Zipf;
+
+/// Specification of a synthetic rectangle dataset.
+///
+/// *Placement skew* is modelled by laying a `placement_grid ×
+/// placement_grid` lattice over the space and drawing each rectangle's cell
+/// with per-axis Zipf(`placement_theta`) ranks; rank-to-row/column
+/// assignments are shuffled by the seed so hot regions land in different
+/// places per dataset rather than always at the origin corner. *Size skew*
+/// draws each side length from a geometric ladder of `size_levels` values
+/// between `min_side` and `max_side` with Zipf(`size_theta`) rank
+/// probabilities (rank 1 = smallest side, matching real data where small
+/// objects dominate).
+///
+/// # Examples
+///
+/// ```
+/// use minskew_datagen::SyntheticSpec;
+///
+/// let ds = SyntheticSpec::default().with_n(1_000).generate(7);
+/// assert_eq!(ds.len(), 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Number of rectangles.
+    pub n: usize,
+    /// The space rectangles are placed in (controls sparsity together
+    /// with `n` and the side lengths).
+    pub space: Rect,
+    /// Placement lattice resolution per axis.
+    pub placement_grid: usize,
+    /// Zipf parameter of placement skew (0 = uniform placement).
+    pub placement_theta: f64,
+    /// Zipf parameter of size skew (0 = uniform over the size ladder).
+    pub size_theta: f64,
+    /// Number of rungs on the size ladder.
+    pub size_levels: usize,
+    /// Smallest side length.
+    pub min_side: f64,
+    /// Largest side length.
+    pub max_side: f64,
+}
+
+impl Default for SyntheticSpec {
+    /// 50 000 rectangles in a 100 000² space: moderate placement skew
+    /// (`theta = 0.8`), mild size skew (`theta = 0.5`), sides 20–2 000.
+    fn default() -> SyntheticSpec {
+        SyntheticSpec {
+            n: 50_000,
+            space: Rect::new(0.0, 0.0, 100_000.0, 100_000.0),
+            placement_grid: 64,
+            placement_theta: 0.8,
+            size_theta: 0.5,
+            size_levels: 16,
+            min_side: 20.0,
+            max_side: 2_000.0,
+        }
+    }
+}
+
+impl SyntheticSpec {
+    /// Returns the spec with `n` replaced.
+    pub fn with_n(mut self, n: usize) -> SyntheticSpec {
+        self.n = n;
+        self
+    }
+
+    /// Returns the spec with placement skew replaced.
+    pub fn with_placement_theta(mut self, theta: f64) -> SyntheticSpec {
+        self.placement_theta = theta;
+        self
+    }
+
+    /// Returns the spec with size skew replaced.
+    pub fn with_size_theta(mut self, theta: f64) -> SyntheticSpec {
+        self.size_theta = theta;
+        self
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters (zero grid, inverted side range).
+    pub fn generate(&self, seed: u64) -> Dataset {
+        assert!(self.placement_grid > 0, "placement grid must be non-empty");
+        assert!(self.size_levels > 0, "size ladder must be non-empty");
+        assert!(
+            self.min_side > 0.0 && self.min_side <= self.max_side,
+            "side range must satisfy 0 < min <= max"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = self.placement_grid;
+        let col_zipf = Zipf::new(g, self.placement_theta);
+        let row_zipf = Zipf::new(g, self.placement_theta);
+        let size_zipf = Zipf::new(self.size_levels, self.size_theta);
+
+        // Shuffle rank -> lattice position so skew hotspots are scattered.
+        let mut col_of_rank: Vec<usize> = (0..g).collect();
+        let mut row_of_rank: Vec<usize> = (0..g).collect();
+        col_of_rank.shuffle(&mut rng);
+        row_of_rank.shuffle(&mut rng);
+
+        // Geometric size ladder.
+        let ratio = if self.size_levels == 1 {
+            1.0
+        } else {
+            (self.max_side / self.min_side).powf(1.0 / (self.size_levels - 1) as f64)
+        };
+        let side_of_rank: Vec<f64> = (0..self.size_levels)
+            .map(|i| self.min_side * ratio.powi(i as i32))
+            .collect();
+
+        let cell_w = self.space.width() / g as f64;
+        let cell_h = self.space.height() / g as f64;
+        let mut rects = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let col = col_of_rank[col_zipf.sample(&mut rng) - 1];
+            let row = row_of_rank[row_zipf.sample(&mut rng) - 1];
+            let cx = self.space.lo.x + (col as f64 + rng.gen::<f64>()) * cell_w;
+            let cy = self.space.lo.y + (row as f64 + rng.gen::<f64>()) * cell_h;
+            let w = side_of_rank[size_zipf.sample(&mut rng) - 1];
+            let h = side_of_rank[size_zipf.sample(&mut rng) - 1];
+            rects.push(Rect::from_center_size(Point::new(cx, cy), w, h));
+        }
+        Dataset::new(rects)
+    }
+}
+
+/// Generates `n` rectangles of fixed size uniformly placed in `space`
+/// (the no-skew control case).
+pub fn uniform_rects(n: usize, space: Rect, width: f64, height: f64, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rects = (0..n)
+        .map(|_| {
+            let cx = rng.gen_range(space.lo.x..=space.hi.x);
+            let cy = rng.gen_range(space.lo.y..=space.hi.y);
+            Rect::from_center_size(Point::new(cx, cy), width, height)
+        })
+        .collect();
+    Dataset::new(rects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_deterministically() {
+        let spec = SyntheticSpec::default().with_n(2_000);
+        let a = spec.generate(5);
+        let b = spec.generate(5);
+        assert_eq!(a.len(), 2_000);
+        assert_eq!(a.rects(), b.rects());
+        assert_ne!(a.rects(), spec.generate(6).rects());
+    }
+
+    #[test]
+    fn sides_stay_on_ladder_range() {
+        let spec = SyntheticSpec {
+            min_side: 10.0,
+            max_side: 100.0,
+            ..SyntheticSpec::default()
+        }
+        .with_n(3_000);
+        let ds = spec.generate(11);
+        for r in ds.rects() {
+            assert!(r.width() >= 10.0 - 1e-9 && r.width() <= 100.0 + 1e-9);
+            assert!(r.height() >= 10.0 - 1e-9 && r.height() <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn size_skew_prefers_small_sides() {
+        let spec = SyntheticSpec {
+            size_theta: 1.5,
+            ..SyntheticSpec::default()
+        }
+        .with_n(20_000);
+        let ds = spec.generate(3);
+        let small = ds
+            .rects()
+            .iter()
+            .filter(|r| r.width() <= spec.min_side * 2.0)
+            .count();
+        assert!(
+            small > ds.len() / 3,
+            "strong size skew should make small widths dominant: {small}"
+        );
+    }
+
+    #[test]
+    fn placement_skew_concentrates_mass() {
+        // With high theta, some lattice cell should hold far more than the
+        // uniform share of rect centres.
+        let spec = SyntheticSpec {
+            placement_theta: 1.5,
+            placement_grid: 16,
+            ..SyntheticSpec::default()
+        }
+        .with_n(20_000);
+        let ds = spec.generate(9);
+        let g = 16;
+        let mut counts = vec![0usize; g * g];
+        let cw = spec.space.width() / g as f64;
+        let ch = spec.space.height() / g as f64;
+        for r in ds.rects() {
+            let c = r.center();
+            let ix = (((c.x - spec.space.lo.x) / cw) as usize).min(g - 1);
+            let iy = (((c.y - spec.space.lo.y) / ch) as usize).min(g - 1);
+            counts[iy * g + ix] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let uniform_share = 20_000 / (g * g);
+        assert!(
+            max > 10 * uniform_share,
+            "max cell {max} vs uniform share {uniform_share}"
+        );
+    }
+
+    #[test]
+    fn uniform_control_is_spread_out() {
+        let space = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let ds = uniform_rects(10_000, space, 5.0, 5.0, 4);
+        assert_eq!(ds.len(), 10_000);
+        // Quadrant counts should be roughly equal.
+        let q = ds.count_intersecting(&Rect::new(0.0, 0.0, 500.0, 500.0));
+        assert!((2000..3200).contains(&q), "quadrant count {q}");
+    }
+
+    #[test]
+    #[should_panic(expected = "side range")]
+    fn inverted_side_range_rejected() {
+        SyntheticSpec {
+            min_side: 10.0,
+            max_side: 5.0,
+            ..SyntheticSpec::default()
+        }
+        .generate(0);
+    }
+}

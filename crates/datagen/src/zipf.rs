@@ -1,0 +1,158 @@
+//! A from-scratch Zipf sampler.
+//!
+//! The paper models both *size skew* (rectangle widths/heights) and
+//! *placement skew* (where rectangles land in space) with the Zipf
+//! distribution [Zip49]. The allowed dependency set has no distribution
+//! crate, so this is a small exact sampler: probabilities are proportional
+//! to `1 / rank^theta`, materialised as a CDF and sampled by binary search.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `1..=n` with skew parameter `theta >= 0`.
+///
+/// `theta = 0` degenerates to the uniform distribution; `theta = 1` is the
+/// classic Zipf; larger values concentrate mass on low ranks.
+///
+/// # Examples
+///
+/// ```
+/// use minskew_datagen::Zipf;
+/// use rand::SeedableRng;
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!((1..=100).contains(&r));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for ranks `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if there is a single rank (always sampled).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of rank `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k), "rank out of range");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the
+        // 0-based index of the first cdf entry >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..50 {
+            assert!(z.pmf(k) >= z.pmf(k + 1));
+        }
+    }
+
+    #[test]
+    fn classic_zipf_ratios() {
+        let z = Zipf::new(10, 1.0);
+        // p(1) / p(2) = 2 for theta = 1.
+        assert!((z.pmf(1) / z.pmf(2) - 2.0).abs() < 1e-9);
+        assert!((z.pmf(1) / z.pmf(5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_pmf_roughly() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 5];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=5 {
+            let expected = z.pmf(k) * draws as f64;
+            let got = counts[k - 1] as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt().max(10.0),
+                "rank {k}: expected ~{expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+        assert_eq!(z.pmf(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

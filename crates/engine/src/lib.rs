@@ -1,0 +1,52 @@
+//! A miniature spatial query engine demonstrating selectivity estimation in
+//! its native habitat: **cost-based query optimization**.
+//!
+//! The paper's opening motivation is that "query optimizers use query
+//! result size estimates to determine the most efficient way to execute
+//! queries". This crate closes that loop end to end:
+//!
+//! * [`SpatialTable`] stores rectangles behind a stable row-id interface,
+//!   maintains an R\*-tree index, and keeps optimizer statistics (a
+//!   Min-Skew histogram by default) refreshed via `ANALYZE`.
+//! * The [`planner`](Plan) chooses between a **sequential scan** and an
+//!   **index scan** per query using the histogram's estimated result size
+//!   and a configurable [`CostModel`] — exactly the access-path-selection
+//!   decision of [SAC+79] transplanted to spatial data.
+//! * [`Explain`] reports the decision, the estimate, and (after execution)
+//!   the actual row count — the `EXPLAIN ANALYZE` a DBA would read.
+//! * Mutations feed the histogram's staleness tracker; the table re-runs
+//!   ANALYZE automatically past a configurable churn threshold.
+//!
+//! # Example
+//!
+//! ```
+//! use minskew_engine::{SpatialTable, TableOptions};
+//! use minskew_geom::Rect;
+//!
+//! let mut table = SpatialTable::new(TableOptions::default());
+//! for i in 0..1_000 {
+//!     let x = (i % 100) as f64 * 10.0;
+//!     let y = (i / 100) as f64 * 10.0;
+//!     table.insert(Rect::new(x, y, x + 5.0, y + 5.0));
+//! }
+//! table.analyze();
+//!
+//! // A tiny query: the planner picks the index.
+//! let (rows, explain) = table.execute_explain(&Rect::new(0.0, 0.0, 30.0, 30.0));
+//! assert!(explain.plan.is_index_scan());
+//! assert_eq!(rows.len(), explain.actual_rows.unwrap());
+//!
+//! // A query covering everything: scanning is cheaper than chasing the
+//! // whole index.
+//! let (_, explain) = table.execute_explain(&Rect::new(0.0, 0.0, 1e4, 1e4));
+//! assert!(!explain.plan.is_index_scan());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod planner;
+mod table;
+
+pub use planner::{CostModel, Explain, Plan};
+pub use table::{AnalyzeOptions, RowId, SpatialTable, StatsTechnique, TableOptions};

@@ -1,0 +1,427 @@
+//! The spatial table: storage, index, statistics, and the execution loop.
+
+use minskew_core::{
+    build_equi_area, build_equi_count, build_uniform, MinSkewBuilder, SpatialEstimator,
+    SpatialHistogram,
+};
+use minskew_data::Dataset;
+use minskew_geom::Rect;
+use minskew_rtree::{RStarTree, RTreeConfig};
+
+use crate::{CostModel, Explain, Plan};
+
+/// Stable identifier of a row in a [`SpatialTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(u64);
+
+/// Which statistics technique `ANALYZE` builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsTechnique {
+    /// Min-Skew (the paper's recommendation) — the default.
+    #[default]
+    MinSkew,
+    /// Equi-Area BSP.
+    EquiArea,
+    /// Equi-Count BSP.
+    EquiCount,
+    /// Single-bucket uniformity assumption.
+    Uniform,
+}
+
+/// `ANALYZE` parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeOptions {
+    /// Technique to build.
+    pub technique: StatsTechnique,
+    /// Bucket budget.
+    pub buckets: usize,
+    /// Min-Skew grid regions (ignored by the other techniques).
+    pub regions: usize,
+    /// Min-Skew progressive refinements.
+    pub refinements: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> AnalyzeOptions {
+        AnalyzeOptions {
+            technique: StatsTechnique::MinSkew,
+            buckets: 100,
+            regions: 10_000,
+            refinements: 0,
+        }
+    }
+}
+
+/// Table-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TableOptions {
+    /// Plan-cost constants.
+    pub cost_model: CostModel,
+    /// Statistics configuration used by [`SpatialTable::analyze`] and by
+    /// automatic re-analysis.
+    pub analyze: AnalyzeOptions,
+    /// When statistics staleness exceeds this fraction, the next plan
+    /// triggers an automatic `ANALYZE` first (`None` disables).
+    pub auto_analyze_threshold: Option<f64>,
+    /// R\*-tree node capacity.
+    pub index_fanout: usize,
+}
+
+impl Default for TableOptions {
+    fn default() -> TableOptions {
+        TableOptions {
+            cost_model: CostModel::default(),
+            analyze: AnalyzeOptions::default(),
+            auto_analyze_threshold: Some(0.2),
+            index_fanout: 16,
+        }
+    }
+}
+
+/// A spatial table: rows of rectangles with a stable id, an R\*-tree index,
+/// and optimizer statistics.
+pub struct SpatialTable {
+    options: TableOptions,
+    rows: Vec<Option<Rect>>, // slot per RowId; None = deleted
+    live: usize,
+    index: RStarTree<u64>,
+    stats: Option<SpatialHistogram>,
+}
+
+impl SpatialTable {
+    /// Creates an empty table.
+    pub fn new(options: TableOptions) -> SpatialTable {
+        SpatialTable {
+            rows: Vec::new(),
+            live: 0,
+            index: RStarTree::new(RTreeConfig::with_max_entries(options.index_fanout)),
+            stats: None,
+            options,
+        }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` if the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The current statistics histogram, if `ANALYZE` has run.
+    pub fn stats(&self) -> Option<&SpatialHistogram> {
+        self.stats.as_ref()
+    }
+
+    /// Inserts a rectangle; returns its row id.
+    ///
+    /// The index is maintained eagerly (as a DBMS would); the statistics
+    /// are patched incrementally and their staleness grows.
+    pub fn insert(&mut self, rect: Rect) -> RowId {
+        let id = self.rows.len() as u64;
+        self.rows.push(Some(rect));
+        self.live += 1;
+        self.index.insert(rect, id);
+        if let Some(stats) = &mut self.stats {
+            stats.note_insert(&rect);
+        }
+        RowId(id)
+    }
+
+    /// Deletes a row; returns `false` if the id was unknown or already
+    /// deleted.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        let Some(slot) = self.rows.get_mut(id.0 as usize) else {
+            return false;
+        };
+        let Some(rect) = slot.take() else {
+            return false;
+        };
+        self.live -= 1;
+        let removed = self.index.remove(&rect, &id.0);
+        debug_assert!(removed, "index out of sync with storage");
+        if let Some(stats) = &mut self.stats {
+            stats.note_delete(&rect);
+        }
+        true
+    }
+
+    /// Fetches a row's rectangle.
+    pub fn get(&self, id: RowId) -> Option<Rect> {
+        self.rows.get(id.0 as usize).copied().flatten()
+    }
+
+    /// Rebuilds the optimizer statistics from the live rows
+    /// (the `ANALYZE` command).
+    pub fn analyze(&mut self) {
+        let opts = self.options.analyze;
+        let data = Dataset::new(self.rows.iter().flatten().copied().collect());
+        let hist = match opts.technique {
+            StatsTechnique::MinSkew => {
+                let mut b = MinSkewBuilder::new(opts.buckets).regions(opts.regions);
+                if opts.refinements > 0 {
+                    b = b.progressive_refinements(opts.refinements);
+                }
+                b.build(&data)
+            }
+            StatsTechnique::EquiArea => build_equi_area(&data, opts.buckets),
+            StatsTechnique::EquiCount => build_equi_count(&data, opts.buckets),
+            StatsTechnique::Uniform => build_uniform(&data),
+        };
+        self.stats = Some(hist);
+    }
+
+    /// Estimated result size for `query`, falling back to the global
+    /// uniformity assumption when the table was never analyzed.
+    pub fn estimate(&self, query: &Rect) -> f64 {
+        match &self.stats {
+            Some(stats) => stats.estimate_count(query),
+            None => {
+                // Planner fallback: treat the whole table as one bucket
+                // covering the index MBR (a DBMS guesses without stats too).
+                if self.live == 0 {
+                    return 0.0;
+                }
+                let mbr = self.index.mbr();
+                let frac = if mbr.area() > 0.0 {
+                    query.intersection_area(&mbr) / mbr.area()
+                } else if query.intersects(&mbr) {
+                    1.0
+                } else {
+                    0.0
+                };
+                self.live as f64 * frac
+            }
+        }
+    }
+
+    fn stats_stale(&self) -> bool {
+        match (&self.stats, self.options.auto_analyze_threshold) {
+            (None, _) => true,
+            (Some(stats), Some(threshold)) => stats.staleness() > threshold,
+            (Some(_), None) => false,
+        }
+    }
+
+    /// Plans `query` without executing it. Runs auto-`ANALYZE` first when
+    /// the statistics are missing or too stale (and auto-analysis is
+    /// enabled).
+    pub fn plan(&mut self, query: &Rect) -> Explain {
+        if self.stats_stale() && self.options.auto_analyze_threshold.is_some() && self.live > 0 {
+            self.analyze();
+        }
+        let stale = self.stats_stale();
+        let est = self.estimate(query);
+        let model = self.options.cost_model;
+        let plan = model.choose(self.live, est);
+        let (cost, rejected) = match plan {
+            Plan::IndexScan => (model.index_scan_cost(est), model.seq_scan_cost(self.live)),
+            Plan::SeqScan => (model.seq_scan_cost(self.live), model.index_scan_cost(est)),
+        };
+        Explain {
+            plan,
+            estimated_rows: est,
+            estimated_cost: cost,
+            rejected_cost: rejected,
+            actual_rows: None,
+            stats_stale: stale,
+        }
+    }
+
+    /// Executes `query`, returning matching row ids (ascending).
+    pub fn execute(&mut self, query: &Rect) -> Vec<RowId> {
+        self.execute_explain(query).0
+    }
+
+    /// Executes `query` and returns the `EXPLAIN ANALYZE` record alongside
+    /// the matching row ids.
+    pub fn execute_explain(&mut self, query: &Rect) -> (Vec<RowId>, Explain) {
+        let mut explain = self.plan(query);
+        let mut ids: Vec<RowId> = match explain.plan {
+            Plan::SeqScan => self
+                .rows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    slot.filter(|r| r.intersects(query)).map(|_| RowId(i as u64))
+                })
+                .collect(),
+            Plan::IndexScan => {
+                let mut out = Vec::new();
+                self.index.for_each_intersecting(query, |item| {
+                    out.push(RowId(item.data));
+                });
+                out
+            }
+        };
+        ids.sort_unstable();
+        explain.actual_rows = Some(ids.len());
+        (ids, explain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minskew_datagen::charminar_with;
+
+    fn grid_table(side: usize) -> SpatialTable {
+        let mut t = SpatialTable::new(TableOptions::default());
+        for iy in 0..side {
+            for ix in 0..side {
+                let (x, y) = (ix as f64 * 10.0, iy as f64 * 10.0);
+                t.insert(Rect::new(x, y, x + 5.0, y + 5.0));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn both_plans_return_identical_results() {
+        let mut t = grid_table(40); // 1600 rows
+        t.analyze();
+        let q = Rect::new(33.0, 33.0, 180.0, 90.0);
+        // Force each plan by manipulating the cost model.
+        t.options.cost_model.index_tuple_cost = 0.0;
+        t.options.cost_model.index_setup_cost = 0.0;
+        let (via_index, e1) = t.execute_explain(&q);
+        assert!(e1.plan.is_index_scan());
+        t.options.cost_model.index_tuple_cost = f64::INFINITY;
+        let (via_scan, e2) = t.execute_explain(&q);
+        assert_eq!(e2.plan, Plan::SeqScan);
+        assert_eq!(via_index, via_scan);
+        assert!(!via_index.is_empty());
+    }
+
+    #[test]
+    fn planner_switches_with_query_size() {
+        let mut t = grid_table(50); // 2500 rows
+        t.analyze();
+        let small = t.plan(&Rect::new(0.0, 0.0, 20.0, 20.0));
+        assert!(small.plan.is_index_scan(), "{small}");
+        let huge = t.plan(&Rect::new(-10.0, -10.0, 1_000.0, 1_000.0));
+        assert_eq!(huge.plan, Plan::SeqScan, "{huge}");
+        // Estimates should be near reality after ANALYZE on uniform data.
+        let (rows, e) = t.execute_explain(&Rect::new(0.0, 0.0, 100.0, 100.0));
+        let actual = rows.len() as f64;
+        assert!(
+            (e.estimated_rows - actual).abs() / actual < 0.5,
+            "estimate {} vs actual {}",
+            e.estimated_rows,
+            actual
+        );
+    }
+
+    #[test]
+    fn unanalyzed_table_plans_with_fallback() {
+        let mut t = SpatialTable::new(TableOptions {
+            auto_analyze_threshold: None, // keep it unanalyzed
+            ..TableOptions::default()
+        });
+        for i in 0..100 {
+            t.insert(Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0));
+        }
+        let e = t.plan(&Rect::new(0.0, 0.0, 10.0, 1.0));
+        assert!(e.stats_stale);
+        assert!(e.estimated_rows > 0.0);
+    }
+
+    #[test]
+    fn delete_updates_results_and_index() {
+        let mut t = grid_table(10);
+        t.analyze();
+        let q = Rect::new(0.0, 0.0, 9.0, 9.0); // exactly the first cell
+        let (rows, _) = t.execute_explain(&q);
+        assert_eq!(rows.len(), 1);
+        assert!(t.delete(rows[0]));
+        assert!(!t.delete(rows[0]), "double delete must fail");
+        let (rows, _) = t.execute_explain(&q);
+        assert!(rows.is_empty());
+        assert_eq!(t.len(), 99);
+        assert_eq!(t.get(RowId(0)), None);
+    }
+
+    #[test]
+    fn auto_analyze_fires_on_churn() {
+        let mut t = SpatialTable::new(TableOptions::default());
+        for r in charminar_with(2_000, 1).rects() {
+            t.insert(*r);
+        }
+        t.analyze();
+        assert_eq!(t.stats().unwrap().staleness(), 0.0);
+        // Churn well past the 20% threshold.
+        for i in 0..1_500 {
+            let x = 4_000.0 + (i % 40) as f64 * 20.0;
+            let y = 4_000.0 + (i / 40) as f64 * 20.0;
+            t.insert(Rect::new(x, y, x + 50.0, y + 50.0));
+        }
+        assert!(t.stats().unwrap().staleness() > 0.2);
+        // The next plan triggers ANALYZE; afterwards staleness resets.
+        let _ = t.plan(&Rect::new(4_000.0, 4_000.0, 5_000.0, 5_000.0));
+        assert!(t.stats().unwrap().staleness() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_drive_better_plans_after_analyze() {
+        // Skewed table: a hot corner plus sparse background. A stats-less
+        // planner (uniform fallback) badly misestimates corner queries;
+        // after ANALYZE the estimate is good enough to pick the right plan.
+        let mut t = SpatialTable::new(TableOptions {
+            auto_analyze_threshold: None,
+            ..TableOptions::default()
+        });
+        for r in charminar_with(10_000, 2).rects() {
+            t.insert(*r);
+        }
+        let corner = Rect::new(0.0, 0.0, 1_500.0, 1_500.0);
+        let before = t.plan(&corner);
+        t.analyze();
+        let after = t.plan(&corner);
+        let (rows, _) = t.execute_explain(&corner);
+        let actual = rows.len() as f64;
+        let err =
+            |e: &Explain| (e.estimated_rows - actual).abs() / actual.max(1.0);
+        assert!(
+            err(&after) < err(&before),
+            "ANALYZE must improve the corner estimate ({:.2} -> {:.2})",
+            err(&before),
+            err(&after)
+        );
+    }
+
+    #[test]
+    fn empty_table_is_sane() {
+        let mut t = SpatialTable::new(TableOptions::default());
+        assert!(t.is_empty());
+        let (rows, e) = t.execute_explain(&Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert!(rows.is_empty());
+        assert_eq!(e.actual_rows, Some(0));
+        assert!(!t.delete(RowId(5)));
+    }
+
+    #[test]
+    fn alternative_stats_techniques() {
+        for technique in [
+            StatsTechnique::EquiArea,
+            StatsTechnique::EquiCount,
+            StatsTechnique::Uniform,
+        ] {
+            let mut t = SpatialTable::new(TableOptions {
+                analyze: AnalyzeOptions {
+                    technique,
+                    buckets: 30,
+                    ..Default::default()
+                },
+                ..TableOptions::default()
+            });
+            for r in charminar_with(1_000, 3).rects() {
+                t.insert(*r);
+            }
+            t.analyze();
+            let e = t.plan(&Rect::new(0.0, 0.0, 2_000.0, 2_000.0));
+            assert!(e.estimated_rows.is_finite() && e.estimated_rows >= 0.0);
+        }
+    }
+}

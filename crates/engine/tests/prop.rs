@@ -1,0 +1,80 @@
+//! Property tests: the engine's results must always equal a naive shadow
+//! table regardless of plan choice, mutation order, or statistics state.
+
+use minskew_engine::{RowId, SpatialTable, TableOptions};
+use minskew_geom::Rect;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Rect),
+    DeleteAt(usize),
+    Query(Rect),
+    Analyze,
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..300.0f64, 0.0..300.0f64, 0.0..30.0f64, 0.0..30.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => arb_rect().prop_map(Op::Insert),
+        2 => any::<usize>().prop_map(Op::DeleteAt),
+        3 => (0.0..300.0f64, 0.0..300.0f64, 0.0..200.0f64, 0.0..200.0f64)
+            .prop_map(|(x, y, w, h)| Op::Query(Rect::new(x, y, x + w, y + h))),
+        1 => Just(Op::Analyze),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_matches_shadow_table(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        auto_analyze in any::<bool>(),
+    ) {
+        let mut table = SpatialTable::new(TableOptions {
+            auto_analyze_threshold: if auto_analyze { Some(0.15) } else { None },
+            ..TableOptions::default()
+        });
+        let mut shadow: Vec<(RowId, Rect)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(r) => {
+                    let id = table.insert(r);
+                    shadow.push((id, r));
+                }
+                Op::DeleteAt(pos) => {
+                    if !shadow.is_empty() {
+                        let (id, _) = shadow.swap_remove(pos % shadow.len());
+                        prop_assert!(table.delete(id));
+                        prop_assert!(!table.delete(id), "double delete");
+                    }
+                }
+                Op::Query(q) => {
+                    let (mut got, explain) = table.execute_explain(&q);
+                    let mut want: Vec<RowId> = shadow
+                        .iter()
+                        .filter(|(_, r)| r.intersects(&q))
+                        .map(|&(id, _)| id)
+                        .collect();
+                    got.sort();
+                    want.sort();
+                    prop_assert_eq!(&got, &want, "plan was {:?}", explain.plan);
+                    prop_assert_eq!(explain.actual_rows, Some(want.len()));
+                    prop_assert!(explain.estimated_rows >= 0.0);
+                    prop_assert!(explain.estimated_cost <= explain.rejected_cost);
+                }
+                Op::Analyze => table.analyze(),
+            }
+            prop_assert_eq!(table.len(), shadow.len());
+        }
+        // Row lookups agree at the end.
+        for &(id, r) in &shadow {
+            prop_assert_eq!(table.get(id), Some(r));
+        }
+    }
+}

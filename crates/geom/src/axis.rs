@@ -1,0 +1,57 @@
+//! The [`Axis`] enum used by one-dimensional splitting logic.
+
+/// One of the two coordinate axes.
+///
+/// Partitioning algorithms in this workspace (Equi-Area, Equi-Count,
+/// Min-Skew, R\*-tree splits) all make *binary space partitioning* decisions:
+/// they cut a region with a line perpendicular to one axis. `Axis` names that
+/// axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The horizontal axis; splits are vertical lines `x = c`.
+    X,
+    /// The vertical axis; splits are horizontal lines `y = c`.
+    Y,
+}
+
+impl Axis {
+    /// Returns the other axis.
+    #[inline]
+    pub fn other(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+
+    /// Both axes, in `[X, Y]` order. Convenient for exhaustive split searches.
+    pub const BOTH: [Axis; 2] = [Axis::X, Axis::Y];
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involutive() {
+        for a in Axis::BOTH {
+            assert_eq!(a.other().other(), a);
+        }
+        assert_eq!(Axis::X.other(), Axis::Y);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Axis::X.to_string(), "x");
+        assert_eq!(Axis::Y.to_string(), "y");
+    }
+}

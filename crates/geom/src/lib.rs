@@ -1,0 +1,89 @@
+//! Geometry substrate for spatial selectivity estimation.
+//!
+//! This crate provides the two-dimensional primitives used throughout the
+//! `minskew` workspace: [`Point`], [`Rect`] (axis-aligned rectangles, the
+//! universal representation of spatial objects via their minimum bounding
+//! rectangles), and the [`Axis`] enum used by partitioning algorithms that
+//! split space along one dimension at a time.
+//!
+//! Conventions:
+//!
+//! * Coordinates are `f64`. Integer-domain datasets (such as TIGER) embed
+//!   losslessly.
+//! * Rectangles are **closed** regions `[lo.x, hi.x] × [lo.y, hi.y]`.
+//!   Two rectangles that merely touch along an edge or at a corner
+//!   *intersect*, matching the paper's definition of a query result
+//!   ("rectangles in the input that have a non-empty intersection with the
+//!   query rectangle").
+//! * Degenerate rectangles (zero width and/or height) are valid: points and
+//!   horizontal/vertical line segments are represented this way.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod axis;
+mod point;
+mod rect;
+mod shapes;
+
+pub use axis::Axis;
+pub use point::Point;
+pub use rect::Rect;
+pub use shapes::{Polygon, Polyline};
+
+/// Computes the minimum bounding rectangle of an iterator of rectangles.
+///
+/// Returns `None` for an empty iterator.
+///
+/// # Examples
+///
+/// ```
+/// use minskew_geom::{mbr_of, Rect};
+/// let rects = [Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(2.0, -1.0, 3.0, 0.5)];
+/// let mbr = mbr_of(rects.iter().copied()).unwrap();
+/// assert_eq!(mbr, Rect::new(0.0, -1.0, 3.0, 1.0));
+/// ```
+pub fn mbr_of<I: IntoIterator<Item = Rect>>(rects: I) -> Option<Rect> {
+    let mut iter = rects.into_iter();
+    let first = iter.next()?;
+    Some(iter.fold(first, |acc, r| acc.union(&r)))
+}
+
+/// Computes the minimum bounding rectangle of an iterator of points.
+///
+/// Returns `None` for an empty iterator. The result is degenerate (zero area)
+/// when all points are collinear or identical.
+pub fn mbr_of_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+    let mut iter = points.into_iter();
+    let first = iter.next()?;
+    let mut mbr = Rect::from_point(first);
+    for p in iter {
+        mbr = mbr.expand_to(p);
+    }
+    Some(mbr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbr_of_empty_is_none() {
+        assert!(mbr_of(std::iter::empty()).is_none());
+        assert!(mbr_of_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn mbr_of_single() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(mbr_of([r]), Some(r));
+    }
+
+    #[test]
+    fn mbr_of_points_degenerate() {
+        let pts = [Point::new(1.0, 5.0), Point::new(4.0, 5.0)];
+        let mbr = mbr_of_points(pts).unwrap();
+        assert_eq!(mbr, Rect::new(1.0, 5.0, 4.0, 5.0));
+        assert_eq!(mbr.area(), 0.0);
+    }
+}

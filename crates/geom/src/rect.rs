@@ -1,0 +1,432 @@
+//! Axis-aligned rectangles.
+
+use crate::{Axis, Point};
+
+/// An axis-aligned rectangle, the universal spatial-object representation.
+///
+/// Spatial databases approximate arbitrary objects by their *minimum bounding
+/// rectangles* (MBRs) and run as much query processing as possible on the
+/// MBRs; the selectivity-estimation problem studied here is defined directly
+/// over rectangles.
+///
+/// A `Rect` is the closed region `[lo.x, hi.x] × [lo.y, hi.y]`. The
+/// constructors normalise corner order, so `lo.x <= hi.x && lo.y <= hi.y`
+/// always holds. Degenerate rectangles (zero width and/or height) represent
+/// points and axis-parallel segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners given as coordinates.
+    ///
+    /// Corner order is normalised: `Rect::new(3.0, 4.0, 1.0, 2.0)` equals
+    /// `Rect::new(1.0, 2.0, 3.0, 4.0)`.
+    #[inline]
+    pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Rect {
+        Rect {
+            lo: Point::new(x1.min(x2), y1.min(y2)),
+            hi: Point::new(x1.max(x2), y1.max(y2)),
+        }
+    }
+
+    /// Creates a rectangle from two opposite corner points (order normalised).
+    #[inline]
+    pub fn from_corners(a: Point, b: Point) -> Rect {
+        Rect::new(a.x, a.y, b.x, b.y)
+    }
+
+    /// The degenerate rectangle containing exactly one point.
+    #[inline]
+    pub fn from_point(p: Point) -> Rect {
+        Rect { lo: p, hi: p }
+    }
+
+    /// Creates a rectangle from its centre and full width/height.
+    ///
+    /// Negative sizes are treated as their absolute value.
+    #[inline]
+    pub fn from_center_size(center: Point, width: f64, height: f64) -> Rect {
+        let hw = width.abs() / 2.0;
+        let hh = height.abs() / 2.0;
+        Rect {
+            lo: Point::new(center.x - hw, center.y - hh),
+            hi: Point::new(center.x + hw, center.y + hh),
+        }
+    }
+
+    /// Width along the x axis (always `>= 0`).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height along the y axis (always `>= 0`).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Side length along `axis`.
+    #[inline]
+    pub fn side(&self, axis: Axis) -> f64 {
+        match axis {
+            Axis::X => self.width(),
+            Axis::Y => self.height(),
+        }
+    }
+
+    /// The longer of the two axes (ties broken towards [`Axis::X`]).
+    #[inline]
+    pub fn longest_axis(&self) -> Axis {
+        if self.width() >= self.height() {
+            Axis::X
+        } else {
+            Axis::Y
+        }
+    }
+
+    /// Area (`width * height`); zero for degenerate rectangles.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter (`width + height`), the *margin* minimised by the
+    /// R\*-tree split heuristic.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.lo.x + self.hi.x) / 2.0,
+            (self.lo.y + self.hi.y) / 2.0,
+        )
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self` (boundaries may
+    /// touch).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.lo.x >= self.lo.x
+            && other.hi.x <= self.hi.x
+            && other.lo.y >= self.lo.y
+            && other.hi.y <= self.hi.y
+    }
+
+    /// Returns `true` if the closed regions share at least one point.
+    ///
+    /// Touching edges/corners count as intersecting, matching the paper's
+    /// result-size definition (non-empty intersection of closed rectangles).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// The intersection region, or `None` if the rectangles are disjoint.
+    ///
+    /// The intersection of touching rectangles is a degenerate rectangle.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            lo: Point::new(self.lo.x.max(other.lo.x), self.lo.y.max(other.lo.y)),
+            hi: Point::new(self.hi.x.min(other.hi.x), self.hi.y.min(other.hi.y)),
+        })
+    }
+
+    /// Area of the intersection region (zero when disjoint or touching).
+    #[inline]
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let w = (self.hi.x.min(other.hi.x) - self.lo.x.max(other.lo.x)).max(0.0);
+        let h = (self.hi.y.min(other.hi.y) - self.lo.y.max(other.lo.y)).max(0.0);
+        w * h
+    }
+
+    /// Overlap length of the two projections onto `axis` (zero when the
+    /// projections are disjoint).
+    #[inline]
+    pub fn overlap_len(&self, other: &Rect, axis: Axis) -> f64 {
+        match axis {
+            Axis::X => (self.hi.x.min(other.hi.x) - self.lo.x.max(other.lo.x)).max(0.0),
+            Axis::Y => (self.hi.y.min(other.hi.y) - self.lo.y.max(other.lo.y)).max(0.0),
+        }
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x.min(other.lo.x), self.lo.y.min(other.lo.y)),
+            hi: Point::new(self.hi.x.max(other.hi.x), self.hi.y.max(other.hi.y)),
+        }
+    }
+
+    /// The smallest rectangle containing `self` and the point `p`.
+    #[inline]
+    pub fn expand_to(&self, p: Point) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x.min(p.x), self.lo.y.min(p.y)),
+            hi: Point::new(self.hi.x.max(p.x), self.hi.y.max(p.y)),
+        }
+    }
+
+    /// Grows the rectangle by `dx` on the left *and* right and by `dy` on the
+    /// bottom *and* top (the Minkowski sum with a `2dx × 2dy` box).
+    ///
+    /// This is the *query extension* at the heart of the uniformity-assumption
+    /// estimator: a query extended by half the average object width/height
+    /// captures objects whose centres fall outside the query but which still
+    /// intersect it. Negative amounts shrink the rectangle, saturating at the
+    /// centre (the result never inverts).
+    #[inline]
+    pub fn expanded(&self, dx: f64, dy: f64) -> Rect {
+        let c = self.center();
+        let hw = (self.width() / 2.0 + dx).max(0.0);
+        let hh = (self.height() / 2.0 + dy).max(0.0);
+        Rect {
+            lo: Point::new(c.x - hw, c.y - hh),
+            hi: Point::new(c.x + hw, c.y + hh),
+        }
+    }
+
+    /// Increase in area needed to enlarge `self` to also cover `other`
+    /// (the R-tree *area enlargement* criterion). Always `>= 0`.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Splits the rectangle with a line perpendicular to `axis` at coordinate
+    /// `at`, returning the (lower, upper) halves.
+    ///
+    /// `at` is clamped into the rectangle's extent, so the halves always tile
+    /// `self` exactly (one of them may be degenerate when `at` falls on or
+    /// outside a boundary).
+    pub fn split_at(&self, axis: Axis, at: f64) -> (Rect, Rect) {
+        match axis {
+            Axis::X => {
+                let at = at.clamp(self.lo.x, self.hi.x);
+                (
+                    Rect::new(self.lo.x, self.lo.y, at, self.hi.y),
+                    Rect::new(at, self.lo.y, self.hi.x, self.hi.y),
+                )
+            }
+            Axis::Y => {
+                let at = at.clamp(self.lo.y, self.hi.y);
+                (
+                    Rect::new(self.lo.x, self.lo.y, self.hi.x, at),
+                    Rect::new(self.lo.x, at, self.hi.x, self.hi.y),
+                )
+            }
+        }
+    }
+
+    /// Returns `true` if all four coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_normalises_corners() {
+        let r = Rect::new(3.0, 4.0, 1.0, 2.0);
+        assert_eq!(r, Rect::new(1.0, 2.0, 3.0, 4.0));
+        assert_eq!(r.lo, Point::new(1.0, 2.0));
+        assert_eq!(r.hi, Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn basic_measures() {
+        let r = Rect::new(1.0, 2.0, 4.0, 8.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 6.0);
+        assert_eq!(r.area(), 18.0);
+        assert_eq!(r.margin(), 9.0);
+        assert_eq!(r.center(), Point::new(2.5, 5.0));
+        assert_eq!(r.longest_axis(), Axis::Y);
+        assert_eq!(r.side(Axis::X), 3.0);
+        assert_eq!(r.side(Axis::Y), 6.0);
+    }
+
+    #[test]
+    fn longest_axis_tie_prefers_x() {
+        assert_eq!(Rect::new(0.0, 0.0, 2.0, 2.0).longest_axis(), Axis::X);
+    }
+
+    #[test]
+    fn from_center_size_roundtrip() {
+        let r = Rect::from_center_size(Point::new(5.0, 5.0), 4.0, 2.0);
+        assert_eq!(r, Rect::new(3.0, 4.0, 7.0, 6.0));
+        let neg = Rect::from_center_size(Point::new(0.0, 0.0), -4.0, -2.0);
+        assert_eq!(neg, Rect::new(-2.0, -1.0, 2.0, 1.0));
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains_point(Point::new(0.0, 0.0))); // corner is inside
+        assert!(r.contains_point(Point::new(10.0, 5.0))); // edge is inside
+        assert!(!r.contains_point(Point::new(10.0001, 5.0)));
+        assert!(r.contains_rect(&Rect::new(1.0, 1.0, 9.0, 9.0)));
+        assert!(r.contains_rect(&r)); // reflexive
+        assert!(!r.contains_rect(&Rect::new(1.0, 1.0, 11.0, 9.0)));
+    }
+
+    #[test]
+    fn touching_rectangles_intersect() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let edge = Rect::new(1.0, 0.0, 2.0, 1.0);
+        let corner = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let apart = Rect::new(1.1, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&edge));
+        assert!(a.intersects(&corner));
+        assert!(!a.intersects(&apart));
+        // Touching intersection is a degenerate rect with zero area.
+        let i = a.intersection(&edge).unwrap();
+        assert_eq!(i, Rect::new(1.0, 0.0, 1.0, 1.0));
+        assert_eq!(a.intersection_area(&edge), 0.0);
+        assert!(a.intersection(&apart).is_none());
+    }
+
+    #[test]
+    fn point_query_as_degenerate_rect() {
+        // The paper models point queries as rectangles with qx1 == qx2.
+        let data = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let on = Rect::from_point(Point::new(5.0, 5.0));
+        let off = Rect::from_point(Point::new(15.0, 5.0));
+        assert!(data.intersects(&on));
+        assert!(!data.intersects(&off));
+    }
+
+    #[test]
+    fn intersection_area_overlapping() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(2.0, 1.0, 6.0, 3.0);
+        assert_eq!(a.intersection_area(&b), 2.0 * 2.0);
+        assert_eq!(b.intersection_area(&a), 4.0);
+        assert_eq!(a.overlap_len(&b, Axis::X), 2.0);
+        assert_eq!(a.overlap_len(&b, Axis::Y), 2.0);
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(3.0, 3.0, 4.0, 4.0);
+        assert_eq!(a.union(&b), Rect::new(0.0, 0.0, 4.0, 4.0));
+        assert_eq!(a.enlargement(&b), 16.0 - 4.0);
+        assert_eq!(a.enlargement(&Rect::new(0.5, 0.5, 1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn expanded_minkowski() {
+        let q = Rect::new(2.0, 2.0, 4.0, 4.0);
+        let e = q.expanded(0.5, 1.0);
+        assert_eq!(e, Rect::new(1.5, 1.0, 4.5, 5.0));
+        // Shrinking saturates at the centre rather than inverting.
+        let s = q.expanded(-5.0, -5.0);
+        assert_eq!(s, Rect::from_point(Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn split_tiles_exactly() {
+        let r = Rect::new(0.0, 0.0, 10.0, 4.0);
+        let (l, rr) = r.split_at(Axis::X, 3.0);
+        assert_eq!(l, Rect::new(0.0, 0.0, 3.0, 4.0));
+        assert_eq!(rr, Rect::new(3.0, 0.0, 10.0, 4.0));
+        let (b, t) = r.split_at(Axis::Y, 1.0);
+        assert_eq!(b, Rect::new(0.0, 0.0, 10.0, 1.0));
+        assert_eq!(t, Rect::new(0.0, 1.0, 10.0, 4.0));
+        // Out-of-range split points clamp to the boundary.
+        let (l, rr) = r.split_at(Axis::X, -5.0);
+        assert_eq!(l.area(), 0.0);
+        assert_eq!(rr, r);
+    }
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (
+            -1e6..1e6f64,
+            -1e6..1e6f64,
+            0.0..1e5f64,
+            0.0..1e5f64,
+        )
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(a in arb_rect(), b in arb_rect()) {
+            let u = a.union(&b);
+            prop_assert!(u.contains_rect(&a));
+            prop_assert!(u.contains_rect(&b));
+        }
+
+        #[test]
+        fn prop_intersection_symmetric_and_contained(a in arb_rect(), b in arb_rect()) {
+            prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains_rect(&i));
+                prop_assert!(b.contains_rect(&i));
+                prop_assert!((i.area() - a.intersection_area(&b)).abs() <= 1e-6 * i.area().max(1.0));
+            } else {
+                prop_assert_eq!(a.intersection_area(&b), 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_split_partitions_area(r in arb_rect(), axis_x in any::<bool>(), t in 0.0..1.0f64) {
+            let axis = if axis_x { Axis::X } else { Axis::Y };
+            let at = match axis {
+                Axis::X => r.lo.x + t * r.width(),
+                Axis::Y => r.lo.y + t * r.height(),
+            };
+            let (a, b) = r.split_at(axis, at);
+            prop_assert!(r.contains_rect(&a));
+            prop_assert!(r.contains_rect(&b));
+            let total = a.area() + b.area();
+            prop_assert!((total - r.area()).abs() <= 1e-9 * r.area().max(1.0));
+        }
+
+        #[test]
+        fn prop_enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+            prop_assert!(a.enlargement(&b) >= 0.0);
+            prop_assert!(a.union(&b).enlargement(&b) == 0.0);
+        }
+
+        #[test]
+        fn prop_center_inside(r in arb_rect()) {
+            prop_assert!(r.contains_point(r.center()));
+        }
+    }
+}

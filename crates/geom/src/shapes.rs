@@ -1,0 +1,277 @@
+//! Non-rectangular spatial objects and their MBR decomposition.
+//!
+//! Spatial databases "approximate spatial objects using their minimum
+//! bounding rectangles and perform query processing with the MBRs as much
+//! as possible" — the paper's preprocessing of the TIGER data computes the
+//! bounding boxes of all line segments. These types let users run the same
+//! pipeline on their own vector data: a [`Polyline`] (road, river) or
+//! [`Polygon`] (parcel, lake) turns into one MBR, or into per-segment MBRs
+//! exactly as the paper does.
+
+use crate::{mbr_of_points, Point, Rect};
+
+/// An open chain of vertices (a road centreline, contour, etc.).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+impl Polyline {
+    /// Creates a polyline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two vertices are supplied or any coordinate is
+    /// non-finite.
+    pub fn new(points: Vec<Point>) -> Polyline {
+        assert!(points.len() >= 2, "a polyline needs at least two vertices");
+        assert!(
+            points.iter().all(Point::is_finite),
+            "polyline vertices must be finite"
+        );
+        Polyline { points }
+    }
+
+    /// The vertices.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of segments (`vertices - 1`).
+    pub fn num_segments(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// Iterates over the segments as vertex pairs.
+    pub fn segments(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        self.points.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Per-segment bounding boxes — the paper's TIGER preprocessing.
+    /// Axis-parallel segments yield degenerate (zero-area) rectangles,
+    /// which every estimator in this workspace handles.
+    pub fn segment_mbrs(&self) -> impl Iterator<Item = Rect> + '_ {
+        self.segments().map(|(a, b)| Rect::from_corners(a, b))
+    }
+
+    /// Bounding box of the whole chain.
+    pub fn mbr(&self) -> Rect {
+        mbr_of_points(self.points.iter().copied()).expect("at least two vertices")
+    }
+
+    /// Total arc length.
+    pub fn length(&self) -> f64 {
+        self.segments().map(|(a, b)| a.dist2(&b).sqrt()).sum()
+    }
+}
+
+/// A simple polygon given by its outer ring (implicitly closed; do not
+/// repeat the first vertex).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    ring: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three vertices are supplied or any coordinate
+    /// is non-finite.
+    pub fn new(ring: Vec<Point>) -> Polygon {
+        assert!(ring.len() >= 3, "a polygon needs at least three vertices");
+        assert!(
+            ring.iter().all(Point::is_finite),
+            "polygon vertices must be finite"
+        );
+        Polygon { ring }
+    }
+
+    /// The ring vertices (not closed).
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Iterates over the boundary edges, including the closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        let n = self.ring.len();
+        (0..n).map(move |i| (self.ring[i], self.ring[(i + 1) % n]))
+    }
+
+    /// Bounding box.
+    pub fn mbr(&self) -> Rect {
+        mbr_of_points(self.ring.iter().copied()).expect("at least three vertices")
+    }
+
+    /// Signed area by the shoelace formula: positive for counter-clockwise
+    /// rings.
+    pub fn signed_area(&self) -> f64 {
+        self.edges()
+            .map(|(a, b)| a.x * b.y - b.x * a.y)
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Absolute enclosed area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Boundary length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|(a, b)| a.dist2(&b).sqrt()).sum()
+    }
+
+    /// Even-odd (ray casting) point-in-polygon test. Boundary points may
+    /// report either side (standard for floating-point ray casting); use
+    /// the MBR test first when an inclusive boundary matters.
+    pub fn contains_point(&self, p: Point) -> bool {
+        let mut inside = false;
+        for (a, b) in self.edges() {
+            let crosses = (a.y > p.y) != (b.y > p.y);
+            if crosses {
+                let x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_at {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn zigzag() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 5.0),
+        ])
+    }
+
+    #[test]
+    fn polyline_measures() {
+        let p = zigzag();
+        assert_eq!(p.num_segments(), 3);
+        assert_eq!(p.mbr(), Rect::new(0.0, 0.0, 6.0, 5.0));
+        assert!((p.length() - (5.0 + 5.0 + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_mbrs_match_paper_preprocessing() {
+        let p = zigzag();
+        let mbrs: Vec<Rect> = p.segment_mbrs().collect();
+        assert_eq!(
+            mbrs,
+            vec![
+                Rect::new(0.0, 0.0, 3.0, 4.0),
+                Rect::new(3.0, 0.0, 6.0, 4.0),
+                Rect::new(6.0, 0.0, 6.0, 5.0), // vertical -> degenerate
+            ]
+        );
+        assert_eq!(mbrs[2].area(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two vertices")]
+    fn short_polyline_rejected() {
+        Polyline::new(vec![Point::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn polygon_square() {
+        let sq = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        assert_eq!(sq.area(), 16.0);
+        assert_eq!(sq.signed_area(), 16.0); // CCW
+        assert_eq!(sq.perimeter(), 16.0);
+        assert_eq!(sq.mbr(), Rect::new(0.0, 0.0, 4.0, 4.0));
+        assert!(sq.contains_point(Point::new(2.0, 2.0)));
+        assert!(!sq.contains_point(Point::new(5.0, 2.0)));
+        assert!(!sq.contains_point(Point::new(-1.0, 2.0)));
+    }
+
+    #[test]
+    fn polygon_clockwise_has_negative_signed_area() {
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 0.0),
+        ]);
+        assert_eq!(cw.signed_area(), -4.0);
+        assert_eq!(cw.area(), 4.0);
+    }
+
+    #[test]
+    fn concave_polygon_containment() {
+        // An L-shape: the notch must be outside.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        assert!(l.contains_point(Point::new(1.0, 3.0)));
+        assert!(l.contains_point(Point::new(3.0, 1.0)));
+        assert!(!l.contains_point(Point::new(3.0, 3.0))); // the notch
+        assert_eq!(l.area(), 12.0);
+    }
+
+    #[test]
+    fn triangle_area() {
+        let t = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+        ]);
+        assert_eq!(t.area(), 6.0);
+        assert!((t.perimeter() - 12.0).abs() < 1e-12);
+    }
+
+    fn arb_points(min: usize) -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec(
+            (-1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y)| Point::new(x, y)),
+            min..20,
+        )
+    }
+
+    proptest! {
+        /// The union of per-segment MBRs equals the polyline's MBR, so the
+        /// paper's segment-wise preprocessing loses no extent.
+        #[test]
+        fn prop_segment_mbrs_cover_polyline(points in arb_points(2)) {
+            let p = Polyline::new(points);
+            let joined = p
+                .segment_mbrs()
+                .reduce(|a, b| a.union(&b))
+                .expect("at least one segment");
+            prop_assert_eq!(joined, p.mbr());
+            prop_assert_eq!(p.segment_mbrs().count(), p.num_segments());
+        }
+
+        /// A polygon's area never exceeds its bounding box's.
+        #[test]
+        fn prop_polygon_area_within_mbr(points in arb_points(3)) {
+            let poly = Polygon::new(points);
+            prop_assert!(poly.area() <= poly.mbr().area() + 1e-9);
+            // Points inside the polygon are inside the MBR.
+            let c = poly.mbr().center();
+            if poly.contains_point(c) {
+                prop_assert!(poly.mbr().contains_point(c));
+            }
+        }
+    }
+}

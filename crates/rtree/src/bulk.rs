@@ -1,0 +1,157 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! STR packs a static dataset into a fully-built tree: sort by centre x,
+//! cut into `S ≈ √(N/M)` vertical slabs, sort each slab by centre y, and
+//! pack runs into nodes; repeat one level up over the node centres until a
+//! single root remains. Chunks are sized *evenly* (instead of greedily
+//! filling to `M`) so every node ends up with at least `m` entries and the
+//! resulting tree passes full validation.
+
+
+use crate::node::{Item, Node};
+use crate::tree::{RStarTree, RTreeConfig};
+
+/// Splits `len` elements into chunks as evenly as possible with at most
+/// `max` elements each, returning the chunk lengths.
+fn even_chunk_lens(len: usize, max: usize) -> Vec<usize> {
+    debug_assert!(len > 0 && max > 0);
+    let chunks = len.div_ceil(max);
+    let base = len / chunks;
+    let extra = len % chunks;
+    (0..chunks)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect()
+}
+
+/// One STR tiling pass: groups `elems` into parent groups of at most
+/// `max_entries`, each group spatially clustered.
+fn pack_level<E>(mut elems: Vec<E>, max_entries: usize, center_of: impl Fn(&E) -> (f64, f64)) -> Vec<Vec<E>> {
+    let n = elems.len();
+    debug_assert!(n > 0);
+    if n <= max_entries {
+        return vec![elems];
+    }
+    let node_count = n.div_ceil(max_entries);
+    let slab_count = (node_count as f64).sqrt().ceil() as usize;
+    elems.sort_by(|a, b| {
+        center_of(a)
+            .0
+            .partial_cmp(&center_of(b).0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut groups = Vec::with_capacity(node_count);
+    let slab_lens = even_chunk_lens(n, n.div_ceil(slab_count));
+    // Consume via the iterator so chunk extraction is O(n) overall
+    // (split_off-style chaining would copy the remaining tail per chunk,
+    // turning bulk loading quadratic).
+    let mut it = elems.into_iter();
+    for slab_len in slab_lens {
+        let mut slab: Vec<E> = it.by_ref().take(slab_len).collect();
+        slab.sort_by(|a, b| {
+            center_of(a)
+                .1
+                .partial_cmp(&center_of(b).1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut slab_it = slab.into_iter();
+        for chunk_len in even_chunk_lens(slab_len, max_entries) {
+            groups.push(slab_it.by_ref().take(chunk_len).collect());
+        }
+    }
+    groups
+}
+
+pub(crate) fn str_bulk_load<T>(config: RTreeConfig, items: Vec<Item<T>>) -> RStarTree<T> {
+    let len = items.len();
+    if len == 0 {
+        return RStarTree::new(config);
+    }
+    let item_center = |i: &Item<T>| {
+        let c = i.rect.center();
+        (c.x, c.y)
+    };
+    let mut nodes: Vec<Node<T>> = pack_level(items, config.max_entries, item_center)
+        .into_iter()
+        .map(Node::new_leaf)
+        .collect();
+    let mut height = 1;
+    while nodes.len() > 1 {
+        let node_center = |n: &Node<T>| {
+            let c = n.mbr().center();
+            (c.x, c.y)
+        };
+        nodes = pack_level(nodes, config.max_entries, node_center)
+            .into_iter()
+            .map(Node::new_internal)
+            .collect();
+        height += 1;
+    }
+    let root = nodes.pop().expect("non-empty input yields a root");
+    RStarTree::from_parts(config, root, height, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minskew_geom::Rect;
+
+    #[test]
+    fn even_chunks_are_balanced() {
+        assert_eq!(even_chunk_lens(10, 4), vec![4, 3, 3]);
+        assert_eq!(even_chunk_lens(8, 4), vec![4, 4]);
+        assert_eq!(even_chunk_lens(3, 4), vec![3]);
+        assert_eq!(even_chunk_lens(9, 4), vec![3, 3, 3]);
+        for (len, max) in [(1, 1), (17, 5), (100, 16), (401, 16)] {
+            let lens = even_chunk_lens(len, max);
+            assert_eq!(lens.iter().sum::<usize>(), len);
+            assert!(lens.iter().all(|&l| l <= max && l > 0));
+            let min = lens.iter().min().unwrap();
+            let max_l = lens.iter().max().unwrap();
+            assert!(max_l - min <= 1, "chunks must differ by at most one");
+        }
+    }
+
+    #[test]
+    fn bulk_load_small_and_large() {
+        for n in [0usize, 1, 5, 16, 17, 100, 3000] {
+            let items: Vec<Item<usize>> = (0..n)
+                .map(|i| {
+                    let x = (i % 60) as f64;
+                    let y = (i / 60) as f64;
+                    Item::new(Rect::new(x, y, x + 0.5, y + 0.5), i)
+                })
+                .collect();
+            let tree = RStarTree::bulk_load(RTreeConfig::default(), items);
+            assert_eq!(tree.len(), n);
+            tree.validate()
+                .unwrap_or_else(|e| panic!("n = {n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let rects: Vec<Rect> = (0..2500)
+            .map(|_| {
+                let x = rng.gen_range(0.0..1000.0);
+                let y = rng.gen_range(0.0..1000.0);
+                Rect::new(x, y, x + rng.gen_range(0.0..20.0), y + rng.gen_range(0.0..20.0))
+            })
+            .collect();
+        let items: Vec<Item<usize>> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Item::new(*r, i))
+            .collect();
+        let tree = RStarTree::bulk_load(RTreeConfig::with_max_entries(32), items);
+        tree.validate().unwrap();
+        for _ in 0..100 {
+            let x = rng.gen_range(0.0..1000.0);
+            let y = rng.gen_range(0.0..1000.0);
+            let q = Rect::new(x, y, x + 120.0, y + 120.0);
+            let exact = rects.iter().filter(|r| r.intersects(&q)).count();
+            assert_eq!(tree.count_intersecting(&q), exact);
+        }
+    }
+}

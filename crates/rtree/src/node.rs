@@ -1,0 +1,93 @@
+//! Tree node representation.
+
+use minskew_geom::{mbr_of, Rect};
+
+/// A data item stored in a leaf: a rectangle plus caller payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item<T> {
+    /// The item's (bounding) rectangle.
+    pub rect: Rect,
+    /// Caller payload, typically an identifier into external storage.
+    pub data: T,
+}
+
+impl<T> Item<T> {
+    /// Creates an item.
+    pub fn new(rect: Rect, data: T) -> Item<T> {
+        Item { rect, data }
+    }
+}
+
+/// A tree node. Leaves hold items; internal nodes hold child nodes.
+///
+/// Levels are counted from the bottom: leaves are level 0, the root is level
+/// `height - 1`. All leaves sit at the same depth (a classic R-tree
+/// invariant, checked by `RStarTree::validate`).
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T> {
+    Leaf { mbr: Rect, items: Vec<Item<T>> },
+    Internal { mbr: Rect, children: Vec<Node<T>> },
+}
+
+/// An entry pending (re)insertion: either a data item (targets level 0) or a
+/// whole subtree orphaned by forced reinsertion or tree condensation
+/// (targets the level above its own root).
+#[derive(Debug)]
+pub(crate) enum Entry<T> {
+    Item(Item<T>),
+    Child(Node<T>),
+}
+
+impl<T> Entry<T> {
+    pub(crate) fn rect(&self) -> Rect {
+        match self {
+            Entry::Item(it) => it.rect,
+            Entry::Child(n) => n.mbr(),
+        }
+    }
+}
+
+impl<T> Node<T> {
+    pub(crate) fn empty_leaf() -> Node<T> {
+        Node::Leaf {
+            mbr: Rect::new(0.0, 0.0, 0.0, 0.0),
+            items: Vec::new(),
+        }
+    }
+
+    pub(crate) fn new_leaf(items: Vec<Item<T>>) -> Node<T> {
+        let mbr = mbr_of(items.iter().map(|i| i.rect))
+            .unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
+        Node::Leaf { mbr, items }
+    }
+
+    pub(crate) fn new_internal(children: Vec<Node<T>>) -> Node<T> {
+        let mbr = mbr_of(children.iter().map(|c| c.mbr()))
+            .unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
+        Node::Internal { mbr, children }
+    }
+
+    #[inline]
+    pub(crate) fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Internal { mbr, .. } => *mbr,
+        }
+    }
+
+    /// Number of entries directly in this node (items or children).
+    #[inline]
+    pub(crate) fn entry_count(&self) -> usize {
+        match self {
+            Node::Leaf { items, .. } => items.len(),
+            Node::Internal { children, .. } => children.len(),
+        }
+    }
+
+    /// Total number of items in the subtree.
+    pub(crate) fn subtree_len(&self) -> usize {
+        match self {
+            Node::Leaf { items, .. } => items.len(),
+            Node::Internal { children, .. } => children.iter().map(Node::subtree_len).sum(),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The R\*-tree node-split algorithm.
+//!
+//! Given an overflowing set of entries, the R\*-tree split proceeds in two
+//! phases (Beckmann et al., §4.2):
+//!
+//! 1. **ChooseSplitAxis** — for each axis, sort the entries by lower and by
+//!    upper rectangle value; for every legal distribution (first `k` entries
+//!    vs the rest, `m <= k <= |E| - m`) accumulate the *margin* (half
+//!    perimeter) of the two group MBRs. The axis with the minimum margin sum
+//!    wins.
+//! 2. **ChooseSplitIndex** — along the chosen axis pick the distribution with
+//!    the minimum *overlap* between the two group MBRs, breaking ties by
+//!    minimum combined area.
+
+use minskew_geom::{mbr_of, Rect};
+
+/// Outcome of a split: the two entry groups.
+pub(crate) struct SplitResult<E> {
+    pub first: Vec<E>,
+    pub second: Vec<E>,
+}
+
+/// Splits `entries` (length `>= 2 * min_entries`) into two groups per the
+/// R\*-tree heuristic. `rect_of` projects an entry to its rectangle.
+pub(crate) fn rstar_split<E>(
+    mut entries: Vec<E>,
+    min_entries: usize,
+    rect_of: impl Fn(&E) -> Rect,
+) -> SplitResult<E> {
+    let total = entries.len();
+    debug_assert!(total >= 2 * min_entries && min_entries >= 1);
+
+    // Candidate sort orders: (axis, by-lower / by-upper).
+    // We evaluate all four and remember, per axis, the summed margins.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum SortKind {
+        XLo,
+        XHi,
+        YLo,
+        YHi,
+    }
+    let kinds = [SortKind::XLo, SortKind::XHi, SortKind::YLo, SortKind::YHi];
+
+    let key = |kind: SortKind, r: &Rect| -> f64 {
+        match kind {
+            SortKind::XLo => r.lo.x,
+            SortKind::XHi => r.hi.x,
+            SortKind::YLo => r.lo.y,
+            SortKind::YHi => r.hi.y,
+        }
+    };
+
+    // For each sort order, compute margin sum and best (overlap, area, k).
+    struct OrderStats {
+        margin_sum: f64,
+        best_overlap: f64,
+        best_area: f64,
+        best_k: usize,
+    }
+
+    let mut stats: Vec<OrderStats> = Vec::with_capacity(4);
+    // Evaluate an order by sorting a vector of rects (entries themselves are
+    // only permuted once at the end, for the winning order).
+    let rects: Vec<Rect> = entries.iter().map(&rect_of).collect();
+    let mut order: Vec<usize> = (0..total).collect();
+
+    for kind in kinds {
+        order.sort_by(|&a, &b| {
+            key(kind, &rects[a])
+                .partial_cmp(&key(kind, &rects[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Prefix and suffix cumulative MBRs over this order.
+        let mut prefix: Vec<Rect> = Vec::with_capacity(total);
+        let mut acc = rects[order[0]];
+        prefix.push(acc);
+        for &i in &order[1..] {
+            acc = acc.union(&rects[i]);
+            prefix.push(acc);
+        }
+        let mut suffix: Vec<Rect> = vec![rects[order[total - 1]]; total];
+        for j in (0..total - 1).rev() {
+            suffix[j] = suffix[j + 1].union(&rects[order[j]]);
+        }
+
+        let mut margin_sum = 0.0;
+        let mut best_overlap = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        let mut best_k = min_entries;
+        for k in min_entries..=(total - min_entries) {
+            let a = prefix[k - 1];
+            let b = suffix[k];
+            margin_sum += a.margin() + b.margin();
+            let overlap = a.intersection_area(&b);
+            let area = a.area() + b.area();
+            if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
+                best_overlap = overlap;
+                best_area = area;
+                best_k = k;
+            }
+        }
+        stats.push(OrderStats {
+            margin_sum,
+            best_overlap,
+            best_area,
+            best_k,
+        });
+    }
+
+    // ChooseSplitAxis: compare the margin sum of axis X (orders 0 + 1)
+    // against axis Y (orders 2 + 3).
+    let x_margin = stats[0].margin_sum + stats[1].margin_sum;
+    let y_margin = stats[2].margin_sum + stats[3].margin_sum;
+    let axis_orders: [usize; 2] = if x_margin <= y_margin { [0, 1] } else { [2, 3] };
+
+    // ChooseSplitIndex: among the two sort orders of the winning axis, pick
+    // the distribution with minimal overlap (tie: minimal area).
+    let winner = if (stats[axis_orders[0]].best_overlap, stats[axis_orders[0]].best_area)
+        <= (stats[axis_orders[1]].best_overlap, stats[axis_orders[1]].best_area)
+    {
+        axis_orders[0]
+    } else {
+        axis_orders[1]
+    };
+    let kind = kinds[winner];
+    let k = stats[winner].best_k;
+
+    // Final permutation of the actual entries by the winning order.
+    entries.sort_by(|a, b| {
+        key(kind, &rect_of(a))
+            .partial_cmp(&key(kind, &rect_of(b)))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let second = entries.split_off(k);
+    SplitResult {
+        first: entries,
+        second,
+    }
+}
+
+/// Convenience: MBR of a group of entries (panics on empty groups, which a
+/// legal split never produces).
+pub(crate) fn group_mbr<E>(group: &[E], rect_of: impl Fn(&E) -> Rect) -> Rect {
+    mbr_of(group.iter().map(rect_of)).expect("split group must be non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_respects_min_entries() {
+        let rects: Vec<Rect> = (0..10)
+            .map(|i| Rect::new(i as f64, 0.0, i as f64 + 0.5, 1.0))
+            .collect();
+        let res = rstar_split(rects, 4, |r| *r);
+        assert!(res.first.len() >= 4 && res.second.len() >= 4);
+        assert_eq!(res.first.len() + res.second.len(), 10);
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two well-separated clusters along x should split cleanly between
+        // them with zero overlap.
+        let mut rects = Vec::new();
+        for i in 0..5 {
+            rects.push(Rect::new(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 1.0));
+        }
+        for i in 0..5 {
+            rects.push(Rect::new(100.0 + i as f64 * 0.1, 0.0, 100.0 + i as f64 * 0.1 + 0.05, 1.0));
+        }
+        let res = rstar_split(rects, 2, |r| *r);
+        let a = group_mbr(&res.first, |r| *r);
+        let b = group_mbr(&res.second, |r| *r);
+        assert_eq!(a.intersection_area(&b), 0.0);
+        // Each cluster stayed whole: 5 + 5.
+        assert_eq!(res.first.len(), 5);
+        assert_eq!(res.second.len(), 5);
+    }
+
+    #[test]
+    fn split_chooses_long_axis() {
+        // Entries spread along y, thin along x: split should cut y.
+        let rects: Vec<Rect> = (0..8)
+            .map(|i| Rect::new(0.0, i as f64 * 10.0, 1.0, i as f64 * 10.0 + 5.0))
+            .collect();
+        let res = rstar_split(rects, 3, |r| *r);
+        let a = group_mbr(&res.first, |r| *r);
+        let b = group_mbr(&res.second, |r| *r);
+        // Groups should be stacked vertically (disjoint in y).
+        assert!(a.hi.y <= b.lo.y || b.hi.y <= a.lo.y);
+    }
+
+    #[test]
+    fn split_handles_identical_rects() {
+        let rects = vec![Rect::new(1.0, 1.0, 2.0, 2.0); 12];
+        let res = rstar_split(rects, 5, |r| *r);
+        assert!(res.first.len() >= 5 && res.second.len() >= 5);
+        assert_eq!(res.first.len() + res.second.len(), 12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based stress tests: arbitrary operation sequences must keep the
+//! tree structurally valid and query-equivalent to a naive shadow set.
+
+use minskew_geom::{Point, Rect};
+use minskew_rtree::{RStarTree, RTreeConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Rect),
+    /// Remove the live item at this (modular) position.
+    RemoveAt(usize),
+    Query(Rect),
+    Knn(Point, usize),
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..500.0f64, 0.0..500.0f64, 0.0..40.0f64, 0.0..40.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => arb_rect().prop_map(Op::Insert),
+        2 => any::<usize>().prop_map(Op::RemoveAt),
+        2 => arb_rect().prop_map(Op::Query),
+        1 => ((0.0..500.0f64, 0.0..500.0f64), 1usize..8)
+            .prop_map(|((x, y), k)| Op::Knn(Point::new(x, y), k)),
+    ]
+}
+
+fn min_dist2(p: Point, r: &Rect) -> f64 {
+    let dx = (r.lo.x - p.x).max(0.0).max(p.x - r.hi.x);
+    let dy = (r.lo.y - p.y).max(0.0).max(p.y - r.hi.y);
+    dx * dx + dy * dy
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_op_sequences_stay_consistent(
+        ops in proptest::collection::vec(arb_op(), 1..300),
+        max_entries in 4usize..24,
+    ) {
+        let mut tree = RStarTree::new(RTreeConfig::with_max_entries(max_entries));
+        let mut shadow: Vec<(Rect, usize)> = Vec::new();
+        let mut next_id = 0usize;
+        for op in ops {
+            match op {
+                Op::Insert(r) => {
+                    tree.insert(r, next_id);
+                    shadow.push((r, next_id));
+                    next_id += 1;
+                }
+                Op::RemoveAt(pos) => {
+                    if !shadow.is_empty() {
+                        let (r, id) = shadow.swap_remove(pos % shadow.len());
+                        prop_assert!(tree.remove(&r, &id));
+                    }
+                }
+                Op::Query(q) => {
+                    let expected = shadow.iter().filter(|(r, _)| r.intersects(&q)).count();
+                    prop_assert_eq!(tree.count_intersecting(&q), expected);
+                    let mut got: Vec<usize> =
+                        tree.query_collect(&q).iter().map(|i| i.data).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<usize> = shadow
+                        .iter()
+                        .filter(|(r, _)| r.intersects(&q))
+                        .map(|&(_, id)| id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Knn(p, k) => {
+                    let got = tree.nearest_neighbors(p, k);
+                    prop_assert_eq!(got.len(), k.min(shadow.len()));
+                    // Distances must match the k smallest shadow distances.
+                    let mut dists: Vec<f64> =
+                        shadow.iter().map(|(r, _)| min_dist2(p, r)).collect();
+                    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    for (i, item) in got.iter().enumerate() {
+                        let d = min_dist2(p, &item.rect);
+                        prop_assert!((d - dists[i]).abs() < 1e-9);
+                    }
+                }
+            }
+            prop_assert_eq!(tree.len(), shadow.len());
+        }
+        tree.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn bulk_load_equals_insertion_results(
+        rects in proptest::collection::vec(arb_rect(), 0..400),
+        q in arb_rect(),
+    ) {
+        let items: Vec<_> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| minskew_rtree::Item::new(r, i))
+            .collect();
+        let bulk = RStarTree::bulk_load(RTreeConfig::with_max_entries(8), items);
+        bulk.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut incremental = RStarTree::new(RTreeConfig::with_max_entries(8));
+        for (i, &r) in rects.iter().enumerate() {
+            incremental.insert(r, i);
+        }
+        prop_assert_eq!(bulk.count_intersecting(&q), incremental.count_intersecting(&q));
+    }
+}

@@ -1,0 +1,116 @@
+//! A minimal SVG canvas with world-to-pixel coordinate mapping.
+
+use minskew_geom::Rect;
+
+/// An SVG document under construction, mapping a world rectangle onto a
+/// pixel viewport (y axis flipped so world "up" renders up).
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    world: Rect,
+    px_w: f64,
+    px_h: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas `px` pixels wide; the height follows the world
+    /// aspect ratio. A white background rectangle is emitted first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world rectangle is degenerate or `px == 0`.
+    pub fn new(world: Rect, px: u32) -> SvgCanvas {
+        assert!(px > 0, "viewport must be at least one pixel wide");
+        assert!(
+            world.width() > 0.0 && world.height() > 0.0,
+            "world rectangle must have positive area"
+        );
+        let px_w = px as f64;
+        let px_h = px_w * world.height() / world.width();
+        let mut canvas = SvgCanvas {
+            world,
+            px_w,
+            px_h,
+            body: String::new(),
+        };
+        canvas.rect(&world, "fill:#ffffff;stroke:#0f172a;stroke-width:1");
+        canvas
+    }
+
+    /// Adds a rectangle with an inline CSS style.
+    pub fn rect(&mut self, r: &Rect, style: &str) {
+        let (x, y) = self.to_px(r.lo.x, r.hi.y); // top-left in pixel space
+        let w = r.width() / self.world.width() * self.px_w;
+        let h = r.height() / self.world.height() * self.px_h;
+        // Sub-pixel rectangles still get a hairline so tiny data shows up.
+        let w = w.max(0.3);
+        let h = h.max(0.3);
+        self.body.push_str(&format!(
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" style="{style}"/>"#
+        ));
+        self.body.push('\n');
+    }
+
+    /// Adds a text label at a world position.
+    pub fn text(&mut self, x: f64, y: f64, size_px: f64, content: &str) {
+        let (px, py) = self.to_px(x, y);
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        self.body.push_str(&format!(
+            r#"<text x="{px:.2}" y="{py:.2}" font-size="{size_px}" font-family="sans-serif">{escaped}</text>"#
+        ));
+        self.body.push('\n');
+    }
+
+    /// Finalises the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.px_w, self.px_h, self.px_w, self.px_h, self.body
+        )
+    }
+
+    fn to_px(&self, x: f64, y: f64) -> (f64, f64) {
+        let px = (x - self.world.lo.x) / self.world.width() * self.px_w;
+        let py = (self.world.hi.y - y) / self.world.height() * self.px_h;
+        (px, py)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let world = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut c = SvgCanvas::new(world, 100);
+        // A rect at the top of the world should land at pixel y = 0.
+        c.rect(&Rect::new(0.0, 90.0, 10.0, 100.0), "fill:red");
+        let svg = c.finish();
+        assert!(svg.contains(r#"<rect x="0.00" y="0.00" width="10.00" height="10.00" style="fill:red"#));
+    }
+
+    #[test]
+    fn aspect_ratio_preserved() {
+        let world = Rect::new(0.0, 0.0, 200.0, 100.0);
+        let svg = SvgCanvas::new(world, 400).finish();
+        assert!(svg.contains(r#"width="400" height="200""#));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut c = SvgCanvas::new(Rect::new(0.0, 0.0, 1.0, 1.0), 10);
+        c.text(0.5, 0.5, 12.0, "a<b & c>d");
+        let svg = c.finish();
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn degenerate_world_rejected() {
+        SvgCanvas::new(Rect::new(0.0, 0.0, 0.0, 10.0), 100);
+    }
+}

@@ -1,0 +1,28 @@
+//! Query workloads, error metrics, and the experiment runner used by the
+//! evaluation harness (§5 of the paper).
+//!
+//! * [`QueryWorkload`] generates query sets per §5.2: query centres drawn
+//!   from the centres of input rectangles, query dimensions uniform in
+//!   `[0.5·√a, 1.5·√a]` for a target average area `a` derived from the
+//!   *QSize* parameter (average query side as a fraction of the input MBR
+//!   side).
+//! * [`GroundTruth`] computes exact result sizes with a bulk-loaded
+//!   R\*-tree — scanning 400 000 rectangles 10 000 times is infeasible.
+//! * [`evaluate`] measures a [`minskew_core::SpatialEstimator`]'s **average relative
+//!   error** — `Σ|rᵢ − eᵢ| / Σ rᵢ` — exactly the paper's §5 metric, plus
+//!   auxiliary statistics.
+//! * [`tune_min_skew`] implements the paper's stated future work: choosing
+//!   the region count and refinement depth empirically at ANALYZE time.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod queries;
+mod truth;
+mod tune;
+
+pub use metrics::{bootstrap_error, evaluate, evaluate_all, ErrorInterval, ErrorReport};
+pub use queries::{CenterMode, QueryWorkload};
+pub use truth::GroundTruth;
+pub use tune::{tune_min_skew, TuneOptions, TunedMinSkew, TuneTrial};

@@ -1,0 +1,298 @@
+//! Error metrics: the paper's average relative error plus auxiliaries.
+
+use minskew_core::SpatialEstimator;
+
+use crate::{GroundTruth, QueryWorkload};
+
+/// Accuracy of one estimator over one query workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReport {
+    /// Technique name.
+    pub name: String,
+    /// The paper's §5 metric: `Σᵢ |rᵢ − eᵢ| / Σᵢ rᵢ`.
+    pub avg_relative_error: f64,
+    /// Mean of per-query `|rᵢ − eᵢ| / max(rᵢ, 1)` (a common alternative;
+    /// more sensitive to errors on small results).
+    pub mean_per_query_error: f64,
+    /// Root-mean-square absolute error.
+    pub rms_error: f64,
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Summary footprint in bytes.
+    pub size_bytes: usize,
+}
+
+impl std::fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} avg-rel-err {:6.2}%  per-query {:6.2}%  rms {:9.2}  ({} B)",
+            self.name,
+            self.avg_relative_error * 100.0,
+            self.mean_per_query_error * 100.0,
+            self.rms_error,
+            self.size_bytes,
+        )
+    }
+}
+
+/// A bootstrap confidence interval for the average relative error.
+///
+/// Resampling the query set (with replacement) quantifies how much the
+/// reported error depends on the particular 10,000 queries drawn — the
+/// error bars missing from the paper's plots. Deterministic given `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorInterval {
+    /// The point estimate (same value as
+    /// [`ErrorReport::avg_relative_error`]).
+    pub mean: f64,
+    /// Lower bound of the central 95% bootstrap interval.
+    pub lo: f64,
+    /// Upper bound of the central 95% bootstrap interval.
+    pub hi: f64,
+}
+
+/// Bootstraps a 95% confidence interval for the average relative error of
+/// `estimator` over `workload` (default 200 resamples).
+///
+/// # Panics
+///
+/// Same preconditions as [`evaluate`]; additionally `resamples >= 10`.
+pub fn bootstrap_error(
+    estimator: &dyn SpatialEstimator,
+    workload: &QueryWorkload,
+    truth_counts: &[usize],
+    resamples: usize,
+    seed: u64,
+) -> ErrorInterval {
+    use rand::{Rng, SeedableRng};
+    assert_eq!(truth_counts.len(), workload.len());
+    assert!(resamples >= 10, "too few resamples for an interval");
+    let n = workload.len();
+    // Precompute per-query (abs error, truth) once; resampling then only
+    // aggregates.
+    let pairs: Vec<(f64, f64)> = workload
+        .queries()
+        .iter()
+        .zip(truth_counts)
+        .map(|(q, &r)| {
+            let e = estimator.estimate_count(q);
+            ((e - r as f64).abs(), r as f64)
+        })
+        .collect();
+    let point = {
+        let num: f64 = pairs.iter().map(|p| p.0).sum();
+        let den: f64 = pairs.iter().map(|p| p.1).sum();
+        num / den
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut stats: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for _ in 0..n {
+                let (e, r) = pairs[rng.gen_range(0..n)];
+                num += e;
+                den += r;
+            }
+            if den > 0.0 {
+                num / den
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    let lo = stats[(resamples as f64 * 0.025) as usize];
+    let hi = stats[((resamples as f64 * 0.975) as usize).min(resamples - 1)];
+    ErrorInterval {
+        mean: point,
+        lo,
+        hi,
+    }
+}
+
+/// Evaluates an estimator against exact counts.
+///
+/// `truth_counts` must be the exact result sizes of `workload`'s queries in
+/// order (from [`GroundTruth::counts`], computed once and shared across the
+/// estimators being compared).
+///
+/// # Panics
+///
+/// Panics if `truth_counts.len() != workload.len()`, or if every query has
+/// an empty result (the paper's metric is undefined then; §5 footnote).
+pub fn evaluate(
+    estimator: &dyn SpatialEstimator,
+    workload: &QueryWorkload,
+    truth_counts: &[usize],
+) -> ErrorReport {
+    assert_eq!(
+        truth_counts.len(),
+        workload.len(),
+        "one exact count per query required"
+    );
+    let mut abs_sum = 0.0;
+    let mut truth_sum = 0.0;
+    let mut per_query = 0.0;
+    let mut sq_sum = 0.0;
+    for (q, &r) in workload.queries().iter().zip(truth_counts) {
+        let e = estimator.estimate_count(q);
+        let r = r as f64;
+        let abs = (e - r).abs();
+        abs_sum += abs;
+        truth_sum += r;
+        per_query += abs / r.max(1.0);
+        sq_sum += abs * abs;
+    }
+    assert!(
+        truth_sum > 0.0,
+        "average relative error undefined: all queries empty"
+    );
+    let n = workload.len() as f64;
+    ErrorReport {
+        name: estimator.name().to_owned(),
+        avg_relative_error: abs_sum / truth_sum,
+        mean_per_query_error: per_query / n,
+        rms_error: (sq_sum / n).sqrt(),
+        queries: workload.len(),
+        size_bytes: estimator.size_bytes(),
+    }
+}
+
+/// Convenience: index the data, generate the workload, and evaluate several
+/// estimators against the same exact counts. Returns one report per
+/// estimator, in input order.
+pub fn evaluate_all(
+    estimators: &[&dyn SpatialEstimator],
+    workload: &QueryWorkload,
+    truth: &GroundTruth,
+) -> Vec<ErrorReport> {
+    let counts = truth.counts(workload.queries());
+    estimators
+        .iter()
+        .map(|e| evaluate(*e, workload, &counts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minskew_core::{build_uniform, MinSkewBuilder};
+    use minskew_data::Dataset;
+    use minskew_datagen::charminar_with;
+    use minskew_geom::Rect;
+
+    #[test]
+    fn perfect_estimator_scores_zero() {
+        // A whole-space query is answered exactly by any covering
+        // histogram (every bucket fully contained), so the error is zero.
+        let ds = charminar_with(1_000, 1);
+        let h = MinSkewBuilder::new(10).regions(400).build(&ds);
+        let whole = ds.stats().mbr;
+        let w = QueryWorkload::from_queries(vec![whole; 4], 1.0);
+        let gt = GroundTruth::index(&ds);
+        let counts = gt.counts(w.queries());
+        let rep = evaluate(&h, &w, &counts);
+        assert!(rep.avg_relative_error < 1e-9, "{}", rep.avg_relative_error);
+        assert_eq!(rep.queries, 4);
+    }
+
+    #[test]
+    fn metric_matches_hand_computation() {
+        // Two queries with truths 10 and 90; a constant-50 estimator.
+        struct Const;
+        impl SpatialEstimator for Const {
+            fn estimate_count(&self, _q: &Rect) -> f64 {
+                50.0
+            }
+            fn input_len(&self) -> usize {
+                100
+            }
+            fn name(&self) -> &str {
+                "Const"
+            }
+            fn size_bytes(&self) -> usize {
+                8
+            }
+        }
+        let ds = Dataset::new(vec![Rect::new(0.0, 0.0, 1.0, 1.0); 10]);
+        let w = QueryWorkload::generate(&ds, 0.5, 2, 3);
+        let rep = evaluate(&Const, &w, &[10, 90]);
+        // (|50-10| + |50-90|) / (10+90) = 80/100.
+        assert!((rep.avg_relative_error - 0.8).abs() < 1e-12);
+        // per-query: (40/10 + 40/90)/2.
+        let expected = (4.0 + 40.0 / 90.0) / 2.0;
+        assert!((rep.mean_per_query_error - expected).abs() < 1e-12);
+        assert!((rep.rms_error - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_all_orders_reports() {
+        let ds = charminar_with(2_000, 4);
+        let uni = build_uniform(&ds);
+        let ms = MinSkewBuilder::new(20).regions(400).build(&ds);
+        let w = QueryWorkload::generate(&ds, 0.1, 200, 5);
+        let gt = GroundTruth::index(&ds);
+        let reports = evaluate_all(&[&uni, &ms], &w, &gt);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].name, "Uniform");
+        assert_eq!(reports[1].name, "Min-Skew");
+        // Min-Skew beats Uniform on Charminar.
+        assert!(reports[1].avg_relative_error < reports[0].avg_relative_error);
+    }
+
+    #[test]
+    #[should_panic(expected = "one exact count per query")]
+    fn mismatched_counts_rejected() {
+        let ds = charminar_with(100, 6);
+        let h = build_uniform(&ds);
+        let w = QueryWorkload::generate(&ds, 0.1, 5, 7);
+        evaluate(&h, &w, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn bootstrap_interval_brackets_the_point_estimate() {
+        let ds = charminar_with(3_000, 20);
+        let h = MinSkewBuilder::new(30).regions(900).build(&ds);
+        let w = QueryWorkload::generate(&ds, 0.1, 400, 21);
+        let gt = GroundTruth::index(&ds);
+        let counts = gt.counts(w.queries());
+        let rep = evaluate(&h, &w, &counts);
+        let ci = bootstrap_error(&h, &w, &counts, 200, 22);
+        assert!((ci.mean - rep.avg_relative_error).abs() < 1e-12);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi, "{ci:?}");
+        assert!(ci.hi - ci.lo < 1.0, "interval implausibly wide: {ci:?}");
+        // Deterministic per seed.
+        assert_eq!(ci, bootstrap_error(&h, &w, &counts, 200, 22));
+        assert_ne!(ci, bootstrap_error(&h, &w, &counts, 200, 23));
+    }
+
+    #[test]
+    fn bootstrap_narrows_with_more_queries() {
+        let ds = charminar_with(3_000, 24);
+        let h = MinSkewBuilder::new(30).regions(900).build(&ds);
+        let gt = GroundTruth::index(&ds);
+        let width = |count: usize| {
+            let w = QueryWorkload::generate(&ds, 0.1, count, 25);
+            let counts = gt.counts(w.queries());
+            let ci = bootstrap_error(&h, &w, &counts, 200, 26);
+            ci.hi - ci.lo
+        };
+        assert!(
+            width(1_600) < width(100),
+            "a 16x bigger query set should shrink the interval"
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let ds = charminar_with(500, 8);
+        let h = build_uniform(&ds);
+        let w = QueryWorkload::generate(&ds, 0.2, 50, 9);
+        let gt = GroundTruth::index(&ds);
+        let rep = evaluate(&h, &w, &gt.counts(w.queries()));
+        let s = rep.to_string();
+        assert!(s.contains("Uniform") && s.contains('%'));
+    }
+}

@@ -1,0 +1,56 @@
+//! Tuning Min-Skew: the region-count trade-off and progressive refinement.
+//!
+//! Reproduces, at example scale, the insight of the paper's Experiments 3–4:
+//! more grid regions help small queries but can *hurt* large ones on highly
+//! skewed data, and progressive refinement recovers most of the loss.
+//!
+//! Run with `cargo run --release --example progressive_tuning`.
+
+use minskew::prelude::*;
+
+fn main() {
+    let data = minskew::datagen::charminar(23);
+    let truth = GroundTruth::index(&data);
+    let buckets = 100;
+
+    let small = QueryWorkload::generate(&data, 0.05, 2_000, 1);
+    let large = QueryWorkload::generate(&data, 0.25, 2_000, 2);
+    let small_counts = truth.counts(small.queries());
+    let large_counts = truth.counts(large.queries());
+
+    println!("== Region-count sensitivity (Charminar, {buckets} buckets) ==");
+    println!("{:>10} {:>12} {:>12}", "regions", "small (5%)", "large (25%)");
+    for regions in [100, 400, 1_600, 6_400, 30_000] {
+        let hist = MinSkewBuilder::new(buckets).regions(regions).build(&data);
+        let e_small = evaluate(&hist, &small, &small_counts).avg_relative_error;
+        let e_large = evaluate(&hist, &large, &large_counts).avg_relative_error;
+        println!("{regions:>10} {:>11.1}% {:>11.1}%", e_small * 100.0, e_large * 100.0);
+    }
+    println!("(watch the large-query column worsen as regions grow)\n");
+
+    println!("== Progressive refinement at 30,000 regions ==");
+    println!("{:>12} {:>12}", "refinements", "large (25%)");
+    for k in 0..=6 {
+        let hist = MinSkewBuilder::new(buckets)
+            .regions(30_000)
+            .progressive_refinements(k)
+            .build(&data);
+        let e = evaluate(&hist, &large, &large_counts).avg_relative_error;
+        println!("{k:>12} {:>11.1}%", e * 100.0);
+    }
+    println!("(a few refinements recover most of the large-query accuracy)\n");
+
+    println!("== Automatic tuning (the paper's future work) ==");
+    let mut opts = minskew_workload::TuneOptions::for_buckets(buckets);
+    opts.queries_per_size = 300;
+    let tuned = minskew_workload::tune_min_skew(&data, buckets, &opts);
+    for t in &tuned.trials {
+        println!(
+            "regions {:>6} refinements {} -> {:>5.1}%{}",
+            t.regions,
+            t.refinements,
+            t.error * 100.0,
+            if *t == tuned.best { "  <- chosen" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: summarise a spatial table and estimate query result sizes.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use minskew::prelude::*;
+
+fn main() {
+    // A spatial attribute: 40,000 rectangles (e.g. building MBRs) with
+    // strong placement skew — most objects cluster at the four corners.
+    let data = minskew::datagen::charminar(7);
+    println!(
+        "dataset: {} rectangles, MBR {}, total area {:.0}",
+        data.len(),
+        data.stats().mbr,
+        data.stats().total_area
+    );
+
+    // A query optimizer cannot scan the table per candidate plan; it keeps
+    // a few-hundred-byte histogram instead. Build Min-Skew with 50 buckets.
+    let hist = MinSkewBuilder::new(50).build(&data);
+    println!(
+        "summary: {} buckets, {} bytes\n",
+        hist.num_buckets(),
+        hist.size_bytes()
+    );
+
+    // Estimate a few queries and compare with the exact answer.
+    let queries = [
+        ("dense corner", Rect::new(0.0, 0.0, 1_500.0, 1_500.0)),
+        ("sparse centre", Rect::new(4_000.0, 4_000.0, 6_000.0, 6_000.0)),
+        ("wide band", Rect::new(0.0, 4_500.0, 10_000.0, 5_500.0)),
+        ("point query", Rect::new(500.0, 500.0, 500.0, 500.0)),
+    ];
+    println!("{:<14} {:>10} {:>10} {:>8}", "query", "estimate", "actual", "rel err");
+    for (name, q) in queries {
+        let estimate = hist.estimate_count(&q);
+        let actual = data.count_intersecting(&q) as f64;
+        let err = if actual > 0.0 {
+            (estimate - actual).abs() / actual * 100.0
+        } else {
+            0.0
+        };
+        println!("{name:<14} {estimate:>10.1} {actual:>10.0} {err:>7.1}%");
+    }
+
+    // Selectivities plug directly into optimizer cost formulas.
+    let q = Rect::new(0.0, 0.0, 1_500.0, 1_500.0);
+    println!(
+        "\nselectivity of the corner query: {:.4} (estimated) vs {:.4} (exact)",
+        hist.estimate_selectivity(&q),
+        data.selectivity(&q)
+    );
+}

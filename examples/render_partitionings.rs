@@ -1,0 +1,39 @@
+//! Renders the paper's Figures 1–7 (dataset, density surface, and one
+//! partitioning per technique) as SVG files in the current directory.
+//!
+//! Run with `cargo run --release --example render_partitionings`.
+
+use minskew::prelude::*;
+use minskew::viz::{dataset_svg, density_svg, partitioning_svg};
+
+fn main() -> std::io::Result<()> {
+    let data = minskew::datagen::charminar_with(20_000, 31);
+    let buckets = 50;
+
+    std::fs::write("charminar.svg", dataset_svg(&data, 800))?;
+    println!("charminar.svg          (Figure 1: the dataset)");
+
+    let grid = DensityGrid::build(data.rects().iter(), data.stats().mbr, 50, 50);
+    std::fs::write("density.svg", density_svg(&grid, 800))?;
+    println!("density.svg            (Figure 5: 50x50 spatial densities)");
+
+    let partitionings = [
+        ("equi_area.svg", build_equi_area(&data, buckets), "Figure 2"),
+        ("equi_count.svg", build_equi_count(&data, buckets), "Figure 3"),
+        (
+            "rtree.svg",
+            minskew::estimators::build_rtree_partitioning_default(&data, buckets),
+            "Figure 4",
+        ),
+        (
+            "minskew.svg",
+            MinSkewBuilder::new(buckets).regions(2_500).build(&data),
+            "Figure 7",
+        ),
+    ];
+    for (file, hist, figure) in partitionings {
+        std::fs::write(file, partitioning_svg(&data, &hist, 800))?;
+        println!("{file:<22} ({figure}: {} with {} buckets)", hist.name(), hist.num_buckets());
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Persisting histograms the way a DBMS catalog would: build once at
+//! ANALYZE time, serialise into the catalog, deserialise at plan time.
+//!
+//! Run with `cargo run --release --example summary_persistence`.
+
+use minskew::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    // ANALYZE: scan the table once, build the statistics object.
+    let data = minskew::datagen::charminar_with(30_000, 5);
+    let hist = MinSkewBuilder::new(100).build(&data);
+    println!(
+        "built {} with {} buckets over {} rects",
+        hist.name(),
+        hist.num_buckets(),
+        data.len()
+    );
+
+    // Store in the "catalog" (a file here; a system table in a DBMS).
+    let bytes = hist.to_bytes();
+    std::fs::write("charminar.stats", &bytes)?;
+    println!(
+        "serialised to charminar.stats: {} bytes ({} per bucket incl. header)",
+        bytes.len(),
+        bytes.len() / hist.num_buckets()
+    );
+
+    // Plan time, possibly in another process: load and estimate. The codec
+    // validates magic, version, and field sanity.
+    let loaded = SpatialHistogram::from_bytes(&std::fs::read("charminar.stats")?)
+        .expect("catalog entry is valid");
+    let q = Rect::new(8_000.0, 8_000.0, 10_000.0, 10_000.0);
+    println!(
+        "loaded histogram estimates {:.0} rows for {} (exact: {})",
+        loaded.estimate_count(&q),
+        q,
+        data.count_intersecting(&q)
+    );
+    assert_eq!(loaded.estimate_count(&q), hist.estimate_count(&q));
+
+    // Corruption is detected, not silently mis-estimated.
+    let mut corrupt = bytes.to_vec();
+    corrupt[0] = b'X';
+    match SpatialHistogram::from_bytes(&corrupt) {
+        Err(e) => println!("corrupt catalog entry rejected: {e}"),
+        Ok(_) => unreachable!("corruption must be detected"),
+    }
+    Ok(())
+}

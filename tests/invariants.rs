@@ -1,0 +1,178 @@
+//! Property-based invariants spanning the workspace crates.
+
+use minskew::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small skewed dataset (mixture of a cluster and background).
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        proptest::collection::vec(
+            (0.0..1_000.0f64, 0.0..1_000.0f64, 0.0..50.0f64, 0.0..50.0f64),
+            20..200,
+        ),
+        0.0..900.0f64,
+        0.0..900.0f64,
+    )
+        .prop_map(|(raw, cx, cy)| {
+            let mut rects: Vec<Rect> = raw
+                .iter()
+                .map(|&(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+                .collect();
+            // Add a dense cluster to guarantee skew.
+            for i in 0..40 {
+                let dx = (i % 8) as f64 * 3.0;
+                let dy = (i / 8) as f64 * 3.0;
+                rects.push(Rect::new(cx + dx, cy + dy, cx + dx + 5.0, cy + dy + 5.0));
+            }
+            Dataset::new(rects)
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Rect> {
+    (0.0..1_000.0f64, 0.0..1_000.0f64, 0.0..500.0f64, 0.0..500.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Estimates are finite, non-negative, and never exceed N, for every
+    /// technique on arbitrary data and queries.
+    #[test]
+    fn estimates_bounded(ds in arb_dataset(), q in arb_query()) {
+        let n = ds.len() as f64;
+        let estimators: Vec<Box<dyn SpatialEstimator>> = vec![
+            Box::new(MinSkewBuilder::new(10).regions(256).build(&ds)),
+            Box::new(build_equi_area(&ds, 10)),
+            Box::new(build_equi_count(&ds, 10)),
+            Box::new(build_uniform(&ds)),
+            Box::new(SamplingEstimator::build(&ds, 10, 1)),
+            Box::new(FractalEstimator::build(&ds)),
+        ];
+        for e in &estimators {
+            let est = e.estimate_count(&q);
+            prop_assert!(est.is_finite() && est >= 0.0, "{}: {est}", e.name());
+            prop_assert!(est <= n * 1.0 + 1e-6, "{}: {est} > N = {n}", e.name());
+        }
+    }
+
+    /// Bucket-based histograms conserve mass: the bucket counts sum to N,
+    /// and a query covering everything returns exactly N.
+    #[test]
+    fn mass_conservation(ds in arb_dataset()) {
+        let n = ds.len() as f64;
+        let whole = ds.stats().mbr.expanded(100.0, 100.0);
+        for h in [
+            MinSkewBuilder::new(12).regions(400).build(&ds),
+            build_equi_area(&ds, 12),
+            build_equi_count(&ds, 12),
+            build_uniform(&ds),
+        ] {
+            prop_assert!((h.total_count() - n).abs() < 1e-9, "{} lost mass", h.name());
+            let est = h.estimate_count(&whole);
+            prop_assert!((est - n).abs() < 1e-6, "{}: covering query got {est}, want {n}", h.name());
+        }
+    }
+
+    /// Min-Skew buckets are geometrically disjoint (a BSP partitions space):
+    /// pairwise intersection areas are zero.
+    #[test]
+    fn minskew_buckets_disjoint(ds in arb_dataset()) {
+        let h = MinSkewBuilder::new(16).regions(400).build(&ds);
+        let buckets = h.buckets();
+        for (i, a) in buckets.iter().enumerate() {
+            for b in &buckets[i + 1..] {
+                prop_assert!(
+                    a.mbr.intersection_area(&b.mbr) < 1e-9,
+                    "buckets {a:?} and {b:?} overlap"
+                );
+            }
+        }
+    }
+
+    /// Equi-Count buckets are balanced within a factor on duplicate-free
+    /// uniform-ish data: no bucket holds more than half the data when 8+
+    /// buckets exist.
+    #[test]
+    fn equi_count_no_giant_buckets(ds in arb_dataset()) {
+        let h = build_equi_count(&ds, 16);
+        if h.num_buckets() >= 8 {
+            let max = h.buckets().iter().map(|b| b.count).fold(0.0, f64::max);
+            prop_assert!(max <= ds.len() as f64 / 2.0 + 1.0, "bucket of {max}");
+        }
+    }
+
+    /// The codec is total on valid histograms: decode(encode(h)) == h.
+    #[test]
+    fn codec_roundtrip(ds in arb_dataset()) {
+        for h in [
+            MinSkewBuilder::new(8).regions(256).build(&ds),
+            build_equi_count(&ds, 8),
+        ] {
+            let back = SpatialHistogram::from_bytes(&h.to_bytes()).unwrap();
+            prop_assert_eq!(back, h);
+        }
+    }
+
+    /// Ground truth via the R*-tree equals the brute-force scan.
+    #[test]
+    fn rtree_truth_equals_scan(ds in arb_dataset(), q in arb_query()) {
+        let truth = GroundTruth::index(&ds);
+        prop_assert_eq!(truth.count(&q), ds.count_intersecting(&q));
+    }
+
+    /// Histogram estimates are monotone under query containment: a larger
+    /// query can never be estimated smaller. (Per-bucket fractions grow
+    /// with the query along both axes.)
+    #[test]
+    fn estimates_monotone_in_query(ds in arb_dataset(), q in arb_query(), grow in 0.0..200.0f64) {
+        let bigger = q.expanded(grow, grow / 2.0);
+        for h in [
+            MinSkewBuilder::new(12).regions(400).build(&ds),
+            build_equi_area(&ds, 12),
+            build_equi_count(&ds, 12),
+            build_uniform(&ds),
+        ] {
+            let small = h.estimate_count(&q);
+            let large = h.estimate_count(&bigger);
+            prop_assert!(
+                large >= small - 1e-9,
+                "{}: query growth shrank the estimate ({small} -> {large})",
+                h.name()
+            );
+        }
+    }
+
+    /// Regression: Equi-Count must not degenerate into one-axis strip
+    /// partitionings (the projected-count criterion ties on continuous
+    /// data; the tiebreak must alternate axes by spread).
+    #[test]
+    fn equi_count_buckets_not_strips(ds in arb_dataset()) {
+        let h = build_equi_count(&ds, 32);
+        if h.num_buckets() >= 16 {
+            let mean_aspect: f64 = h
+                .buckets()
+                .iter()
+                .map(|b| {
+                    let w = b.mbr.width().max(1e-9);
+                    let hh = b.mbr.height().max(1e-9);
+                    (w / hh).max(hh / w)
+                })
+                .sum::<f64>()
+                / h.num_buckets() as f64;
+            prop_assert!(mean_aspect < 20.0, "mean aspect ratio {mean_aspect}");
+        }
+    }
+
+    /// Query workloads always stay inside the data MBR and respect the
+    /// requested count.
+    #[test]
+    fn workload_well_formed(ds in arb_dataset(), qsize in 0.01..0.5f64, seed in 0u64..1_000) {
+        let w = QueryWorkload::generate(&ds, qsize, 20, seed);
+        let mbr = ds.stats().mbr;
+        prop_assert_eq!(w.len(), 20);
+        for q in w.queries() {
+            prop_assert!(mbr.contains_rect(q));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Continuous-integration gate for the minskew workspace.
+#
+# Mirrors what reviewers run by hand:
+#   1. formatting is canonical,
+#   2. clippy is clean at -D warnings across every target — the library
+#      crates (core/engine/data) additionally deny `unwrap()` in non-test
+#      code via #![cfg_attr(not(test), deny(clippy::unwrap_used))],
+#   3. the root-package test suite (tier 1),
+#   4. the full workspace suite with every feature (incl. proptest suites).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+echo "==> cargo test (tier 1)"
+cargo test -q
+
+echo "==> cargo test --workspace --all-features"
+cargo test -q --workspace --all-features
+
+echo "CI OK"

@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks of partitioning construction and estimation,
-//! complementing Table 1's wall-clock numbers with statistically robust
-//! timings at a fixed input size.
+//! Micro-benchmarks of partitioning construction and estimation,
+//! complementing Table 1's wall-clock numbers with repeated timings at a
+//! fixed input size.
+//!
+//! Formerly a criterion harness; the workspace now builds with no external
+//! dependencies, so this uses a small median-of-runs timer instead.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use minskew_bench::time_it;
 use minskew_core::{
     build_equi_area, build_equi_count, build_rtree_partitioning, build_uniform, MinSkewBuilder,
     RTreeBuildMethod, RTreePartitioningOptions, SamplingEstimator, SpatialEstimator,
@@ -12,78 +15,79 @@ use minskew_workload::QueryWorkload;
 
 const N: usize = 50_000;
 const BUCKETS: usize = 100;
+const RUNS: usize = 10;
 
-fn construction_benches(c: &mut Criterion) {
-    let data = SyntheticSpec::default().with_n(N).generate(0xC0FFEE);
-    let mut g = c.benchmark_group("construction_50k_100buckets");
-    g.sample_size(10);
-    g.bench_function("min_skew", |b| {
-        b.iter(|| MinSkewBuilder::new(BUCKETS).regions(10_000).build(&data))
-    });
-    g.bench_function("min_skew_3_refinements", |b| {
-        b.iter(|| {
-            MinSkewBuilder::new(BUCKETS)
-                .regions(10_000)
-                .progressive_refinements(3)
-                .build(&data)
+/// Times `f` RUNS times and prints min/median wall-clock seconds.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let mut times: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let (out, secs) = time_it(&mut f);
+            std::hint::black_box(out);
+            secs
         })
-    });
-    g.bench_function("equi_area", |b| b.iter(|| build_equi_area(&data, BUCKETS)));
-    g.bench_function("equi_count", |b| b.iter(|| build_equi_count(&data, BUCKETS)));
-    g.bench_function("rtree_insertion", |b| {
-        b.iter(|| build_rtree_partitioning(&data, BUCKETS, RTreePartitioningOptions::default()))
-    });
-    g.bench_function("rtree_bulk", |b| {
-        b.iter(|| {
-            build_rtree_partitioning(
-                &data,
-                BUCKETS,
-                RTreePartitioningOptions {
-                    method: RTreeBuildMethod::StrBulk,
-                    ..Default::default()
-                },
-            )
-        })
-    });
-    g.bench_function("rtree_hilbert", |b| {
-        b.iter(|| {
-            build_rtree_partitioning(
-                &data,
-                BUCKETS,
-                RTreePartitioningOptions {
-                    method: RTreeBuildMethod::HilbertBulk,
-                    ..Default::default()
-                },
-            )
-        })
-    });
-    g.bench_function("sampling", |b| {
-        b.iter(|| SamplingEstimator::build(&data, BUCKETS, 1))
-    });
-    g.bench_function("uniform", |b| b.iter(|| build_uniform(&data)));
-    g.finish();
+        .collect();
+    times.sort_by(f64::total_cmp);
+    println!(
+        "| {name:<24} | {:>10.3} ms | {:>10.3} ms |",
+        times[0] * 1e3,
+        times[times.len() / 2] * 1e3,
+    );
 }
 
-fn estimation_benches(c: &mut Criterion) {
+fn main() {
     let data = SyntheticSpec::default().with_n(N).generate(0xC0FFEE);
-    let hist = MinSkewBuilder::new(BUCKETS).regions(10_000).build(&data);
-    let queries = QueryWorkload::generate(&data, 0.1, 1_000, 7);
-    let mut g = c.benchmark_group("estimation");
-    g.bench_function("min_skew_1000_queries", |b| {
-        b.iter_batched(
-            || queries.queries().to_vec(),
-            |qs| {
-                let mut acc = 0.0;
-                for q in &qs {
-                    acc += hist.estimate_count(q);
-                }
-                acc
+
+    println!("\n## construction_50k_100buckets\n");
+    println!("| {:<24} | {:>13} | {:>13} |", "bench", "min", "median");
+    println!("|{}|{}|{}|", "-".repeat(26), "-".repeat(15), "-".repeat(15));
+    bench("min_skew", || {
+        MinSkewBuilder::new(BUCKETS).regions(10_000).build(&data)
+    });
+    bench("min_skew_3_refinements", || {
+        MinSkewBuilder::new(BUCKETS)
+            .regions(10_000)
+            .progressive_refinements(3)
+            .build(&data)
+    });
+    bench("equi_area", || build_equi_area(&data, BUCKETS));
+    bench("equi_count", || build_equi_count(&data, BUCKETS));
+    bench("rtree_insertion", || {
+        build_rtree_partitioning(&data, BUCKETS, RTreePartitioningOptions::default())
+    });
+    bench("rtree_bulk", || {
+        build_rtree_partitioning(
+            &data,
+            BUCKETS,
+            RTreePartitioningOptions {
+                method: RTreeBuildMethod::StrBulk,
+                ..Default::default()
             },
-            BatchSize::SmallInput,
         )
     });
-    g.finish();
-}
+    bench("rtree_hilbert", || {
+        build_rtree_partitioning(
+            &data,
+            BUCKETS,
+            RTreePartitioningOptions {
+                method: RTreeBuildMethod::HilbertBulk,
+                ..Default::default()
+            },
+        )
+    });
+    bench("sampling", || SamplingEstimator::build(&data, BUCKETS, 1));
+    bench("uniform", || build_uniform(&data));
 
-criterion_group!(benches, construction_benches, estimation_benches);
-criterion_main!(benches);
+    println!("\n## estimation\n");
+    println!("| {:<24} | {:>13} | {:>13} |", "bench", "min", "median");
+    println!("|{}|{}|{}|", "-".repeat(26), "-".repeat(15), "-".repeat(15));
+    let hist = MinSkewBuilder::new(BUCKETS).regions(10_000).build(&data);
+    let queries = QueryWorkload::generate(&data, 0.1, 1_000, 7);
+    bench("min_skew_1000_queries", || {
+        let mut acc = 0.0;
+        for q in queries.queries() {
+            acc += hist.estimate_count(q);
+        }
+        acc
+    });
+    println!();
+}

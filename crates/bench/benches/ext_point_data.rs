@@ -31,7 +31,14 @@ fn main() {
     let mut rows = Vec::new();
     for (i, qs) in [0.02, 0.05, 0.10, 0.25].into_iter().enumerate() {
         eprintln!("[point-data] QSize {:.0}%...", qs * 100.0);
-        let reports = run_point(&data, &truth, &estimators, qs, scale.queries, 9_000 + i as u64);
+        let reports = run_point(
+            &data,
+            &truth,
+            &estimators,
+            qs,
+            scale.queries,
+            9_000 + i as u64,
+        );
         rows.push((
             format!("QSize {:>4.0}%", qs * 100.0),
             reports.iter().map(|r| r.avg_relative_error).collect(),

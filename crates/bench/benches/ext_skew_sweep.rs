@@ -56,7 +56,11 @@ fn main() {
             .with_n(n)
             .with_placement_theta(theta)
             .with_size_theta(0.5);
-        run_row(&format!("placement θ={theta:.1}, size θ=0.5"), &spec, queries);
+        run_row(
+            &format!("placement θ={theta:.1}, size θ=0.5"),
+            &spec,
+            queries,
+        );
     }
     println!("|----------------------------|-----------|------------|-----------|-----------|");
     // Size-skew sweep at moderate placement skew.
@@ -66,6 +70,10 @@ fn main() {
             .with_n(n)
             .with_placement_theta(0.8)
             .with_size_theta(theta);
-        run_row(&format!("placement θ=0.8, size θ={theta:.2}"), &spec, queries);
+        run_row(
+            &format!("placement θ=0.8, size θ={theta:.2}"),
+            &spec,
+            queries,
+        );
     }
 }

@@ -13,7 +13,10 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("[fig10a] generating NJ-road stand-in...");
     let data = nj_road(scale);
-    eprintln!("[fig10a] indexing ground truth over {} rects...", data.len());
+    eprintln!(
+        "[fig10a] indexing ground truth over {} rects...",
+        data.len()
+    );
     let truth = GroundTruth::index(&data);
 
     let region_counts = [100usize, 400, 1_600, 6_400, 10_000, 25_600, 40_000];

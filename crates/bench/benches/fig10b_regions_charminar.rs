@@ -15,7 +15,10 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("[fig10b] generating Charminar...");
     let data = charminar_scaled(scale);
-    eprintln!("[fig10b] indexing ground truth over {} rects...", data.len());
+    eprintln!(
+        "[fig10b] indexing ground truth over {} rects...",
+        data.len()
+    );
     let truth = GroundTruth::index(&data);
 
     let region_counts = [100usize, 400, 1_600, 6_400, 10_000, 30_000];

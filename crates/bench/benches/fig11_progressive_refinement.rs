@@ -53,7 +53,10 @@ fn main() {
             evaluate(&hist, &w, &counts).avg_relative_error
         })
         .fold(f64::INFINITY, f64::min);
-    println!("\nbest fixed-region error (horizontal line): {:.1}%", reference * 100.0);
+    println!(
+        "\nbest fixed-region error (horizontal line): {:.1}%",
+        reference * 100.0
+    );
     println!(
         "best refinement k = {} cuts the k=0 error by {:.0}% (paper: >55%)",
         best.0,

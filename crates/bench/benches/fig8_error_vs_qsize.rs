@@ -10,7 +10,10 @@ use minskew_workload::GroundTruth;
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("[fig8] generating NJ-road stand-in ({}x scale-down)...", scale.data_divisor);
+    eprintln!(
+        "[fig8] generating NJ-road stand-in ({}x scale-down)...",
+        scale.data_divisor
+    );
     let data = nj_road(scale);
     eprintln!("[fig8] indexing ground truth over {} rects...", data.len());
     let truth = GroundTruth::index(&data);
@@ -22,7 +25,14 @@ fn main() {
     let mut rows = Vec::new();
     for (i, &qs) in qsizes.iter().enumerate() {
         eprintln!("[fig8] QSize {:.0}%...", qs * 100.0);
-        let reports = run_point(&data, &truth, &estimators, qs, scale.queries, 800 + i as u64);
+        let reports = run_point(
+            &data,
+            &truth,
+            &estimators,
+            qs,
+            scale.queries,
+            800 + i as u64,
+        );
         rows.push((
             format!("QSize {:>4.0}%", qs * 100.0),
             reports.iter().map(|r| r.avg_relative_error).collect(),

@@ -64,6 +64,11 @@ fn main() {
     let ms = MinSkewBuilder::new(50).regions(2_500).build(&data);
     save("fig7_minskew.svg", partitioning_svg(&data, &ms, 800));
 
-    println!("\nbucket counts: Equi-Area {}, Equi-Count {}, R-Tree {}, Min-Skew {}",
-        ea.num_buckets(), ec.num_buckets(), rt.num_buckets(), ms.num_buckets());
+    println!(
+        "\nbucket counts: Equi-Area {}, Equi-Count {}, R-Tree {}, Min-Skew {}",
+        ea.num_buckets(),
+        ec.num_buckets(),
+        rt.num_buckets(),
+        ms.num_buckets()
+    );
 }

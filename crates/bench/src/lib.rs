@@ -16,9 +16,9 @@
 #![forbid(unsafe_code)]
 
 use minskew_core::{
-    build_equi_area, build_equi_count, build_rtree_partitioning, build_uniform,
-    FractalEstimator, MinSkewBuilder, RTreeBuildMethod, RTreePartitioningOptions,
-    SamplingEstimator, SpatialEstimator,
+    build_equi_area, build_equi_count, build_rtree_partitioning, build_uniform, FractalEstimator,
+    MinSkewBuilder, RTreeBuildMethod, RTreePartitioningOptions, SamplingEstimator,
+    SpatialEstimator,
 };
 use minskew_data::Dataset;
 use minskew_datagen::{charminar_with, RoadNetworkSpec};
@@ -168,7 +168,15 @@ mod tests {
         let names: Vec<&str> = ts.iter().map(|t| t.name()).collect();
         assert_eq!(
             names,
-            vec!["Min-Skew", "Equi-Count", "Equi-Area", "R-Tree", "Sample", "Fractal", "Uniform"]
+            vec![
+                "Min-Skew",
+                "Equi-Count",
+                "Equi-Area",
+                "R-Tree",
+                "Sample",
+                "Fractal",
+                "Uniform"
+            ]
         );
     }
 

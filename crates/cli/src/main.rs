@@ -20,15 +20,30 @@
 //!
 //! Dataset files are `x1,y1,x2,y2` CSV; statistics files use the library's
 //! versioned catalog codec.
+//!
+//! Failures never panic: every error is mapped to a category with a stable
+//! process exit code, so scripts can branch on the failure class:
+//!
+//! | exit code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 2 | usage error (bad flags, unknown subcommand) |
+//! | 3 | I/O error (missing/unwritable file) |
+//! | 4 | malformed dataset (CSV parse error) |
+//! | 5 | corrupt statistics file (codec rejected it) |
+//! | 6 | statistics construction failed (empty data, bad budget, …) |
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use minskew_core::{
-    build_equi_area, build_equi_count, build_rtree_partitioning_default, build_uniform,
-    FractalEstimator, MinSkewBuilder, SamplingEstimator, SpatialEstimator, SpatialHistogram,
+    build_uniform, try_build_equi_area, try_build_equi_count, try_build_rtree_partitioning_default,
+    BuildError, FractalEstimator, MinSkewBuilder, SamplingEstimator, SpatialEstimator,
+    SpatialHistogram,
 };
-use minskew_data::{read_rects_csv, write_rects_csv, Dataset};
+use minskew_data::{read_rects_csv, write_rects_csv, CsvError, Dataset};
 use minskew_datagen::{
     charminar_with, clustered_points, uniform_rects, ClusteredPointSpec, RoadNetworkSpec,
     SyntheticSpec,
@@ -36,21 +51,82 @@ use minskew_datagen::{
 use minskew_geom::Rect;
 use minskew_workload::{evaluate_all, GroundTruth, QueryWorkload};
 
+/// Failure category; the discriminant is the process exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrorKind {
+    /// Bad flags or unknown subcommand — exit code 2.
+    Usage = 2,
+    /// Underlying file I/O failed — exit code 3.
+    Io = 3,
+    /// A dataset file was malformed — exit code 4.
+    Parse = 4,
+    /// A statistics file failed to decode — exit code 5.
+    CorruptStats = 5,
+    /// Histogram construction reported an error — exit code 6.
+    Build = 6,
+}
+
+/// A categorised CLI failure: a message for humans, a kind for scripts.
+#[derive(Debug)]
+struct CliError {
+    kind: ErrorKind,
+    message: String,
+}
+
+impl CliError {
+    fn new(kind: ErrorKind, message: impl Into<String>) -> CliError {
+        CliError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError::new(ErrorKind::Usage, message)
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(self.kind as u8)
+    }
+
+    /// Categorises a CSV failure: lost files are I/O, bad rows are parse
+    /// errors.
+    fn from_csv(context: &str, e: CsvError) -> CliError {
+        let kind = match &e {
+            CsvError::Io(_) => ErrorKind::Io,
+            CsvError::Parse(..) => ErrorKind::Parse,
+        };
+        CliError::new(kind, format!("{context}: {e}"))
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.message.fmt(f)
+    }
+}
+
+impl From<BuildError> for CliError {
+    fn from(e: BuildError) -> CliError {
+        CliError::new(ErrorKind::Build, e.to_string())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(e) => {
+            eprintln!("error: {e}");
             eprintln!("run `minskew help` for usage");
-            ExitCode::FAILURE
+            e.exit_code()
         }
     }
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err("missing subcommand".into());
+        return Err(CliError::usage("missing subcommand"));
     };
     let opts = parse_flags(rest)?;
     match cmd.as_str() {
@@ -64,7 +140,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             print!("{}", USAGE);
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
@@ -79,32 +155,34 @@ minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
   minskew evaluate --input data.csv [--buckets B] [--qsize F] [--queries N] [--seed S]
   minskew tune     --input data.csv [--buckets B] [--queries N]
   minskew render   --input data.csv --technique T [--buckets B] [--regions R] --out out.svg
+
+exit codes: 0 ok, 2 usage, 3 I/O, 4 malformed dataset, 5 corrupt stats, 6 build failure
 ";
 
 type Flags = HashMap<String, String>;
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(name) = flag.strip_prefix("--") else {
-            return Err(format!("expected --flag, got {flag:?}"));
+            return Err(CliError::usage(format!("expected --flag, got {flag:?}")));
         };
         let value = it
             .next()
-            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            .ok_or_else(|| CliError::usage(format!("flag --{name} needs a value")))?;
         out.insert(name.to_owned(), value.clone());
     }
     Ok(out)
 }
 
-fn req<'a>(opts: &'a Flags, name: &str) -> Result<&'a str, String> {
+fn req<'a>(opts: &'a Flags, name: &str) -> Result<&'a str, CliError> {
     opts.get(name)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing required flag --{name}"))
+        .ok_or_else(|| CliError::usage(format!("missing required flag --{name}")))
 }
 
-fn num<T: std::str::FromStr>(opts: &Flags, name: &str, default: T) -> Result<T, String>
+fn num<T: std::str::FromStr>(opts: &Flags, name: &str, default: T) -> Result<T, CliError>
 where
     T::Err: std::fmt::Display,
 {
@@ -112,16 +190,16 @@ where
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|e| format!("bad value for --{name}: {e}")),
+            .map_err(|e| CliError::usage(format!("bad value for --{name}: {e}"))),
     }
 }
 
-fn load(opts: &Flags) -> Result<Dataset, String> {
+fn load(opts: &Flags) -> Result<Dataset, CliError> {
     let path = req(opts, "input")?;
-    read_rects_csv(path).map_err(|e| format!("reading {path}: {e}"))
+    read_rects_csv(path).map_err(|e| CliError::from_csv(&format!("reading {path}"), e))
 }
 
-fn generate(opts: &Flags) -> Result<(), String> {
+fn generate(opts: &Flags) -> Result<(), CliError> {
     let kind = req(opts, "kind")?;
     let out = req(opts, "out")?;
     let seed = num(opts, "seed", 0u64)?;
@@ -149,9 +227,10 @@ fn generate(opts: &Flags) -> Result<(), String> {
             },
             seed,
         ),
-        other => return Err(format!("unknown dataset kind {other:?}")),
+        other => return Err(CliError::usage(format!("unknown dataset kind {other:?}"))),
     };
-    write_rects_csv(&data, out).map_err(|e| format!("writing {out}: {e}"))?;
+    write_rects_csv(&data, out)
+        .map_err(|e| CliError::new(ErrorKind::Io, format!("writing {out}: {e}")))?;
     println!("wrote {} rectangles to {out}", data.len());
     Ok(())
 }
@@ -160,31 +239,33 @@ fn build_technique(
     data: &Dataset,
     technique: &str,
     opts: &Flags,
-) -> Result<SpatialHistogram, String> {
+) -> Result<SpatialHistogram, CliError> {
     let buckets = num(opts, "buckets", 100usize)?;
     Ok(match technique {
         "min-skew" => {
-            let mut b = MinSkewBuilder::new(buckets).regions(num(opts, "regions", 10_000)?);
+            let mut b =
+                MinSkewBuilder::try_new(buckets)?.try_regions(num(opts, "regions", 10_000)?)?;
             let k = num(opts, "refinements", 0usize)?;
             if k > 0 {
-                b = b.progressive_refinements(k);
+                b = b.try_progressive_refinements(k)?;
             }
-            b.build(data)
+            b.try_build(data)?
         }
-        "equi-area" => build_equi_area(data, buckets),
-        "equi-count" => build_equi_count(data, buckets),
-        "rtree" => build_rtree_partitioning_default(data, buckets),
+        "equi-area" => try_build_equi_area(data, buckets)?,
+        "equi-count" => try_build_equi_count(data, buckets)?,
+        "rtree" => try_build_rtree_partitioning_default(data, buckets)?,
         "uniform" => build_uniform(data),
-        other => return Err(format!("unknown technique {other:?}")),
+        other => return Err(CliError::usage(format!("unknown technique {other:?}"))),
     })
 }
 
-fn build(opts: &Flags) -> Result<(), String> {
+fn build(opts: &Flags) -> Result<(), CliError> {
     let data = load(opts)?;
     let technique = req(opts, "technique")?;
     let out = req(opts, "out")?;
     let hist = build_technique(&data, technique, opts)?;
-    std::fs::write(out, hist.to_bytes()).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(out, hist.to_bytes())
+        .map_err(|e| CliError::new(ErrorKind::Io, format!("writing {out}: {e}")))?;
     println!(
         "built {} with {} buckets ({} bytes) over {} rects -> {out}",
         hist.name(),
@@ -195,26 +276,34 @@ fn build(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_query(s: &str) -> Result<Rect, String> {
+fn parse_query(s: &str) -> Result<Rect, CliError> {
     let parts: Vec<&str> = s.split(',').collect();
     if parts.len() != 4 {
-        return Err(format!("query must be x1,y1,x2,y2, got {s:?}"));
+        return Err(CliError::usage(format!(
+            "query must be x1,y1,x2,y2, got {s:?}"
+        )));
     }
     let mut v = [0.0; 4];
     for (slot, p) in v.iter_mut().zip(&parts) {
         *slot = p
             .trim()
             .parse()
-            .map_err(|e| format!("bad query coordinate {p:?}: {e}"))?;
+            .map_err(|e| CliError::usage(format!("bad query coordinate {p:?}: {e}")))?;
     }
-    Ok(Rect::new(v[0], v[1], v[2], v[3]))
+    Rect::try_new(v[0], v[1], v[2], v[3])
+        .map_err(|e| CliError::usage(format!("bad query {s:?}: {e}")))
 }
 
-fn estimate(opts: &Flags) -> Result<(), String> {
+fn estimate(opts: &Flags) -> Result<(), CliError> {
     let stats_path = req(opts, "stats")?;
-    let bytes = std::fs::read(stats_path).map_err(|e| format!("reading {stats_path}: {e}"))?;
-    let hist =
-        SpatialHistogram::from_bytes(&bytes).map_err(|e| format!("decoding {stats_path}: {e}"))?;
+    let bytes = std::fs::read(stats_path)
+        .map_err(|e| CliError::new(ErrorKind::Io, format!("reading {stats_path}: {e}")))?;
+    let hist = SpatialHistogram::from_bytes(&bytes).map_err(|e| {
+        CliError::new(
+            ErrorKind::CorruptStats,
+            format!("decoding {stats_path}: {e}"),
+        )
+    })?;
     let query = parse_query(req(opts, "query")?)?;
     println!(
         "{}: estimated |Q| = {:.1} (selectivity {:.5})",
@@ -229,7 +318,7 @@ fn estimate(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn evaluate_cmd(opts: &Flags) -> Result<(), String> {
+fn evaluate_cmd(opts: &Flags) -> Result<(), CliError> {
     let data = load(opts)?;
     let buckets = num(opts, "buckets", 100usize)?;
     let qsize = num(opts, "qsize", 0.05f64)?;
@@ -242,17 +331,23 @@ fn evaluate_cmd(opts: &Flags) -> Result<(), String> {
         qsize * 100.0
     );
     let truth = GroundTruth::index(&data);
-    let minskew = MinSkewBuilder::new(buckets)
-        .regions(num(opts, "regions", 10_000)?)
-        .build(&data);
-    let equi_count = build_equi_count(&data, buckets);
-    let equi_area = build_equi_area(&data, buckets);
-    let rtree = build_rtree_partitioning_default(&data, buckets);
+    let minskew = MinSkewBuilder::try_new(buckets)?
+        .try_regions(num(opts, "regions", 10_000)?)?
+        .try_build(&data)?;
+    let equi_count = try_build_equi_count(&data, buckets)?;
+    let equi_area = try_build_equi_area(&data, buckets)?;
+    let rtree = try_build_rtree_partitioning_default(&data, buckets)?;
     let sample = SamplingEstimator::build(&data, buckets, seed);
     let fractal = FractalEstimator::build(&data);
     let uniform = build_uniform(&data);
     let roster: Vec<&dyn SpatialEstimator> = vec![
-        &minskew, &equi_count, &equi_area, &rtree, &sample, &fractal, &uniform,
+        &minskew,
+        &equi_count,
+        &equi_area,
+        &rtree,
+        &sample,
+        &fractal,
+        &uniform,
     ];
     let workload = QueryWorkload::generate(&data, qsize, queries, seed);
     for report in evaluate_all(&roster, &workload, &truth) {
@@ -261,7 +356,7 @@ fn evaluate_cmd(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn tune(opts: &Flags) -> Result<(), String> {
+fn tune(opts: &Flags) -> Result<(), CliError> {
     let data = load(opts)?;
     let buckets = num(opts, "buckets", 100usize)?;
     let mut tune_opts = minskew_workload::TuneOptions::for_buckets(buckets);
@@ -283,19 +378,20 @@ fn tune(opts: &Flags) -> Result<(), String> {
     }
     if let Some(out) = opts.get("out") {
         std::fs::write(out, tuned.histogram.to_bytes())
-            .map_err(|e| format!("writing {out}: {e}"))?;
+            .map_err(|e| CliError::new(ErrorKind::Io, format!("writing {out}: {e}")))?;
         println!("wrote tuned histogram to {out}");
     }
     Ok(())
 }
 
-fn render(opts: &Flags) -> Result<(), String> {
+fn render(opts: &Flags) -> Result<(), CliError> {
     let data = load(opts)?;
     let technique = req(opts, "technique")?;
     let out = req(opts, "out")?;
     let hist = build_technique(&data, technique, opts)?;
     let svg = minskew_viz::partitioning_svg(&data, &hist, 800);
-    std::fs::write(out, svg).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(out, svg)
+        .map_err(|e| CliError::new(ErrorKind::Io, format!("writing {out}: {e}")))?;
     println!(
         "rendered {} ({} buckets) over {} rects -> {out}",
         hist.name(),
@@ -311,13 +407,8 @@ mod tests {
 
     #[test]
     fn flag_parsing() {
-        let flags = parse_flags(&[
-            "--kind".into(),
-            "road".into(),
-            "--n".into(),
-            "100".into(),
-        ])
-        .unwrap();
+        let flags =
+            parse_flags(&["--kind".into(), "road".into(), "--n".into(), "100".into()]).unwrap();
         assert_eq!(flags["kind"], "road");
         assert_eq!(num::<usize>(&flags, "n", 5).unwrap(), 100);
         assert_eq!(num::<usize>(&flags, "missing", 5).unwrap(), 5);
@@ -327,9 +418,77 @@ mod tests {
 
     #[test]
     fn query_parsing() {
-        assert_eq!(parse_query("1,2,3,4").unwrap(), Rect::new(1.0, 2.0, 3.0, 4.0));
+        assert_eq!(
+            parse_query("1,2,3,4").unwrap(),
+            Rect::new(1.0, 2.0, 3.0, 4.0)
+        );
         assert!(parse_query("1,2,3").is_err());
         assert!(parse_query("a,2,3,4").is_err());
+        assert!(
+            parse_query("nan,2,3,4").is_err(),
+            "non-finite query rejected"
+        );
+    }
+
+    #[test]
+    fn errors_carry_stable_exit_codes() {
+        // Usage errors.
+        assert_eq!(run(vec![]).unwrap_err().kind, ErrorKind::Usage);
+        assert_eq!(
+            run(vec!["frobnicate".into()]).unwrap_err().kind,
+            ErrorKind::Usage
+        );
+        // I/O: missing dataset file.
+        let e = run(vec![
+            "evaluate".into(),
+            "--input".into(),
+            "/no/such/file.csv".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Io);
+        let dir = std::env::temp_dir().join(format!("minskew-cli-codes-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Parse: malformed dataset.
+        let bad_csv = dir.join("bad.csv");
+        std::fs::write(&bad_csv, "1,2,3\n").unwrap();
+        let e = run(vec![
+            "build".into(),
+            "--input".into(),
+            bad_csv.display().to_string(),
+            "--technique".into(),
+            "min-skew".into(),
+            "--out".into(),
+            dir.join("s.bin").display().to_string(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Parse);
+        // Corrupt stats: garbage statistics file.
+        let bad_stats = dir.join("bad.bin");
+        std::fs::write(&bad_stats, b"not a histogram").unwrap();
+        let e = run(vec![
+            "estimate".into(),
+            "--stats".into(),
+            bad_stats.display().to_string(),
+            "--query".into(),
+            "0,0,1,1".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::CorruptStats);
+        // Build: empty dataset cannot be summarised strictly.
+        let empty_csv = dir.join("empty.csv");
+        std::fs::write(&empty_csv, "# nothing\n").unwrap();
+        let e = run(vec![
+            "build".into(),
+            "--input".into(),
+            empty_csv.display().to_string(),
+            "--technique".into(),
+            "min-skew".into(),
+            "--out".into(),
+            dir.join("s.bin").display().to_string(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Build);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -465,9 +624,12 @@ mod tests {
     fn unknown_subcommand_and_kind() {
         assert!(run(vec!["frobnicate".into()]).is_err());
         assert!(generate(
-            &[("kind".to_string(), "nope".to_string()), ("out".to_string(), "/tmp/x".to_string())]
-                .into_iter()
-                .collect()
+            &[
+                ("kind".to_string(), "nope".to_string()),
+                ("out".to_string(), "/tmp/x".to_string())
+            ]
+            .into_iter()
+            .collect()
         )
         .is_err());
     }

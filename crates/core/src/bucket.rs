@@ -85,8 +85,14 @@ impl Bucket {
         if !extended.intersects(&self.mbr) {
             return 0.0;
         }
-        let fx = axis_fraction(extended.overlap_len(&self.mbr, minskew_geom::Axis::X), self.mbr.width());
-        let fy = axis_fraction(extended.overlap_len(&self.mbr, minskew_geom::Axis::Y), self.mbr.height());
+        let fx = axis_fraction(
+            extended.overlap_len(&self.mbr, minskew_geom::Axis::X),
+            self.mbr.width(),
+        );
+        let fy = axis_fraction(
+            extended.overlap_len(&self.mbr, minskew_geom::Axis::Y),
+            self.mbr.height(),
+        );
         self.count * fx * fy
     }
 }
@@ -120,7 +126,11 @@ mod tests {
     fn fully_covering_query_returns_count() {
         let b = bucket();
         let q = Rect::new(-5.0, -5.0, 15.0, 15.0);
-        for rule in [ExtensionRule::Minkowski, ExtensionRule::PaperLiteral, ExtensionRule::None] {
+        for rule in [
+            ExtensionRule::Minkowski,
+            ExtensionRule::PaperLiteral,
+            ExtensionRule::None,
+        ] {
             assert_eq!(b.estimate(&q, rule), 100.0);
         }
     }
@@ -165,7 +175,10 @@ mod tests {
             count: 0.0,
             ..bucket()
         };
-        assert_eq!(b.estimate(&Rect::new(0.0, 0.0, 10.0, 10.0), ExtensionRule::Minkowski), 0.0);
+        assert_eq!(
+            b.estimate(&Rect::new(0.0, 0.0, 10.0, 10.0), ExtensionRule::Minkowski),
+            0.0
+        );
     }
 
     #[test]
@@ -191,8 +204,14 @@ mod tests {
             avg_width: 0.0,
             avg_height: 0.0,
         };
-        assert_eq!(pb.estimate(&Rect::new(0.0, 0.0, 2.0, 2.0), ExtensionRule::Minkowski), 7.0);
-        assert_eq!(pb.estimate(&Rect::new(2.0, 2.0, 3.0, 3.0), ExtensionRule::Minkowski), 0.0);
+        assert_eq!(
+            pb.estimate(&Rect::new(0.0, 0.0, 2.0, 2.0), ExtensionRule::Minkowski),
+            7.0
+        );
+        assert_eq!(
+            pb.estimate(&Rect::new(2.0, 2.0, 3.0, 3.0), ExtensionRule::Minkowski),
+            0.0
+        );
     }
 
     #[test]
@@ -204,7 +223,11 @@ mod tests {
             (9.0, 9.0, 0.5, 0.5),
         ] {
             let q = Rect::new(x, y, x + w, y + h);
-            for rule in [ExtensionRule::Minkowski, ExtensionRule::PaperLiteral, ExtensionRule::None] {
+            for rule in [
+                ExtensionRule::Minkowski,
+                ExtensionRule::PaperLiteral,
+                ExtensionRule::None,
+            ] {
                 let e = b.estimate(&q, rule);
                 assert!((0.0..=b.count).contains(&e));
             }

@@ -5,14 +5,19 @@
 //! that purpose. The format is deliberately simple: a magic/version header,
 //! the estimation parameters, then the flat bucket array — mirroring the
 //! paper's eight-words-per-bucket layout.
+//!
+//! Decoding is **total**: any byte input yields `Ok` or a [`CodecError`],
+//! never a panic, which the fault-injection suite in `minskew-data`
+//! exercises with truncation, bit flips, and arbitrary byte soup.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use minskew_geom::Rect;
 
 use crate::{Bucket, ExtensionRule, SpatialEstimator, SpatialHistogram};
 
 const MAGIC: &[u8; 4] = b"MSKH";
 const VERSION: u8 = 1;
+/// Wire size of one bucket: 7 little-endian `f64` fields.
+const BUCKET_WIRE_BYTES: usize = 7 * 8;
 
 /// Errors produced when decoding a serialised histogram.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,72 +45,132 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16_le(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64_le(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64_le()?))
+    }
+}
+
 impl SpatialHistogram {
     /// Serialises the histogram to its catalog format.
-    pub fn to_bytes(&self) -> Bytes {
+    pub fn to_bytes(&self) -> Vec<u8> {
         let name = self.name().as_bytes();
-        let mut buf = BytesMut::with_capacity(32 + name.len() + self.buckets().len() * 56);
-        buf.put_slice(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(match self.extension_rule() {
+        let mut buf =
+            Vec::with_capacity(32 + name.len() + self.buckets().len() * BUCKET_WIRE_BYTES);
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.push(match self.extension_rule() {
             ExtensionRule::Minkowski => 0,
             ExtensionRule::PaperLiteral => 1,
             ExtensionRule::None => 2,
         });
-        buf.put_u16_le(name.len() as u16);
-        buf.put_slice(name);
-        buf.put_u64_le(self.input_len() as u64);
-        buf.put_u32_le(self.buckets().len() as u32);
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.extend_from_slice(&(self.input_len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.buckets().len() as u32).to_le_bytes());
         for b in self.buckets() {
-            buf.put_f64_le(b.mbr.lo.x);
-            buf.put_f64_le(b.mbr.lo.y);
-            buf.put_f64_le(b.mbr.hi.x);
-            buf.put_f64_le(b.mbr.hi.y);
-            buf.put_f64_le(b.count);
-            buf.put_f64_le(b.avg_width);
-            buf.put_f64_le(b.avg_height);
+            for v in [
+                b.mbr.lo.x,
+                b.mbr.lo.y,
+                b.mbr.hi.x,
+                b.mbr.hi.y,
+                b.count,
+                b.avg_width,
+                b.avg_height,
+            ] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a histogram previously produced by [`Self::to_bytes`].
-    pub fn from_bytes(mut data: &[u8]) -> Result<SpatialHistogram, CodecError> {
-        if data.remaining() < 4 || &data[..4] != MAGIC {
+    ///
+    /// Total on arbitrary input: every malformed buffer maps to a
+    /// [`CodecError`]; this function never panics.
+    pub fn from_bytes(data: &[u8]) -> Result<SpatialHistogram, CodecError> {
+        let mut cur = Cursor::new(data);
+        if cur.remaining() < 4 || &data[..4] != MAGIC {
             return Err(CodecError::BadMagic);
         }
-        data.advance(4);
-        let version = take_u8(&mut data)?;
+        cur.take(4)?;
+        let version = cur.u8()?;
         if version != VERSION {
             return Err(CodecError::UnsupportedVersion(version));
         }
-        let rule = match take_u8(&mut data)? {
+        let rule = match cur.u8()? {
             0 => ExtensionRule::Minkowski,
             1 => ExtensionRule::PaperLiteral,
             2 => ExtensionRule::None,
             x => return Err(CodecError::Invalid(format!("extension rule tag {x}"))),
         };
-        let name_len = take_u16(&mut data)? as usize;
-        if data.remaining() < name_len {
-            return Err(CodecError::Truncated);
-        }
-        let name = std::str::from_utf8(&data[..name_len])
+        let name_len = cur.u16_le()? as usize;
+        let name = std::str::from_utf8(cur.take(name_len)?)
             .map_err(|_| CodecError::Invalid("name is not UTF-8".into()))?
             .to_owned();
-        data.advance(name_len);
-        let input_len = take_u64(&mut data)? as usize;
-        let n_buckets = take_u32(&mut data)? as usize;
-        if data.remaining() < n_buckets * 56 {
+        let input_len = cur.u64_le()? as usize;
+        let n_buckets = cur.u32_le()? as usize;
+        // Overflow-proof payload check: a hostile header cannot make us
+        // allocate or read past the buffer.
+        let payload = n_buckets
+            .checked_mul(BUCKET_WIRE_BYTES)
+            .ok_or(CodecError::Truncated)?;
+        if cur.remaining() < payload {
             return Err(CodecError::Truncated);
         }
         let mut buckets = Vec::with_capacity(n_buckets);
         for _ in 0..n_buckets {
-            let x1 = data.get_f64_le();
-            let y1 = data.get_f64_le();
-            let x2 = data.get_f64_le();
-            let y2 = data.get_f64_le();
-            let count = data.get_f64_le();
-            let avg_width = data.get_f64_le();
-            let avg_height = data.get_f64_le();
+            let x1 = cur.f64_le()?;
+            let y1 = cur.f64_le()?;
+            let x2 = cur.f64_le()?;
+            let y2 = cur.f64_le()?;
+            let count = cur.f64_le()?;
+            let avg_width = cur.f64_le()?;
+            let avg_height = cur.f64_le()?;
             if ![x1, y1, x2, y2, count, avg_width, avg_height]
                 .iter()
                 .all(|v| v.is_finite())
@@ -127,34 +192,6 @@ impl SpatialHistogram {
         }
         Ok(SpatialHistogram::from_parts(name, buckets, input_len, rule))
     }
-}
-
-fn take_u8(data: &mut &[u8]) -> Result<u8, CodecError> {
-    if data.remaining() < 1 {
-        return Err(CodecError::Truncated);
-    }
-    Ok(data.get_u8())
-}
-
-fn take_u16(data: &mut &[u8]) -> Result<u16, CodecError> {
-    if data.remaining() < 2 {
-        return Err(CodecError::Truncated);
-    }
-    Ok(data.get_u16_le())
-}
-
-fn take_u32(data: &mut &[u8]) -> Result<u32, CodecError> {
-    if data.remaining() < 4 {
-        return Err(CodecError::Truncated);
-    }
-    Ok(data.get_u32_le())
-}
-
-fn take_u64(data: &mut &[u8]) -> Result<u64, CodecError> {
-    if data.remaining() < 8 {
-        return Err(CodecError::Truncated);
-    }
-    Ok(data.get_u64_le())
 }
 
 #[cfg(test)]
@@ -232,6 +269,19 @@ mod tests {
             corrupt[pos] ^= 0xFF;
             let _ = SpatialHistogram::from_bytes(&corrupt);
         }
+    }
+
+    #[test]
+    fn hostile_bucket_count_rejected_without_allocation() {
+        // Header declaring usize::MAX-ish buckets must fail cleanly.
+        let h = SpatialHistogram::from_parts("x", vec![], 0, ExtensionRule::None);
+        let mut bytes = h.to_bytes();
+        let n_off = bytes.len() - 4;
+        bytes[n_off..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            SpatialHistogram::from_bytes(&bytes),
+            Err(CodecError::Truncated)
+        );
     }
 
     #[test]

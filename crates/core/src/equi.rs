@@ -18,19 +18,61 @@
 use minskew_data::Dataset;
 use minskew_geom::{mbr_of, Axis, Point, Rect};
 
+use crate::error::BuildError;
 use crate::{Bucket, ExtensionRule, SpatialHistogram};
 
 /// Builds the *Equi-Area* partitioning with (up to) `buckets` buckets.
 ///
 /// Fewer buckets are returned when the data cannot be divided further
 /// (e.g. all rectangles identical).
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`; use [`try_build_equi_area`] to handle that as
+/// an error.
 pub fn build_equi_area(data: &Dataset, buckets: usize) -> SpatialHistogram {
     build_equi(data, buckets, Strategy::Area, "Equi-Area")
 }
 
 /// Builds the *Equi-Count* partitioning with (up to) `buckets` buckets.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`; use [`try_build_equi_count`] to handle that as
+/// an error.
 pub fn build_equi_count(data: &Dataset, buckets: usize) -> SpatialHistogram {
     build_equi(data, buckets, Strategy::Count, "Equi-Count")
+}
+
+/// Fallible counterpart of [`build_equi_area`].
+pub fn try_build_equi_area(data: &Dataset, buckets: usize) -> Result<SpatialHistogram, BuildError> {
+    try_build_equi(data, buckets, Strategy::Area, "Equi-Area")
+}
+
+/// Fallible counterpart of [`build_equi_count`].
+pub fn try_build_equi_count(
+    data: &Dataset,
+    buckets: usize,
+) -> Result<SpatialHistogram, BuildError> {
+    try_build_equi(data, buckets, Strategy::Count, "Equi-Count")
+}
+
+fn try_build_equi(
+    data: &Dataset,
+    buckets: usize,
+    strategy: Strategy,
+    name: &str,
+) -> Result<SpatialHistogram, BuildError> {
+    if buckets == 0 {
+        return Err(BuildError::ZeroBucketBudget);
+    }
+    if data.is_empty() {
+        return Err(BuildError::EmptyDataset);
+    }
+    if !data.stats().mbr.is_finite() {
+        return Err(BuildError::NonFiniteMbr);
+    }
+    Ok(build_equi(data, buckets, strategy, name))
 }
 
 #[derive(Clone, Copy, PartialEq)]

@@ -1,0 +1,140 @@
+//! Typed errors for histogram construction and estimation.
+//!
+//! Every `try_*` constructor in this crate (and the engine layered above it)
+//! reports failure through [`BuildError`] instead of panicking, so callers —
+//! most importantly `minskew-engine`'s degradation ladder — can react to
+//! *which* precondition failed: retry with a smaller bucket budget on
+//! [`BuildError::GridTooCoarse`], fall back to the uniform estimator on
+//! [`BuildError::EmptyDataset`], surface configuration mistakes immediately,
+//! and so on. The legacy panicking constructors remain as thin wrappers for
+//! code that prefers to crash on programmer error.
+
+use crate::CodecError;
+
+/// Why a histogram or partitioning could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The input contained no rectangles; there is nothing to summarise.
+    ///
+    /// The lenient constructors return an empty histogram in this case; the
+    /// strict `try_*` paths report it so callers can distinguish "no data
+    /// yet" from a real summary.
+    EmptyDataset,
+    /// The bucket budget was zero. Every technique needs at least one
+    /// bucket to store anything.
+    ZeroBucketBudget,
+    /// The density grid is coarser than the requested bucket count: a
+    /// `side × side` grid can yield at most `side²` buckets, so a budget of
+    /// `buckets` over `regions` grid cells is unreachable. The engine reacts
+    /// by degrading the budget to the achievable count.
+    GridTooCoarse {
+        /// Number of grid cells actually available (`side²` after alignment).
+        regions: usize,
+        /// The unreachable bucket budget that was requested.
+        buckets: usize,
+    },
+    /// The input's minimum bounding rectangle contains NaN or infinite
+    /// coordinates; densities and skews computed over it would be garbage.
+    NonFiniteMbr,
+    /// A tuning parameter was out of its documented range (description
+    /// inside). Distinct from the data-dependent variants above: this is a
+    /// caller bug, and the engine does not retry it.
+    InvalidConfig(String),
+    /// A persisted summary failed to decode.
+    Corrupt(CodecError),
+    /// The underlying rectangle source failed mid-sweep (I/O error, file
+    /// changed since validation, injected fault).
+    Source(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyDataset => write!(f, "input dataset is empty"),
+            BuildError::ZeroBucketBudget => write!(f, "bucket budget must be at least 1"),
+            BuildError::GridTooCoarse { regions, buckets } => write!(
+                f,
+                "density grid has only {regions} cells, cannot reach {buckets} buckets"
+            ),
+            BuildError::NonFiniteMbr => {
+                write!(f, "input bounding box has non-finite coordinates")
+            }
+            BuildError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            BuildError::Corrupt(e) => write!(f, "corrupt persisted summary: {e}"),
+            BuildError::Source(why) => write!(f, "rectangle source failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for BuildError {
+    fn from(e: CodecError) -> BuildError {
+        BuildError::Corrupt(e)
+    }
+}
+
+/// Why an estimate could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The query rectangle contains NaN or infinite coordinates.
+    NonFiniteQuery,
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::NonFiniteQuery => {
+                write!(f, "query rectangle has non-finite coordinates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            BuildError::EmptyDataset.to_string(),
+            BuildError::ZeroBucketBudget.to_string(),
+            BuildError::GridTooCoarse {
+                regions: 4,
+                buckets: 100,
+            }
+            .to_string(),
+            BuildError::NonFiniteMbr.to_string(),
+            BuildError::InvalidConfig("refinements > 16".into()).to_string(),
+            BuildError::Corrupt(CodecError::BadMagic).to_string(),
+            BuildError::Source("disk on fire".into()).to_string(),
+            EstimateError::NonFiniteQuery.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(BuildError::GridTooCoarse {
+            regions: 4,
+            buckets: 100
+        }
+        .to_string()
+        .contains("4"));
+    }
+
+    #[test]
+    fn codec_error_converts_and_chains() {
+        let e: BuildError = CodecError::Truncated.into();
+        assert_eq!(e, BuildError::Corrupt(CodecError::Truncated));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

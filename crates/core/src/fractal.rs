@@ -17,6 +17,7 @@
 use minskew_data::Dataset;
 use minskew_geom::{Point, Rect};
 
+use crate::error::BuildError;
 use crate::SpatialEstimator;
 
 /// The *Fractal* estimator: stores only `N`, the input MBR, and `D₂`.
@@ -68,6 +69,35 @@ impl FractalEstimator {
             mbr,
             d2,
         }
+    }
+
+    /// Fallible counterpart of [`FractalEstimator::build`].
+    pub fn try_build(data: &Dataset) -> Result<FractalEstimator, BuildError> {
+        Self::try_with_ladder(data, &[2, 4, 8, 16, 32, 64, 128, 256])
+    }
+
+    /// Fallible counterpart of [`FractalEstimator::with_ladder`].
+    pub fn try_with_ladder(
+        data: &Dataset,
+        grid_sides: &[usize],
+    ) -> Result<FractalEstimator, BuildError> {
+        if grid_sides.len() < 2 {
+            return Err(BuildError::InvalidConfig(
+                "box-counting ladder needs at least two resolutions".into(),
+            ));
+        }
+        if grid_sides.contains(&0) {
+            return Err(BuildError::InvalidConfig(
+                "box-counting grid sides must be positive".into(),
+            ));
+        }
+        if data.is_empty() {
+            return Err(BuildError::EmptyDataset);
+        }
+        if !data.stats().mbr.is_finite() {
+            return Err(BuildError::NonFiniteMbr);
+        }
+        Ok(Self::with_ladder(data, grid_sides))
     }
 
     /// The measured correlation fractal dimension.
@@ -222,9 +252,15 @@ mod tests {
         let whole = f.estimate_count(&Rect::new(0.0, 0.0, 100.0, 100.0));
         assert!(small < large && large < whole);
         // Whole-space query returns ~N.
-        assert!((whole - 10_000.0).abs() / 10_000.0 < 0.05, "whole = {whole}");
+        assert!(
+            (whole - 10_000.0).abs() / 10_000.0 < 0.05,
+            "whole = {whole}"
+        );
         // Disjoint query returns 0.
-        assert_eq!(f.estimate_count(&Rect::new(200.0, 200.0, 300.0, 300.0)), 0.0);
+        assert_eq!(
+            f.estimate_count(&Rect::new(200.0, 200.0, 300.0, 300.0)),
+            0.0
+        );
     }
 
     #[test]

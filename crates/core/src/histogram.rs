@@ -180,7 +180,10 @@ mod tests {
         );
         let q = Rect::new(0.0, 0.0, 5.0, 10.0);
         let a = h.estimate_count(&q);
-        let b = h.clone().with_extension_rule(ExtensionRule::PaperLiteral).estimate_count(&q);
+        let b = h
+            .clone()
+            .with_extension_rule(ExtensionRule::PaperLiteral)
+            .estimate_count(&q);
         assert!(b > a, "paper-literal extension must estimate higher");
     }
 

@@ -43,11 +43,13 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod bucket;
 mod codec;
 mod diagnostics;
 mod equi;
+pub mod error;
 mod fractal;
 mod gridhist;
 mod histogram;
@@ -61,18 +63,19 @@ mod uniform;
 pub use bucket::{Bucket, ExtensionRule};
 pub use codec::CodecError;
 pub use diagnostics::HistogramDiagnostics;
-pub use equi::{build_equi_area, build_equi_count};
+pub use equi::{build_equi_area, build_equi_count, try_build_equi_area, try_build_equi_count};
+pub use error::{BuildError, EstimateError};
 pub use fractal::FractalEstimator;
-pub use gridhist::build_grid;
+pub use gridhist::{build_grid, try_build_grid};
 pub use histogram::SpatialHistogram;
 pub use minskew::{MinSkewBuilder, MinSkewDetail, SplitStrategy};
-pub use optimal::{build_optimal_bsp, optimal_bsp_skew, OptimalBsp};
+pub use optimal::{build_optimal_bsp, optimal_bsp_skew, try_build_optimal_bsp, OptimalBsp};
 pub use rtree_part::{
-    build_rtree_partitioning, build_rtree_partitioning_default, RTreeBuildMethod,
-    RTreePartitioningOptions,
+    build_rtree_partitioning, build_rtree_partitioning_default, try_build_rtree_partitioning,
+    try_build_rtree_partitioning_default, RTreeBuildMethod, RTreePartitioningOptions,
 };
 pub use sampling::SamplingEstimator;
-pub use uniform::build_uniform;
+pub use uniform::{build_uniform, try_build_uniform};
 
 use minskew_geom::Rect;
 

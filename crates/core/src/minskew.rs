@@ -31,6 +31,7 @@
 use minskew_data::{CellBlock, Dataset, DensityGrid, GridPrefixSums, RectSource};
 use minskew_geom::Axis;
 
+use crate::error::BuildError;
 use crate::{Bucket, ExtensionRule, SpatialHistogram};
 
 /// How candidate splits are scored during construction.
@@ -90,32 +91,73 @@ impl MinSkewBuilder {
     ///
     /// Panics if `buckets == 0`.
     pub fn new(buckets: usize) -> MinSkewBuilder {
-        assert!(buckets >= 1, "need at least one bucket");
-        MinSkewBuilder {
+        match MinSkewBuilder::try_new(buckets) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`MinSkewBuilder::new`]: reports a zero
+    /// bucket budget as [`BuildError::ZeroBucketBudget`] instead of
+    /// panicking.
+    pub fn try_new(buckets: usize) -> Result<MinSkewBuilder, BuildError> {
+        if buckets == 0 {
+            return Err(BuildError::ZeroBucketBudget);
+        }
+        Ok(MinSkewBuilder {
             buckets,
             regions: 10_000,
             refinements: 0,
             strategy: SplitStrategy::default(),
             rule: ExtensionRule::default(),
-        }
+        })
+    }
+
+    /// The configured bucket budget.
+    pub fn bucket_budget(&self) -> usize {
+        self.buckets
     }
 
     /// Sets the (final) number of uniform grid regions approximating the
     /// input. More regions capture more detail at higher construction cost;
     /// see the paper's Experiment 3 for the trade-off.
-    pub fn regions(mut self, regions: usize) -> MinSkewBuilder {
-        assert!(regions >= 1, "need at least one region");
+    pub fn regions(self, regions: usize) -> MinSkewBuilder {
+        match self.try_regions(regions) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`MinSkewBuilder::regions`].
+    pub fn try_regions(mut self, regions: usize) -> Result<MinSkewBuilder, BuildError> {
+        if regions == 0 {
+            return Err(BuildError::InvalidConfig(
+                "need at least one grid region".into(),
+            ));
+        }
         self.regions = regions;
-        self
+        Ok(self)
     }
 
     /// Enables progressive refinement with `k` refinement steps: the build
     /// starts from `regions / 4^k` regions and quadruples the grid after
     /// every `buckets / (k + 1)` buckets produced (§5.6, Example 3).
-    pub fn progressive_refinements(mut self, k: usize) -> MinSkewBuilder {
-        assert!(k <= 16, "more than 16 refinements is never meaningful");
+    pub fn progressive_refinements(self, k: usize) -> MinSkewBuilder {
+        match self.try_progressive_refinements(k) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`MinSkewBuilder::progressive_refinements`].
+    pub fn try_progressive_refinements(mut self, k: usize) -> Result<MinSkewBuilder, BuildError> {
+        if k > 16 {
+            return Err(BuildError::InvalidConfig(format!(
+                "{k} refinements requested; more than 16 is never meaningful"
+            )));
+        }
         self.refinements = k;
-        self
+        Ok(self)
     }
 
     /// Selects the split-scoring strategy.
@@ -131,6 +173,10 @@ impl MinSkewBuilder {
     }
 
     /// Builds the histogram.
+    ///
+    /// Lenient wrapper: an empty input yields an empty histogram and a grid
+    /// coarser than the bucket budget silently produces fewer buckets. Use
+    /// [`MinSkewBuilder::try_build`] to surface those conditions as errors.
     pub fn build(&self, data: &Dataset) -> SpatialHistogram {
         self.build_detailed(data).0
     }
@@ -138,6 +184,68 @@ impl MinSkewBuilder {
     /// Builds the histogram and reports construction diagnostics.
     pub fn build_detailed(&self, data: &Dataset) -> (SpatialHistogram, MinSkewDetail) {
         self.build_from_source_detailed(data)
+    }
+
+    /// Fallible counterpart of [`MinSkewBuilder::build`]: reports empty
+    /// inputs, non-finite bounding boxes, and unreachable bucket budgets as
+    /// [`BuildError`]s instead of silently degrading.
+    pub fn try_build(&self, data: &Dataset) -> Result<SpatialHistogram, BuildError> {
+        self.try_build_from_source(data)
+    }
+
+    /// Fallible counterpart of [`MinSkewBuilder::build_detailed`].
+    pub fn try_build_detailed(
+        &self,
+        data: &Dataset,
+    ) -> Result<(SpatialHistogram, MinSkewDetail), BuildError> {
+        self.try_build_from_source_detailed(data)
+    }
+
+    /// Fallible counterpart of [`MinSkewBuilder::build_from_source`].
+    pub fn try_build_from_source<S: RectSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<SpatialHistogram, BuildError> {
+        Ok(self.try_build_from_source_detailed(source)?.0)
+    }
+
+    /// Fallible counterpart of [`MinSkewBuilder::build_from_source_detailed`].
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::EmptyDataset`] — the source has no rectangles.
+    /// * [`BuildError::NonFiniteMbr`] — the source's bounding box contains
+    ///   NaN or infinite coordinates.
+    /// * [`BuildError::GridTooCoarse`] — the final density grid has fewer
+    ///   cells than the bucket budget, so the budget is unreachable; the
+    ///   error carries the achievable count for callers that degrade.
+    pub fn try_build_from_source_detailed<S: RectSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<(SpatialHistogram, MinSkewDetail), BuildError> {
+        let stats = source.stats();
+        if stats.n == 0 {
+            return Err(BuildError::EmptyDataset);
+        }
+        if !stats.mbr.is_finite() {
+            return Err(BuildError::NonFiniteMbr);
+        }
+        let side = self.final_grid_side();
+        if side * side < self.buckets {
+            return Err(BuildError::GridTooCoarse {
+                regions: side * side,
+                buckets: self.buckets,
+            });
+        }
+        Ok(self.build_from_source_detailed(source))
+    }
+
+    /// Side length of the final density grid: `√regions` rounded, then
+    /// rounded up so every progressive refinement halves exactly.
+    fn final_grid_side(&self) -> usize {
+        let align = 1usize << self.refinements;
+        let side = (self.regions as f64).sqrt().round().max(1.0) as usize;
+        side.div_ceil(align) * align
     }
 
     /// Builds the histogram from any [`RectSource`] — including
@@ -169,11 +277,7 @@ impl MinSkewBuilder {
         }
         let mbr = data.stats().mbr;
         let phases = self.refinements + 1;
-
-        // Final grid side, rounded up so every refinement halves exactly.
-        let align = 1usize << self.refinements;
-        let mut side = (self.regions as f64).sqrt().round().max(1.0) as usize;
-        side = side.div_ceil(align) * align;
+        let side = self.final_grid_side();
 
         let mut blocks: Vec<CellBlock> = Vec::new();
         let mut grid = None;
@@ -561,6 +665,45 @@ mod tests {
     }
 
     #[test]
+    fn try_build_reports_precondition_failures() {
+        assert!(matches!(
+            MinSkewBuilder::try_new(0),
+            Err(BuildError::ZeroBucketBudget)
+        ));
+        let empty = Dataset::new(vec![]);
+        assert_eq!(
+            MinSkewBuilder::new(10).try_build(&empty),
+            Err(BuildError::EmptyDataset)
+        );
+        let ds = charminar_with(200, 9);
+        // A 2x2 grid cannot reach 10 buckets; the error carries the
+        // achievable count so callers can degrade.
+        assert_eq!(
+            MinSkewBuilder::new(10).regions(4).try_build(&ds),
+            Err(BuildError::GridTooCoarse {
+                regions: 4,
+                buckets: 10
+            })
+        );
+        // The lenient wrapper still builds, just with fewer buckets.
+        let h = MinSkewBuilder::new(10).regions(4).build(&ds);
+        assert!(h.num_buckets() <= 4);
+        assert!(MinSkewBuilder::new(10).try_regions(0).is_err());
+        assert!(MinSkewBuilder::new(10)
+            .try_progressive_refinements(17)
+            .is_err());
+    }
+
+    #[test]
+    fn try_build_success_matches_lenient_build() {
+        let ds = charminar_with(2_000, 10);
+        let builder = MinSkewBuilder::new(20).regions(400);
+        let strict = builder.try_build(&ds).expect("valid input");
+        let lenient = builder.build(&ds);
+        assert_eq!(strict, lenient);
+    }
+
+    #[test]
     fn estimates_are_finite_and_bounded() {
         let ds = charminar_with(5_000, 7);
         let h = MinSkewBuilder::new(50).regions(2_500).build(&ds);
@@ -621,8 +764,8 @@ mod tests {
         // in-memory dataset: construction only ever touches the data
         // through sequential sweeps.
         let ds = charminar_with(3_000, 8);
-        let path = std::env::temp_dir()
-            .join(format!("minskew-streaming-{}.csv", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("minskew-streaming-{}.csv", std::process::id()));
         minskew_data::write_rects_csv(&ds, &path).unwrap();
         let source = minskew_data::CsvRectSource::open(&path).unwrap();
         for refinements in [0usize, 2] {

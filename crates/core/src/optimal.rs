@@ -29,8 +29,14 @@
 use minskew_data::{CellBlock, Dataset, DensityGrid, GridPrefixSums};
 use minskew_geom::Axis;
 
+use crate::error::BuildError;
 use crate::minskew::blocks_to_histogram;
 use crate::{ExtensionRule, SpatialHistogram};
+
+/// Upper bound on the DP state space (`side⁴ × (buckets + 1)`); beyond this
+/// the exact baseline is infeasible and callers should use the greedy
+/// algorithm instead.
+const MAX_DP_STATES: usize = 64_000_000;
 
 /// Result of an optimal-BSP construction.
 #[derive(Debug)]
@@ -51,11 +57,7 @@ pub struct OptimalBsp {
 /// (`side⁴ × (buckets + 1)`) would exceed ~64 M entries — this algorithm is
 /// a measurement baseline for small grids, not a production path; use
 /// [`crate::MinSkewBuilder`] for real workloads.
-pub fn build_optimal_bsp(
-    data: &Dataset,
-    buckets: usize,
-    side: usize,
-) -> OptimalBsp {
+pub fn build_optimal_bsp(data: &Dataset, buckets: usize, side: usize) -> OptimalBsp {
     assert!(buckets >= 1, "need at least one bucket");
     assert!(side >= 1, "need at least one grid cell per axis");
     if data.is_empty() {
@@ -69,12 +71,61 @@ pub fn build_optimal_bsp(
             spatial_skew: 0.0,
         };
     }
+    build_optimal_bsp_inner(data, buckets, side)
+}
+
+/// Fallible counterpart of [`build_optimal_bsp`].
+///
+/// # Errors
+///
+/// * [`BuildError::ZeroBucketBudget`] — `buckets == 0`.
+/// * [`BuildError::EmptyDataset`] — no input rectangles.
+/// * [`BuildError::InvalidConfig`] — `side == 0` or a state space beyond
+///   the feasibility bound of this exact baseline.
+pub fn try_build_optimal_bsp(
+    data: &Dataset,
+    buckets: usize,
+    side: usize,
+) -> Result<OptimalBsp, BuildError> {
+    if buckets == 0 {
+        return Err(BuildError::ZeroBucketBudget);
+    }
+    if side == 0 {
+        return Err(BuildError::InvalidConfig(
+            "need at least one grid cell per axis".into(),
+        ));
+    }
+    if data.is_empty() {
+        return Err(BuildError::EmptyDataset);
+    }
+    if !data.stats().mbr.is_finite() {
+        return Err(BuildError::NonFiniteMbr);
+    }
+    let states = side
+        .checked_pow(4)
+        .and_then(|s4| s4.checked_mul(buckets + 1))
+        .unwrap_or(usize::MAX);
+    if states > MAX_DP_STATES {
+        return Err(BuildError::InvalidConfig(format!(
+            "optimal BSP state space too large ({states}); use MinSkewBuilder instead"
+        )));
+    }
+    Ok(build_optimal_bsp_inner(data, buckets, side))
+}
+
+fn build_optimal_bsp_inner(data: &Dataset, buckets: usize, side: usize) -> OptimalBsp {
     let mbr = data.stats().mbr;
     let grid = DensityGrid::build(data.rects().iter(), mbr, side, side);
     let prefix = GridPrefixSums::from_grid(&grid);
     let solver = Solver::new(&grid, &prefix, buckets);
     let (skew, blocks) = solver.solve(grid.full_block());
-    let histogram = blocks_to_histogram("Optimal-BSP", data, &grid, &blocks, ExtensionRule::default());
+    let histogram = blocks_to_histogram(
+        "Optimal-BSP",
+        data,
+        &grid,
+        &blocks,
+        ExtensionRule::default(),
+    );
     OptimalBsp {
         histogram,
         spatial_skew: skew,
@@ -105,7 +156,7 @@ impl<'a> Solver<'a> {
         let (nx, ny) = (grid.nx(), grid.ny());
         let states = nx * nx * ny * ny * (max_k + 1);
         assert!(
-            states <= 64_000_000,
+            states <= MAX_DP_STATES,
             "optimal BSP state space too large ({states}); this exact \
              baseline is for small grids — use MinSkewBuilder instead"
         );
@@ -181,7 +232,9 @@ impl<'a> Solver<'a> {
                     for k1 in 1..k {
                         let lv = self.best(l, k1);
                         let rv = self.best(r, k - k1);
-                        if (lv + rv - value).abs() <= EPS * value.max(1.0) && lv + rv < self.prefix.block_sse(&b) - EPS {
+                        if (lv + rv - value).abs() <= EPS * value.max(1.0)
+                            && lv + rv < self.prefix.block_sse(&b) - EPS
+                        {
                             self.reconstruct(l, k1, lv, out);
                             self.reconstruct(r, k - k1, rv, out);
                             return;
@@ -206,8 +259,7 @@ mod tests {
         let ds = charminar_with(3_000, 1);
         for buckets in [2usize, 5, 10, 16] {
             let side = 10;
-            let grid =
-                DensityGrid::build(ds.rects().iter(), ds.stats().mbr, side, side);
+            let grid = DensityGrid::build(ds.rects().iter(), ds.stats().mbr, side, side);
             let optimal = optimal_bsp_skew(&grid, buckets);
             let (_, detail) = MinSkewBuilder::new(buckets)
                 .regions(side * side)
@@ -294,9 +346,7 @@ mod tests {
         let buckets = 12;
         let side = 12;
         let optimal = build_optimal_bsp(&ds, buckets, side);
-        let greedy = MinSkewBuilder::new(buckets)
-            .regions(side * side)
-            .build(&ds);
+        let greedy = MinSkewBuilder::new(buckets).regions(side * side).build(&ds);
         let queries: Vec<Rect> = (0..20)
             .map(|i| {
                 let t = i as f64 * 450.0;

@@ -4,6 +4,7 @@
 use minskew_data::Dataset;
 use minskew_rtree::{RStarTree, RTreeConfig};
 
+use crate::error::BuildError;
 use crate::{Bucket, ExtensionRule, SpatialHistogram};
 
 /// How the underlying R\*-tree is constructed.
@@ -56,6 +57,52 @@ pub fn build_rtree_partitioning(
 ) -> SpatialHistogram {
     assert!(buckets >= 1, "need at least one bucket");
     let config = RTreeConfig::with_max_entries(options.max_entries);
+    build_rtree_partitioning_with(data, buckets, options, config)
+}
+
+/// Fallible counterpart of [`build_rtree_partitioning`].
+///
+/// # Errors
+///
+/// * [`BuildError::ZeroBucketBudget`] — `buckets == 0`.
+/// * [`BuildError::EmptyDataset`] — no input rectangles.
+/// * [`BuildError::InvalidConfig`] — `options.max_entries < 4` (the R\*-tree
+///   node-capacity floor).
+pub fn try_build_rtree_partitioning(
+    data: &Dataset,
+    buckets: usize,
+    options: RTreePartitioningOptions,
+) -> Result<SpatialHistogram, BuildError> {
+    if buckets == 0 {
+        return Err(BuildError::ZeroBucketBudget);
+    }
+    if data.is_empty() {
+        return Err(BuildError::EmptyDataset);
+    }
+    if !data.stats().mbr.is_finite() {
+        return Err(BuildError::NonFiniteMbr);
+    }
+    let config = RTreeConfig::try_with_max_entries(options.max_entries)
+        .map_err(|e| BuildError::InvalidConfig(e.to_string()))?;
+    Ok(build_rtree_partitioning_with(
+        data, buckets, options, config,
+    ))
+}
+
+/// Fallible counterpart of [`build_rtree_partitioning_default`].
+pub fn try_build_rtree_partitioning_default(
+    data: &Dataset,
+    buckets: usize,
+) -> Result<SpatialHistogram, BuildError> {
+    try_build_rtree_partitioning(data, buckets, RTreePartitioningOptions::default())
+}
+
+fn build_rtree_partitioning_with(
+    data: &Dataset,
+    buckets: usize,
+    options: RTreePartitioningOptions,
+    config: RTreeConfig,
+) -> SpatialHistogram {
     let items = || {
         data.rects()
             .iter()

@@ -13,6 +13,7 @@ use minskew_data::Dataset;
 use minskew_geom::Rect;
 use rand::{Rng, SeedableRng};
 
+use crate::error::BuildError;
 use crate::SpatialEstimator;
 
 /// The *Sample* estimator.
@@ -52,6 +53,35 @@ impl SamplingEstimator {
             sample,
             input_len: rects.len(),
         }
+    }
+
+    /// Fallible counterpart of [`SamplingEstimator::build`].
+    pub fn try_build(
+        data: &Dataset,
+        buckets: usize,
+        seed: u64,
+    ) -> Result<SamplingEstimator, BuildError> {
+        if buckets == 0 {
+            return Err(BuildError::ZeroBucketBudget);
+        }
+        Self::try_with_sample_size(data, buckets * Self::RECTS_PER_BUCKET, seed)
+    }
+
+    /// Fallible counterpart of [`SamplingEstimator::with_sample_size`].
+    pub fn try_with_sample_size(
+        data: &Dataset,
+        sample_size: usize,
+        seed: u64,
+    ) -> Result<SamplingEstimator, BuildError> {
+        if sample_size == 0 {
+            return Err(BuildError::InvalidConfig(
+                "sample size must be at least 1".into(),
+            ));
+        }
+        if data.is_empty() {
+            return Err(BuildError::EmptyDataset);
+        }
+        Ok(Self::with_sample_size(data, sample_size, seed))
     }
 
     /// Number of sampled rectangles.

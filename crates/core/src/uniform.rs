@@ -2,7 +2,20 @@
 
 use minskew_data::Dataset;
 
+use crate::error::BuildError;
 use crate::{Bucket, ExtensionRule, SpatialHistogram};
+
+/// Fallible counterpart of [`build_uniform`].
+///
+/// An empty dataset is *not* an error here — the uniform estimator is the
+/// engine's degradation floor and must be constructible in every state —
+/// but a non-finite bounding box still is.
+pub fn try_build_uniform(data: &Dataset) -> Result<SpatialHistogram, BuildError> {
+    if !data.is_empty() && !data.stats().mbr.is_finite() {
+        return Err(BuildError::NonFiniteMbr);
+    }
+    Ok(build_uniform(data))
+}
 
 /// Builds the *Uniform* technique: one bucket spanning the input MBR, with
 /// the global average rectangle dimensions.

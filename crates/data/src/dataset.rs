@@ -65,8 +65,7 @@ impl Dataset {
             "dataset rectangles must have finite coordinates"
         );
         let n = rects.len();
-        let mbr = mbr_of(rects.iter().copied())
-            .unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
+        let mbr = mbr_of(rects.iter().copied()).unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
         let mut total_area = 0.0;
         let mut sum_w = 0.0;
         let mut sum_h = 0.0;

@@ -39,7 +39,10 @@ impl DensityGrid {
         I: IntoIterator<Item = B>,
         B: std::borrow::Borrow<Rect>,
     {
-        assert!(nx > 0 && ny > 0, "grid must have at least one cell per axis");
+        assert!(
+            nx > 0 && ny > 0,
+            "grid must have at least one cell per axis"
+        );
         // A degenerate bounds axis collapses that axis to a single cell:
         // every datum shares the one coordinate, so finer resolution is
         // meaningless (and would divide by zero).
@@ -131,10 +134,7 @@ impl DensityGrid {
     /// care should test containment first.
     #[inline]
     pub fn cell_containing(&self, p: Point) -> (usize, usize) {
-        (
-            self.index_1d(p.x, Axis::X),
-            self.index_1d(p.y, Axis::Y),
-        )
+        (self.index_1d(p.x, Axis::X), self.index_1d(p.y, Axis::Y))
     }
 
     /// The geometric region of cell `(ix, iy)`.
@@ -144,8 +144,16 @@ impl DensityGrid {
         let y0 = self.bounds.lo.y + iy as f64 * self.cell_h;
         // Snap the outermost edges exactly onto the bounds to avoid float
         // drift leaving slivers at the domain boundary.
-        let x1 = if ix + 1 == self.nx { self.bounds.hi.x } else { x0 + self.cell_w };
-        let y1 = if iy + 1 == self.ny { self.bounds.hi.y } else { y0 + self.cell_h };
+        let x1 = if ix + 1 == self.nx {
+            self.bounds.hi.x
+        } else {
+            x0 + self.cell_w
+        };
+        let y1 = if iy + 1 == self.ny {
+            self.bounds.hi.y
+        } else {
+            y0 + self.cell_h
+        };
         Rect::new(x0, y0, x1, y1)
     }
 
@@ -286,6 +294,7 @@ impl CellBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn unit_bounds() -> Rect {
@@ -340,7 +349,12 @@ mod tests {
 
     #[test]
     fn cell_rects_tile_bounds() {
-        let g = DensityGrid::build(std::iter::empty::<&Rect>(), Rect::new(1.0, 2.0, 11.0, 8.0), 5, 3);
+        let g = DensityGrid::build(
+            std::iter::empty::<&Rect>(),
+            Rect::new(1.0, 2.0, 11.0, 8.0),
+            5,
+            3,
+        );
         let mut area = 0.0;
         for iy in 0..3 {
             for ix in 0..5 {
@@ -399,6 +413,7 @@ mod tests {
         assert!(!b.contains_cell(2, 6));
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// Density invariants: every in-bounds rect touches at least one
         /// cell, no cell exceeds N, and each cell's density equals the

@@ -44,7 +44,15 @@ impl From<std::io::Error> for CsvError {
 /// Corner order per row is normalised; non-finite values are rejected.
 pub fn read_rects_csv(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
     let file = std::fs::File::open(path)?;
-    let reader = std::io::BufReader::new(file);
+    read_rects_csv_from(std::io::BufReader::new(file))
+}
+
+/// Reads a dataset in `x1,y1,x2,y2` CSV form from any buffered reader.
+///
+/// This is the seam the fault-injection suite drives: the parser is total
+/// over arbitrary byte streams — every malformed line, injected I/O error,
+/// or mid-stream truncation maps to a [`CsvError`], never a panic.
+pub fn read_rects_csv_from(reader: impl BufRead) -> Result<Dataset, CsvError> {
     let mut rects = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let line_no = i + 1;
@@ -62,11 +70,14 @@ pub fn read_rects_csv(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
         }
         let mut vals = [0.0f64; 4];
         for (slot, field) in vals.iter_mut().zip(&fields) {
-            *slot = field.parse().map_err(|e| {
-                CsvError::Parse(line_no, format!("bad number {field:?}: {e}"))
-            })?;
+            *slot = field
+                .parse()
+                .map_err(|e| CsvError::Parse(line_no, format!("bad number {field:?}: {e}")))?;
             if !slot.is_finite() {
-                return Err(CsvError::Parse(line_no, format!("non-finite value {field:?}")));
+                return Err(CsvError::Parse(
+                    line_no,
+                    format!("non-finite value {field:?}"),
+                ));
             }
         }
         rects.push(Rect::new(vals[0], vals[1], vals[2], vals[3]));

@@ -20,15 +20,18 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod dataset;
+pub mod fault;
 mod grid;
 mod io;
 mod prefix;
 mod source;
 
 pub use dataset::{Dataset, DatasetStats};
+pub use fault::{ChaosReader, FaultInjector, FaultKind, FaultSource};
 pub use grid::{CellBlock, DensityGrid};
-pub use io::{read_rects_csv, write_rects_csv, CsvError};
+pub use io::{read_rects_csv, read_rects_csv_from, write_rects_csv, CsvError};
 pub use prefix::GridPrefixSums;
 pub use source::{source_mbr, CsvRectSource, RectSource};

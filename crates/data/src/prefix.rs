@@ -100,6 +100,7 @@ impl GridPrefixSums {
 mod tests {
     use super::*;
     use minskew_geom::Rect;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     /// Builds a grid whose densities are exactly `vals` (row-major),
@@ -180,6 +181,7 @@ mod tests {
         assert!(p.block_sse(&full) > 0.0);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_prefix_matches_naive(

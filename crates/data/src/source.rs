@@ -28,6 +28,18 @@ pub trait RectSource {
     /// Summary statistics (`N`, MBR, total area, average dimensions),
     /// computed once when the source is opened.
     fn stats(&self) -> DatasetStats;
+
+    /// Starts a fresh sweep, surfacing source failures as errors instead of
+    /// panicking: the outer `Result` reports failure to *start* the sweep
+    /// (e.g. the backing file vanished), each inner `Result` a failure to
+    /// produce one rectangle (e.g. a row corrupted since validation).
+    ///
+    /// The default implementation wraps [`RectSource::scan`] and never
+    /// fails, which is correct for in-memory sources; disk-backed sources
+    /// override it.
+    fn try_scan(&self) -> Result<Box<dyn Iterator<Item = Result<Rect, CsvError>> + '_>, CsvError> {
+        Ok(Box::new(self.scan().map(Ok)))
+    }
 }
 
 impl RectSource for Dataset {
@@ -97,22 +109,20 @@ impl RectSource for CsvRectSource {
     fn scan(&self) -> Box<dyn Iterator<Item = Rect> + '_> {
         let iter = scan_file(&self.path)
             .unwrap_or_else(|e| panic!("re-opening {}: {e}", self.path.display()));
-        Box::new(iter.map(|r| {
-            r.unwrap_or_else(|e| {
-                panic!("file changed since validation: {e}")
-            })
-        }))
+        Box::new(iter.map(|r| r.unwrap_or_else(|e| panic!("file changed since validation: {e}"))))
     }
 
     fn stats(&self) -> DatasetStats {
         self.stats
     }
+
+    fn try_scan(&self) -> Result<Box<dyn Iterator<Item = Result<Rect, CsvError>> + '_>, CsvError> {
+        Ok(Box::new(scan_file(&self.path)?))
+    }
 }
 
 /// Lazily parses a rect CSV, yielding one result per data line.
-fn scan_file(
-    path: &Path,
-) -> Result<impl Iterator<Item = Result<Rect, CsvError>>, CsvError> {
+fn scan_file(path: &Path) -> Result<impl Iterator<Item = Result<Rect, CsvError>>, CsvError> {
     let file = std::fs::File::open(path)?;
     let reader = std::io::BufReader::new(file);
     Ok(reader
@@ -144,7 +154,10 @@ fn parse_line(line: &str, line_no: usize) -> Result<Rect, CsvError> {
             .parse()
             .map_err(|e| CsvError::Parse(line_no, format!("bad number {field:?}: {e}")))?;
         if !slot.is_finite() {
-            return Err(CsvError::Parse(line_no, format!("non-finite value {field:?}")));
+            return Err(CsvError::Parse(
+                line_no,
+                format!("non-finite value {field:?}"),
+            ));
         }
     }
     Ok(Rect::new(vals[0], vals[1], vals[2], vals[3]))
@@ -196,6 +209,30 @@ mod tests {
         assert_eq!(src.scan().count(), 1);
         assert_eq!(src.stats().n, 1);
         assert_eq!(source_mbr(src), Some(Rect::new(0.0, 0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn try_scan_surfaces_failures_instead_of_panicking() {
+        let ds = Dataset::new(vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(2.0, 2.0, 3.0, 3.0),
+        ]);
+        let path = tmp("tryscan.csv");
+        write_rects_csv(&ds, &path).unwrap();
+        let src = CsvRectSource::open(&path).unwrap();
+        // Healthy file: every row comes back Ok.
+        let rows: Result<Vec<Rect>, CsvError> = src.try_scan().unwrap().collect();
+        assert_eq!(rows.unwrap(), ds.rects());
+        // File corrupted after validation: the sweep yields an Err row.
+        std::fs::write(&path, "1,2,3,4\ngarbage\n").unwrap();
+        let rows: Vec<Result<Rect, CsvError>> = src.try_scan().unwrap().collect();
+        assert!(rows.iter().any(|r| r.is_err()));
+        // File removed after validation: starting the sweep fails cleanly.
+        std::fs::remove_file(&path).unwrap();
+        assert!(src.try_scan().is_err());
+        // The in-memory default implementation never fails.
+        let rows: Result<Vec<Rect>, CsvError> = ds.try_scan().unwrap().collect();
+        assert_eq!(rows.unwrap(), ds.rects());
     }
 
     #[test]

@@ -54,7 +54,11 @@ pub fn charminar_with(n: usize, seed: u64) -> Dataset {
                 let off_y: f64 = -falloff * (1.0 - rng.gen::<f64>()).ln();
                 let x = (cx + dx * off_x).clamp(half, SPACE - half);
                 let y = (cy + dy * off_y).clamp(half, SPACE - half);
-                rects.push(Rect::from_center_size(Point::new(x, y), RECT_SIDE, RECT_SIDE));
+                rects.push(Rect::from_center_size(
+                    Point::new(x, y),
+                    RECT_SIDE,
+                    RECT_SIDE,
+                ));
                 placed = true;
                 break;
             }
@@ -63,7 +67,11 @@ pub fn charminar_with(n: usize, seed: u64) -> Dataset {
             // Uniform interior scatter.
             let x = rng.gen_range(half..SPACE - half);
             let y = rng.gen_range(half..SPACE - half);
-            rects.push(Rect::from_center_size(Point::new(x, y), RECT_SIDE, RECT_SIDE));
+            rects.push(Rect::from_center_size(
+                Point::new(x, y),
+                RECT_SIDE,
+                RECT_SIDE,
+            ));
         }
     }
     Dataset::new(rects)

@@ -97,10 +97,7 @@ mod tests {
         assert_eq!(ds.len(), 5_000);
         assert!(ds.rects().iter().all(|r| r.area() == 0.0));
         assert_eq!(ds.stats().avg_width, 0.0);
-        assert!(ds
-            .rects()
-            .iter()
-            .all(|r| spec.space.contains_rect(r)));
+        assert!(ds.rects().iter().all(|r| spec.space.contains_rect(r)));
     }
 
     #[test]

@@ -105,8 +105,7 @@ impl RoadNetworkSpec {
         let centers = self.place_centers(&mut rng);
 
         let mut rects = Vec::with_capacity(self.segments);
-        let highway_budget =
-            ((self.segments as f64) * self.highway_fraction).round() as usize;
+        let highway_budget = ((self.segments as f64) * self.highway_fraction).round() as usize;
 
         // Highways: connect each centre to its 2 nearest neighbours.
         'outer: for (i, &a) in centers.iter().enumerate() {
@@ -152,7 +151,11 @@ impl RoadNetworkSpec {
                 )
             };
             // Walk a short street (grid-ish: mostly axis-aligned headings).
-            let mut heading: f64 = if rng.gen::<bool>() { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+            let mut heading: f64 = if rng.gen::<bool>() {
+                0.0
+            } else {
+                std::f64::consts::FRAC_PI_2
+            };
             if rng.gen::<bool>() {
                 heading += std::f64::consts::PI;
             }

@@ -16,6 +16,11 @@
 //!   the actual row count — the `EXPLAIN ANALYZE` a DBA would read.
 //! * Mutations feed the histogram's staleness tracker; the table re-runs
 //!   ANALYZE automatically past a configurable churn threshold.
+//! * Statistics are **degradation-protected**: when the configured build
+//!   cannot succeed or a persisted summary is corrupt, the table walks a
+//!   fallback ladder (achievable bucket budget → rebuild from data → the
+//!   uniform assumption) recorded in [`StatsDiagnostics`], and every
+//!   estimate is clamped to `[0, N]`.
 //!
 //! # Example
 //!
@@ -34,7 +39,7 @@
 //! // A tiny query: the planner picks the index.
 //! let (rows, explain) = table.execute_explain(&Rect::new(0.0, 0.0, 30.0, 30.0));
 //! assert!(explain.plan.is_index_scan());
-//! assert_eq!(rows.len(), explain.actual_rows.unwrap());
+//! assert_eq!(explain.actual_rows, Some(rows.len()));
 //!
 //! // A query covering everything: scanning is cheaper than chasing the
 //! // whole index.
@@ -44,9 +49,13 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod planner;
 mod table;
 
 pub use planner::{CostModel, Explain, Plan};
-pub use table::{AnalyzeOptions, RowId, SpatialTable, StatsTechnique, TableOptions};
+pub use table::{
+    AnalyzeOptions, RowId, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique,
+    TableOptions,
+};

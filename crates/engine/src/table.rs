@@ -1,8 +1,8 @@
 //! The spatial table: storage, index, statistics, and the execution loop.
 
 use minskew_core::{
-    build_equi_area, build_equi_count, build_uniform, MinSkewBuilder, SpatialEstimator,
-    SpatialHistogram,
+    build_uniform, try_build_equi_area, try_build_equi_count, try_build_uniform, BuildError,
+    EstimateError, MinSkewBuilder, SpatialEstimator, SpatialHistogram,
 };
 use minskew_data::Dataset;
 use minskew_geom::Rect;
@@ -78,6 +78,47 @@ impl Default for TableOptions {
     }
 }
 
+/// How far down the degradation ladder the current statistics sit.
+///
+/// The engine never refuses to answer an estimate: when the configured
+/// statistics build fails, it walks this ladder — degrade the bucket budget
+/// to what the data supports, rebuild from the live rows, and finally fall
+/// back to the single-bucket uniform assumption of §3.1 — and records where
+/// it landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsFallback {
+    /// The configured technique built at the requested budget.
+    #[default]
+    None,
+    /// The requested bucket count was unreachable; statistics were rebuilt
+    /// at the achievable budget.
+    DegradedBuckets,
+    /// A persisted summary was corrupt or a refresh failed; statistics were
+    /// rebuilt from the live rows instead.
+    RebuiltFromData,
+    /// Every richer build failed; the single-bucket uniform assumption is
+    /// in force (the floor of the ladder — always constructible).
+    Uniform,
+}
+
+/// Diagnostics for the most recent statistics build or load.
+#[derive(Debug, Clone, Default)]
+pub struct StatsDiagnostics {
+    /// Bucket budget the configuration asked for.
+    pub requested_buckets: usize,
+    /// Buckets the installed histogram actually has.
+    pub achieved_buckets: usize,
+    /// `true` whenever the installed statistics are anything less than the
+    /// configured technique at the requested budget.
+    pub degraded: bool,
+    /// Which rung of the degradation ladder produced the statistics.
+    pub fallback: StatsFallback,
+    /// Build attempts made (1 = first try succeeded).
+    pub attempts: usize,
+    /// The error that forced degradation, if any.
+    pub last_error: Option<String>,
+}
+
 /// A spatial table: rows of rectangles with a stable id, an R\*-tree index,
 /// and optimizer statistics.
 pub struct SpatialTable {
@@ -86,18 +127,40 @@ pub struct SpatialTable {
     live: usize,
     index: RStarTree<u64>,
     stats: Option<SpatialHistogram>,
+    diagnostics: StatsDiagnostics,
 }
 
 impl SpatialTable {
     /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options are invalid; use [`SpatialTable::try_new`] to
+    /// handle that as an error.
     pub fn new(options: TableOptions) -> SpatialTable {
-        SpatialTable {
+        match SpatialTable::try_new(options) {
+            Ok(table) => table,
+            Err(e) => panic!("invalid table options: {e}"),
+        }
+    }
+
+    /// Creates an empty table, reporting invalid options
+    /// ([`TableOptions::index_fanout`] below the R\*-tree minimum, a zero
+    /// bucket budget) as errors instead of panicking.
+    pub fn try_new(options: TableOptions) -> Result<SpatialTable, BuildError> {
+        let config = RTreeConfig::try_with_max_entries(options.index_fanout)
+            .map_err(|e| BuildError::InvalidConfig(e.to_string()))?;
+        if options.analyze.buckets == 0 {
+            return Err(BuildError::ZeroBucketBudget);
+        }
+        Ok(SpatialTable {
             rows: Vec::new(),
             live: 0,
-            index: RStarTree::new(RTreeConfig::with_max_entries(options.index_fanout)),
+            index: RStarTree::new(config),
             stats: None,
+            diagnostics: StatsDiagnostics::default(),
             options,
-        }
+        })
     }
 
     /// Number of live rows.
@@ -153,36 +216,162 @@ impl SpatialTable {
         self.rows.get(id.0 as usize).copied().flatten()
     }
 
+    /// Builds the configured statistics over `data` via the strict `try_*`
+    /// constructors — one rung of the ladder, no fallback.
+    fn build_stats(data: &Dataset, opts: AnalyzeOptions) -> Result<SpatialHistogram, BuildError> {
+        match opts.technique {
+            StatsTechnique::MinSkew => {
+                let mut b = MinSkewBuilder::try_new(opts.buckets)?.try_regions(opts.regions)?;
+                if opts.refinements > 0 {
+                    b = b.try_progressive_refinements(opts.refinements)?;
+                }
+                b.try_build(data)
+            }
+            StatsTechnique::EquiArea => try_build_equi_area(data, opts.buckets),
+            StatsTechnique::EquiCount => try_build_equi_count(data, opts.buckets),
+            StatsTechnique::Uniform => try_build_uniform(data),
+        }
+    }
+
+    /// Snapshots the live rows as an in-memory dataset.
+    fn snapshot(&self) -> Dataset {
+        Dataset::new(self.rows.iter().flatten().copied().collect())
+    }
+
+    /// Installs `hist` and records how it was obtained.
+    fn install_stats(&mut self, hist: SpatialHistogram, mut diag: StatsDiagnostics) {
+        diag.requested_buckets = self.options.analyze.buckets;
+        diag.achieved_buckets = hist.buckets().len();
+        self.stats = Some(hist);
+        self.diagnostics = diag;
+    }
+
+    /// Rebuilds the optimizer statistics from the live rows, strictly: the
+    /// configured technique at the configured budget, or an error. Nothing
+    /// is installed on failure (the previous statistics stay in force).
+    pub fn try_analyze(&mut self) -> Result<(), BuildError> {
+        let hist = Self::build_stats(&self.snapshot(), self.options.analyze)?;
+        self.install_stats(
+            hist,
+            StatsDiagnostics {
+                attempts: 1,
+                ..StatsDiagnostics::default()
+            },
+        );
+        Ok(())
+    }
+
     /// Rebuilds the optimizer statistics from the live rows
     /// (the `ANALYZE` command).
+    ///
+    /// Unlike [`SpatialTable::try_analyze`], this never fails: when the
+    /// configured build cannot succeed it walks the degradation ladder —
+    /// retry at the achievable bucket budget, then fall back to the
+    /// single-bucket uniform assumption — and records the outcome in
+    /// [`SpatialTable::stats_diagnostics`].
     pub fn analyze(&mut self) {
         let opts = self.options.analyze;
-        let data = Dataset::new(self.rows.iter().flatten().copied().collect());
-        let hist = match opts.technique {
-            StatsTechnique::MinSkew => {
-                let mut b = MinSkewBuilder::new(opts.buckets).regions(opts.regions);
-                if opts.refinements > 0 {
-                    b = b.progressive_refinements(opts.refinements);
-                }
-                b.build(&data)
-            }
-            StatsTechnique::EquiArea => build_equi_area(&data, opts.buckets),
-            StatsTechnique::EquiCount => build_equi_count(&data, opts.buckets),
-            StatsTechnique::Uniform => build_uniform(&data),
+        let data = self.snapshot();
+        let mut diag = StatsDiagnostics {
+            attempts: 1,
+            ..StatsDiagnostics::default()
         };
-        self.stats = Some(hist);
+        let err = match Self::build_stats(&data, opts) {
+            Ok(hist) => {
+                self.install_stats(hist, diag);
+                return;
+            }
+            Err(e) => e,
+        };
+        diag.last_error = Some(err.to_string());
+        // Rung 2: the grid supports fewer buckets than requested — degrade
+        // the budget to the achievable count and retry once.
+        if let BuildError::GridTooCoarse { regions, .. } = err {
+            if regions > 0 {
+                diag.attempts += 1;
+                let degraded = AnalyzeOptions {
+                    buckets: regions,
+                    ..opts
+                };
+                if let Ok(hist) = Self::build_stats(&data, degraded) {
+                    diag.degraded = true;
+                    diag.fallback = StatsFallback::DegradedBuckets;
+                    self.install_stats(hist, diag);
+                    return;
+                }
+            }
+        }
+        // Floor: the uniform assumption is constructible in every state
+        // (including the empty table).
+        diag.attempts += 1;
+        diag.degraded = true;
+        diag.fallback = StatsFallback::Uniform;
+        self.install_stats(build_uniform(&data), diag);
+    }
+
+    /// Installs a persisted statistics summary (the bytes of
+    /// [`SpatialHistogram::to_bytes`]).
+    ///
+    /// A summary that fails to decode is never installed; instead the table
+    /// falls back down the ladder — rebuild from the live rows (itself
+    /// degradation-protected via [`SpatialTable::analyze`]) — and the
+    /// returned diagnostics say so. Estimates therefore stay available and
+    /// bounded through a corrupt-summary / recovery cycle.
+    pub fn load_stats(&mut self, bytes: &[u8]) -> &StatsDiagnostics {
+        match SpatialHistogram::from_bytes(bytes) {
+            Ok(hist) => {
+                self.install_stats(
+                    hist,
+                    StatsDiagnostics {
+                        attempts: 1,
+                        ..StatsDiagnostics::default()
+                    },
+                );
+            }
+            Err(e) => {
+                let corrupt = e.to_string();
+                self.analyze();
+                // analyze() recorded its own outcome; stamp on top that the
+                // trigger was a corrupt summary, preserving a deeper rung.
+                self.diagnostics.degraded = true;
+                self.diagnostics.attempts += 1;
+                if self.diagnostics.fallback != StatsFallback::Uniform {
+                    self.diagnostics.fallback = StatsFallback::RebuiltFromData;
+                }
+                self.diagnostics.last_error = Some(format!("corrupt summary: {corrupt}"));
+            }
+        }
+        &self.diagnostics
+    }
+
+    /// Diagnostics for the most recent statistics build or load.
+    pub fn stats_diagnostics(&self) -> &StatsDiagnostics {
+        &self.diagnostics
     }
 
     /// Estimated result size for `query`, falling back to the global
     /// uniformity assumption when the table was never analyzed.
+    ///
+    /// The result is always finite and clamped to `[0, N]` (no statistics
+    /// state, however degraded, can claim more rows than the table holds).
     pub fn estimate(&self, query: &Rect) -> f64 {
-        match &self.stats {
+        // A non-finite query cannot intersect anything real.
+        self.try_estimate(query).unwrap_or(0.0)
+    }
+
+    /// Estimated result size for `query`, rejecting non-finite queries
+    /// instead of guessing. The `Ok` value is finite and within `[0, N]`.
+    pub fn try_estimate(&self, query: &Rect) -> Result<f64, EstimateError> {
+        if !query.is_finite() {
+            return Err(EstimateError::NonFiniteQuery);
+        }
+        let raw = match &self.stats {
             Some(stats) => stats.estimate_count(query),
             None => {
                 // Planner fallback: treat the whole table as one bucket
                 // covering the index MBR (a DBMS guesses without stats too).
                 if self.live == 0 {
-                    return 0.0;
+                    return Ok(0.0);
                 }
                 let mbr = self.index.mbr();
                 let frac = if mbr.area() > 0.0 {
@@ -194,6 +383,13 @@ impl SpatialTable {
                 };
                 self.live as f64 * frac
             }
+        };
+        // Clamp to [0, N]: degraded or stale statistics may over- or
+        // under-shoot, but the bound always holds.
+        if raw.is_finite() {
+            Ok(raw.clamp(0.0, self.live as f64))
+        } else {
+            Ok(0.0)
         }
     }
 
@@ -245,7 +441,8 @@ impl SpatialTable {
                 .iter()
                 .enumerate()
                 .filter_map(|(i, slot)| {
-                    slot.filter(|r| r.intersects(query)).map(|_| RowId(i as u64))
+                    slot.filter(|r| r.intersects(query))
+                        .map(|_| RowId(i as u64))
                 })
                 .collect(),
             Plan::IndexScan => {
@@ -350,17 +547,17 @@ mod tests {
             t.insert(*r);
         }
         t.analyze();
-        assert_eq!(t.stats().unwrap().staleness(), 0.0);
+        assert_eq!(t.stats().expect("analyzed").staleness(), 0.0);
         // Churn well past the 20% threshold.
         for i in 0..1_500 {
             let x = 4_000.0 + (i % 40) as f64 * 20.0;
             let y = 4_000.0 + (i / 40) as f64 * 20.0;
             t.insert(Rect::new(x, y, x + 50.0, y + 50.0));
         }
-        assert!(t.stats().unwrap().staleness() > 0.2);
+        assert!(t.stats().expect("analyzed").staleness() > 0.2);
         // The next plan triggers ANALYZE; afterwards staleness resets.
         let _ = t.plan(&Rect::new(4_000.0, 4_000.0, 5_000.0, 5_000.0));
-        assert!(t.stats().unwrap().staleness() < 1e-9);
+        assert!(t.stats().expect("analyzed").staleness() < 1e-9);
     }
 
     #[test]
@@ -381,8 +578,7 @@ mod tests {
         let after = t.plan(&corner);
         let (rows, _) = t.execute_explain(&corner);
         let actual = rows.len() as f64;
-        let err =
-            |e: &Explain| (e.estimated_rows - actual).abs() / actual.max(1.0);
+        let err = |e: &Explain| (e.estimated_rows - actual).abs() / actual.max(1.0);
         assert!(
             err(&after) < err(&before),
             "ANALYZE must improve the corner estimate ({:.2} -> {:.2})",
@@ -399,6 +595,129 @@ mod tests {
         assert!(rows.is_empty());
         assert_eq!(e.actual_rows, Some(0));
         assert!(!t.delete(RowId(5)));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_options() {
+        let bad_fanout = TableOptions {
+            index_fanout: 2,
+            ..TableOptions::default()
+        };
+        assert!(matches!(
+            SpatialTable::try_new(bad_fanout),
+            Err(minskew_core::BuildError::InvalidConfig(_))
+        ));
+        let zero_buckets = TableOptions {
+            analyze: AnalyzeOptions {
+                buckets: 0,
+                ..Default::default()
+            },
+            ..TableOptions::default()
+        };
+        assert!(matches!(
+            SpatialTable::try_new(zero_buckets),
+            Err(minskew_core::BuildError::ZeroBucketBudget)
+        ));
+        assert!(SpatialTable::try_new(TableOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn try_analyze_is_strict_where_analyze_degrades() {
+        // An empty table: strict analysis refuses, graceful analysis
+        // degrades to the uniform floor and records it.
+        let mut t = SpatialTable::new(TableOptions::default());
+        assert!(matches!(
+            t.try_analyze(),
+            Err(minskew_core::BuildError::EmptyDataset)
+        ));
+        assert!(
+            t.stats().is_none(),
+            "failed strict analyze must not install"
+        );
+        t.analyze();
+        let d = t.stats_diagnostics();
+        assert!(d.degraded);
+        assert_eq!(d.fallback, StatsFallback::Uniform);
+        assert!(d.last_error.is_some());
+        assert_eq!(t.estimate(&Rect::new(0.0, 0.0, 1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn analyze_degrades_bucket_budget_to_achievable() {
+        // 4-region grid but 100 requested buckets: Min-Skew cannot reach
+        // the budget, so graceful analyze retries at the achievable count.
+        let mut t = SpatialTable::new(TableOptions {
+            analyze: AnalyzeOptions {
+                regions: 4,
+                ..Default::default()
+            },
+            ..TableOptions::default()
+        });
+        for r in charminar_with(500, 7).rects() {
+            t.insert(*r);
+        }
+        assert!(matches!(
+            t.try_analyze(),
+            Err(minskew_core::BuildError::GridTooCoarse { .. })
+        ));
+        t.analyze();
+        let d = t.stats_diagnostics();
+        assert_eq!(d.fallback, StatsFallback::DegradedBuckets);
+        assert!(d.degraded);
+        assert_eq!(d.requested_buckets, 100);
+        assert!(d.achieved_buckets <= 4 && d.achieved_buckets > 0, "{d:?}");
+        assert_eq!(d.attempts, 2);
+        // The degraded histogram still estimates, bounded by N.
+        let est = t.estimate(&Rect::new(-1e6, -1e6, 1e6, 1e6));
+        assert!(est >= 0.0 && est <= t.len() as f64);
+    }
+
+    #[test]
+    fn load_stats_ladder_survives_corruption() {
+        let mut t = SpatialTable::new(TableOptions::default());
+        for r in charminar_with(2_000, 9).rects() {
+            t.insert(*r);
+        }
+        t.analyze();
+        let good = t.stats().expect("analyzed").to_bytes();
+        // A healthy summary round-trips and reports no degradation.
+        let d = t.load_stats(&good);
+        assert_eq!(d.fallback, StatsFallback::None);
+        assert!(!d.degraded);
+        // A corrupt summary is never installed: the table rebuilds from its
+        // own rows and says so.
+        let mut corrupt = good.clone();
+        corrupt[10] ^= 0xFF;
+        let d = t.load_stats(&corrupt).clone();
+        assert_eq!(d.fallback, StatsFallback::RebuiltFromData);
+        assert!(d.degraded);
+        assert!(d
+            .last_error
+            .as_deref()
+            .is_some_and(|e| e.contains("corrupt")));
+        let q = Rect::new(0.0, 0.0, 2_000.0, 2_000.0);
+        let est = t.estimate(&q);
+        assert!(est.is_finite() && est >= 0.0 && est <= t.len() as f64);
+    }
+
+    #[test]
+    fn estimates_are_clamped_and_total_queries_bounded() {
+        let mut t = grid_table(20); // 400 rows
+        t.analyze();
+        // A query covering everything can never claim more than N rows.
+        let everything = Rect::new(-1e9, -1e9, 1e9, 1e9);
+        let est = t.estimate(&everything);
+        assert!(est <= t.len() as f64 + 1e-9, "estimate {est} exceeds N");
+        assert!(est >= 0.0);
+        // A non-finite query (constructed through the public fields, as
+        // in-memory corruption would) is rejected strictly and estimated
+        // as empty gracefully.
+        let poisoned = Rect {
+            lo: minskew_geom::Point::new(f64::NAN, 0.0),
+            hi: minskew_geom::Point::new(1.0, 1.0),
+        };
+        assert!(t.try_estimate(&poisoned).is_err());
+        assert_eq!(t.estimate(&poisoned), 0.0);
     }
 
     #[test]

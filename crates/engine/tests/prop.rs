@@ -1,6 +1,8 @@
 //! Property tests: the engine's results must always equal a naive shadow
 //! table regardless of plan choice, mutation order, or statistics state.
 
+#![cfg(feature = "proptest")]
+
 use minskew_engine::{RowId, SpatialTable, TableOptions};
 use minskew_geom::Rect;
 use proptest::prelude::*;

@@ -28,7 +28,7 @@ mod shapes;
 
 pub use axis::Axis;
 pub use point::Point;
-pub use rect::Rect;
+pub use rect::{NonFiniteRectError, Rect};
 pub use shapes::{Polygon, Polyline};
 
 /// Computes the minimum bounding rectangle of an iterator of rectangles.

@@ -21,17 +21,54 @@ pub struct Rect {
     pub hi: Point,
 }
 
+/// Error returned by [`Rect::try_new`] when a corner coordinate is NaN or
+/// infinite.
+///
+/// Non-finite rectangles poison every downstream computation (areas,
+/// densities, skew) without tripping any comparison, so the geometry layer
+/// rejects them at construction time instead of letting them propagate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonFiniteRectError;
+
+impl std::fmt::Display for NonFiniteRectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rectangle corner coordinates must be finite")
+    }
+}
+
+impl std::error::Error for NonFiniteRectError {}
+
 impl Rect {
     /// Creates a rectangle from two opposite corners given as coordinates.
     ///
     /// Corner order is normalised: `Rect::new(3.0, 4.0, 1.0, 2.0)` equals
     /// `Rect::new(1.0, 2.0, 3.0, 4.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is NaN or infinite. The `f64::min`/`max`
+    /// normalisation would otherwise *silently drop* a NaN corner (NaN loses
+    /// every min/max), producing a plausible-looking but corrupt rectangle.
+    /// Callers handling untrusted input should use [`Rect::try_new`].
     #[inline]
     pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Rect {
-        Rect {
+        match Rect::try_new(x1, y1, x2, y2) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}: ({x1}, {y1}, {x2}, {y2})"),
+        }
+    }
+
+    /// Fallible constructor: like [`Rect::new`] but returns an error instead
+    /// of panicking when a coordinate is NaN or infinite.
+    #[inline]
+    pub fn try_new(x1: f64, y1: f64, x2: f64, y2: f64) -> Result<Rect, NonFiniteRectError> {
+        if !(x1.is_finite() && y1.is_finite() && x2.is_finite() && y2.is_finite()) {
+            return Err(NonFiniteRectError);
+        }
+        Ok(Rect {
             lo: Point::new(x1.min(x2), y1.min(y2)),
             hi: Point::new(x1.max(x2), y1.max(y2)),
-        }
+        })
     }
 
     /// Creates a rectangle from two opposite corner points (order normalised).
@@ -106,10 +143,7 @@ impl Rect {
     /// Centre point.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.lo.x + self.hi.x) / 2.0,
-            (self.lo.y + self.hi.y) / 2.0,
-        )
+        Point::new((self.lo.x + self.hi.x) / 2.0, (self.lo.y + self.hi.y) / 2.0)
     }
 
     /// Returns `true` if `p` lies inside or on the boundary.
@@ -257,6 +291,7 @@ impl std::fmt::Display for Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -265,6 +300,31 @@ mod tests {
         assert_eq!(r, Rect::new(1.0, 2.0, 3.0, 4.0));
         assert_eq!(r.lo, Point::new(1.0, 2.0));
         assert_eq!(r.hi, Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn non_finite_corners_rejected() {
+        // NaN would silently lose the min/max normalisation; the constructor
+        // must refuse it rather than build a corrupt rectangle.
+        assert_eq!(
+            Rect::try_new(f64::NAN, 0.0, 1.0, 1.0),
+            Err(NonFiniteRectError)
+        );
+        assert_eq!(
+            Rect::try_new(0.0, f64::INFINITY, 1.0, 1.0),
+            Err(NonFiniteRectError)
+        );
+        assert_eq!(
+            Rect::try_new(0.0, 0.0, f64::NEG_INFINITY, 1.0),
+            Err(NonFiniteRectError)
+        );
+        assert_eq!(
+            Rect::try_new(0.0, 0.0, 1.0, f64::NAN),
+            Err(NonFiniteRectError)
+        );
+        assert!(Rect::try_new(0.0, 0.0, 1.0, 1.0).is_ok());
+        let result = std::panic::catch_unwind(|| Rect::new(f64::NAN, 0.0, 1.0, 1.0));
+        assert!(result.is_err(), "Rect::new must panic on NaN");
     }
 
     #[test]
@@ -374,16 +434,13 @@ mod tests {
         assert_eq!(rr, r);
     }
 
+    #[cfg(feature = "proptest")]
     fn arb_rect() -> impl Strategy<Value = Rect> {
-        (
-            -1e6..1e6f64,
-            -1e6..1e6f64,
-            0.0..1e5f64,
-            0.0..1e5f64,
-        )
+        (-1e6..1e6f64, -1e6..1e6f64, 0.0..1e5f64, 0.0..1e5f64)
             .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_union_contains_both(a in arb_rect(), b in arb_rect()) {

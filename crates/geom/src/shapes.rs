@@ -144,6 +144,7 @@ impl Polygon {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn zigzag() -> Polyline {
@@ -241,6 +242,7 @@ mod tests {
         assert!((t.perimeter() - 12.0).abs() < 1e-12);
     }
 
+    #[cfg(feature = "proptest")]
     fn arb_points(min: usize) -> impl Strategy<Value = Vec<Point>> {
         proptest::collection::vec(
             (-1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y)| Point::new(x, y)),
@@ -248,6 +250,7 @@ mod tests {
         )
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         /// The union of per-segment MBRs equals the polyline's MBR, so the
         /// paper's segment-wise preprocessing loses no extent.

@@ -7,7 +7,6 @@
 //! filling to `M`) so every node ends up with at least `m` entries and the
 //! resulting tree passes full validation.
 
-
 use crate::node::{Item, Node};
 use crate::tree::{RStarTree, RTreeConfig};
 
@@ -25,7 +24,11 @@ fn even_chunk_lens(len: usize, max: usize) -> Vec<usize> {
 
 /// One STR tiling pass: groups `elems` into parent groups of at most
 /// `max_entries`, each group spatially clustered.
-fn pack_level<E>(mut elems: Vec<E>, max_entries: usize, center_of: impl Fn(&E) -> (f64, f64)) -> Vec<Vec<E>> {
+fn pack_level<E>(
+    mut elems: Vec<E>,
+    max_entries: usize,
+    center_of: impl Fn(&E) -> (f64, f64),
+) -> Vec<Vec<E>> {
     let n = elems.len();
     debug_assert!(n > 0);
     if n <= max_entries {
@@ -123,8 +126,7 @@ mod tests {
                 .collect();
             let tree = RStarTree::bulk_load(RTreeConfig::default(), items);
             assert_eq!(tree.len(), n);
-            tree.validate()
-                .unwrap_or_else(|e| panic!("n = {n}: {e}"));
+            tree.validate().unwrap_or_else(|e| panic!("n = {n}: {e}"));
         }
     }
 
@@ -136,7 +138,12 @@ mod tests {
             .map(|_| {
                 let x = rng.gen_range(0.0..1000.0);
                 let y = rng.gen_range(0.0..1000.0);
-                Rect::new(x, y, x + rng.gen_range(0.0..20.0), y + rng.gen_range(0.0..20.0))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.0..20.0),
+                    y + rng.gen_range(0.0..20.0),
+                )
             })
             .collect();
         let items: Vec<Item<usize>> = rects

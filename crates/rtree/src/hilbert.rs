@@ -188,7 +188,12 @@ mod tests {
             .map(|_| {
                 let x = rng.gen_range(0.0..1000.0);
                 let y = rng.gen_range(0.0..1000.0);
-                Rect::new(x, y, x + rng.gen_range(0.0..15.0), y + rng.gen_range(0.0..15.0))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.0..15.0),
+                    y + rng.gen_range(0.0..15.0),
+                )
             })
             .collect();
         let items: Vec<Item<usize>> = rects
@@ -235,8 +240,7 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        let empty: RStarTree<u8> =
-            RStarTree::bulk_load_hilbert(RTreeConfig::default(), vec![]);
+        let empty: RStarTree<u8> = RStarTree::bulk_load_hilbert(RTreeConfig::default(), vec![]);
         assert!(empty.is_empty());
         let one = RStarTree::bulk_load_hilbert(
             RTreeConfig::default(),

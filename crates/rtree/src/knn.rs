@@ -134,7 +134,12 @@ mod tests {
             .map(|_| {
                 let x = rng.gen_range(0.0..1000.0);
                 let y = rng.gen_range(0.0..1000.0);
-                Rect::new(x, y, x + rng.gen_range(0.0..10.0), y + rng.gen_range(0.0..10.0))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.0..10.0),
+                    y + rng.gen_range(0.0..10.0),
+                )
             })
             .collect();
         let mut tree = RStarTree::new(RTreeConfig::with_max_entries(8));

@@ -50,4 +50,4 @@ mod tree;
 pub use hilbert::{hilbert_index, hilbert_point};
 pub use node::Item;
 pub use partition::SubtreeSummary;
-pub use tree::{RStarTree, RTreeConfig, ValidationError};
+pub use tree::{ConfigError, RStarTree, RTreeConfig, ValidationError};

@@ -56,8 +56,8 @@ impl<T> Node<T> {
     }
 
     pub(crate) fn new_leaf(items: Vec<Item<T>>) -> Node<T> {
-        let mbr = mbr_of(items.iter().map(|i| i.rect))
-            .unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
+        let mbr =
+            mbr_of(items.iter().map(|i| i.rect)).unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
         Node::Leaf { mbr, items }
     }
 

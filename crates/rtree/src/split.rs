@@ -115,9 +115,13 @@ pub(crate) fn rstar_split<E>(
 
     // ChooseSplitIndex: among the two sort orders of the winning axis, pick
     // the distribution with minimal overlap (tie: minimal area).
-    let winner = if (stats[axis_orders[0]].best_overlap, stats[axis_orders[0]].best_area)
-        <= (stats[axis_orders[1]].best_overlap, stats[axis_orders[1]].best_area)
-    {
+    let winner = if (
+        stats[axis_orders[0]].best_overlap,
+        stats[axis_orders[0]].best_area,
+    ) <= (
+        stats[axis_orders[1]].best_overlap,
+        stats[axis_orders[1]].best_area,
+    ) {
         axis_orders[0]
     } else {
         axis_orders[1]
@@ -167,7 +171,12 @@ mod tests {
             rects.push(Rect::new(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 1.0));
         }
         for i in 0..5 {
-            rects.push(Rect::new(100.0 + i as f64 * 0.1, 0.0, 100.0 + i as f64 * 0.1 + 0.05, 1.0));
+            rects.push(Rect::new(
+                100.0 + i as f64 * 0.1,
+                0.0,
+                100.0 + i as f64 * 0.1 + 0.05,
+                1.0,
+            ));
         }
         let res = rstar_split(rects, 2, |r| *r);
         let a = group_mbr(&res.first, |r| *r);

@@ -8,6 +8,18 @@ use minskew_geom::Rect;
 use crate::node::{Entry, Item, Node};
 use crate::split::{group_mbr, rstar_split};
 
+/// An inconsistent [`RTreeConfig`] reported by the fallible constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid R*-tree configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Tuning parameters of the tree.
 #[derive(Debug, Clone, Copy)]
 pub struct RTreeConfig {
@@ -29,26 +41,50 @@ impl RTreeConfig {
     ///
     /// Panics if `max_entries < 4`.
     pub fn with_max_entries(max_entries: usize) -> RTreeConfig {
-        assert!(max_entries >= 4, "max_entries must be at least 4");
-        let min_entries = ((max_entries as f64 * 0.4).round() as usize).clamp(2, max_entries / 2);
-        let reinsert_count = ((max_entries as f64 * 0.3).round() as usize).max(1);
-        RTreeConfig {
-            max_entries,
-            min_entries,
-            reinsert_count,
+        match RTreeConfig::try_with_max_entries(max_entries) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
         }
     }
 
+    /// Fallible counterpart of [`RTreeConfig::with_max_entries`]: returns an
+    /// error instead of panicking when `max_entries < 4`.
+    pub fn try_with_max_entries(max_entries: usize) -> Result<RTreeConfig, ConfigError> {
+        if max_entries < 4 {
+            return Err(ConfigError(format!(
+                "max_entries must be at least 4, got {max_entries}"
+            )));
+        }
+        let min_entries = ((max_entries as f64 * 0.4).round() as usize).clamp(2, max_entries / 2);
+        let reinsert_count = ((max_entries as f64 * 0.3).round() as usize).max(1);
+        Ok(RTreeConfig {
+            max_entries,
+            min_entries,
+            reinsert_count,
+        })
+    }
+
+    /// Checks internal consistency, reporting the first violated constraint.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.max_entries < 4 {
+            return Err(ConfigError("max_entries must be at least 4".into()));
+        }
+        if !(self.min_entries >= 2 && self.min_entries <= self.max_entries / 2) {
+            return Err(ConfigError("min_entries must satisfy 2 <= m <= M/2".into()));
+        }
+        if !(self.reinsert_count >= 1 && self.reinsert_count <= self.max_entries - self.min_entries)
+        {
+            return Err(ConfigError(
+                "reinsert_count must satisfy 1 <= p <= M - m".into(),
+            ));
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!(self.max_entries >= 4, "max_entries must be at least 4");
-        assert!(
-            self.min_entries >= 2 && self.min_entries <= self.max_entries / 2,
-            "min_entries must satisfy 2 <= m <= M/2"
-        );
-        assert!(
-            self.reinsert_count >= 1 && self.reinsert_count <= self.max_entries - self.min_entries,
-            "reinsert_count must satisfy 1 <= p <= M - m"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -110,6 +146,17 @@ impl<T> RStarTree<T> {
         }
     }
 
+    /// Fallible counterpart of [`RStarTree::new`].
+    pub fn try_new(config: RTreeConfig) -> Result<RStarTree<T>, ConfigError> {
+        config.try_validate()?;
+        Ok(RStarTree {
+            config,
+            root: Node::empty_leaf(),
+            height: 1,
+            len: 0,
+        })
+    }
+
     /// Bulk loads a tree from items using Sort-Tile-Recursive packing.
     ///
     /// Much faster than repeated insertion for static datasets
@@ -118,6 +165,15 @@ impl<T> RStarTree<T> {
     pub fn bulk_load(config: RTreeConfig, items: Vec<Item<T>>) -> RStarTree<T> {
         config.validate();
         crate::bulk::str_bulk_load(config, items)
+    }
+
+    /// Fallible counterpart of [`RStarTree::bulk_load`].
+    pub fn try_bulk_load(
+        config: RTreeConfig,
+        items: Vec<Item<T>>,
+    ) -> Result<RStarTree<T>, ConfigError> {
+        config.try_validate()?;
+        Ok(crate::bulk::str_bulk_load(config, items))
     }
 
     /// Bulk loads a tree by **Hilbert packing** (Kamel & Faloutsos): items
@@ -132,7 +188,21 @@ impl<T> RStarTree<T> {
         crate::hilbert::hilbert_bulk_load(config, items)
     }
 
-    pub(crate) fn from_parts(config: RTreeConfig, root: Node<T>, height: usize, len: usize) -> RStarTree<T> {
+    /// Fallible counterpart of [`RStarTree::bulk_load_hilbert`].
+    pub fn try_bulk_load_hilbert(
+        config: RTreeConfig,
+        items: Vec<Item<T>>,
+    ) -> Result<RStarTree<T>, ConfigError> {
+        config.try_validate()?;
+        Ok(crate::hilbert::hilbert_bulk_load(config, items))
+    }
+
+    pub(crate) fn from_parts(
+        config: RTreeConfig,
+        root: Node<T>,
+        height: usize,
+        len: usize,
+    ) -> RStarTree<T> {
         RStarTree {
             config,
             root,
@@ -235,16 +305,36 @@ impl<T> RStarTree<T> {
             match (node, entry) {
                 (Node::Leaf { mbr, items }, Entry::Item(item)) => {
                     items.push(item);
-                    *mbr = if was_empty { entry_rect } else { mbr.union(&entry_rect) };
+                    *mbr = if was_empty {
+                        entry_rect
+                    } else {
+                        mbr.union(&entry_rect)
+                    };
                     if items.len() > config.max_entries {
-                        return Self::overflow(config, Node::leaf_parts(mbr, items), node_level, mask, is_root);
+                        return Self::overflow(
+                            config,
+                            Node::leaf_parts(mbr, items),
+                            node_level,
+                            mask,
+                            is_root,
+                        );
                     }
                 }
                 (Node::Internal { mbr, children }, Entry::Child(child)) => {
                     children.push(child);
-                    *mbr = if was_empty { entry_rect } else { mbr.union(&entry_rect) };
+                    *mbr = if was_empty {
+                        entry_rect
+                    } else {
+                        mbr.union(&entry_rect)
+                    };
                     if children.len() > config.max_entries {
-                        return Self::overflow(config, Node::internal_parts(mbr, children), node_level, mask, is_root);
+                        return Self::overflow(
+                            config,
+                            Node::internal_parts(mbr, children),
+                            node_level,
+                            mask,
+                            is_root,
+                        );
                     }
                 }
                 _ => unreachable!("entry kind does not match node kind at its level"),
@@ -278,7 +368,13 @@ impl<T> RStarTree<T> {
                     .expect("internal node has children");
                 std::mem::swap(mbr, &mut recomputed);
                 if children.len() > config.max_entries {
-                    Self::overflow(config, Node::internal_parts(mbr, children), node_level, mask, is_root)
+                    Self::overflow(
+                        config,
+                        Node::internal_parts(mbr, children),
+                        node_level,
+                        mask,
+                        is_root,
+                    )
                 } else {
                     Pending::None
                 }
@@ -323,8 +419,7 @@ impl<T> RStarTree<T> {
                     da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                 });
                 let keep = items.len() - p;
-                let removed: Vec<Entry<T>> =
-                    items.drain(keep..).map(Entry::Item).collect();
+                let removed: Vec<Entry<T>> = items.drain(keep..).map(Entry::Item).collect();
                 *mbr = minskew_geom::mbr_of(items.iter().map(|i| i.rect))
                     .expect("leaf keeps at least m entries");
                 removed
@@ -337,8 +432,7 @@ impl<T> RStarTree<T> {
                     da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                 });
                 let keep = children.len() - p;
-                let removed: Vec<Entry<T>> =
-                    children.drain(keep..).map(Entry::Child).collect();
+                let removed: Vec<Entry<T>> = children.drain(keep..).map(Entry::Child).collect();
                 *mbr = minskew_geom::mbr_of(children.iter().map(|c| c.mbr()))
                     .expect("internal node keeps at least m entries");
                 removed
@@ -424,13 +518,21 @@ impl<T> RStarTree<T> {
         let root_level = self.height - 1;
         let mut orphans: Vec<(Entry<T>, usize)> = Vec::new();
         let min_entries = self.config.min_entries;
-        if !Self::remove_rec(min_entries, &mut self.root, root_level, rect, data, &mut orphans) {
+        if !Self::remove_rec(
+            min_entries,
+            &mut self.root,
+            root_level,
+            rect,
+            data,
+            &mut orphans,
+        ) {
             return false;
         }
         self.len -= 1;
         // Shrink the root while it is an internal node with one child.
         loop {
-            let single = matches!(&self.root, Node::Internal { children, .. } if children.len() == 1);
+            let single =
+                matches!(&self.root, Node::Internal { children, .. } if children.len() == 1);
             if !single {
                 break;
             }
@@ -474,8 +576,8 @@ impl<T> RStarTree<T> {
                 };
                 items.swap_remove(pos);
                 if !items.is_empty() {
-                    *mbr = minskew_geom::mbr_of(items.iter().map(|i| i.rect))
-                        .expect("non-empty leaf");
+                    *mbr =
+                        minskew_geom::mbr_of(items.iter().map(|i| i.rect)).expect("non-empty leaf");
                 }
                 true
             }
@@ -506,9 +608,7 @@ impl<T> RStarTree<T> {
                             // re-attached as children of (node_level - 1)-level
                             // nodes.
                             orphans.extend(
-                                grand
-                                    .into_iter()
-                                    .map(|g| (Entry::Child(g), node_level - 1)),
+                                grand.into_iter().map(|g| (Entry::Child(g), node_level - 1)),
                             );
                         }
                     }
@@ -533,9 +633,7 @@ impl<T> RStarTree<T> {
                 Node::Leaf { items, .. } => {
                     items.iter().filter(|i| i.rect.intersects(query)).count()
                 }
-                Node::Internal { children, .. } => {
-                    children.iter().map(|c| rec(c, query)).sum()
-                }
+                Node::Internal { children, .. } => children.iter().map(|c| rec(c, query)).sum(),
             }
         }
         if self.len == 0 {
@@ -881,7 +979,12 @@ mod tests {
             if live.is_empty() || rng.gen_bool(0.6) {
                 let x = rng.gen_range(0.0..500.0);
                 let y = rng.gen_range(0.0..500.0);
-                let r = Rect::new(x, y, x + rng.gen_range(0.0..20.0), y + rng.gen_range(0.0..20.0));
+                let r = Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.0..20.0),
+                    y + rng.gen_range(0.0..20.0),
+                );
                 t.insert(r, next_id);
                 live.push((r, next_id));
                 next_id += 1;
@@ -932,5 +1035,30 @@ mod tests {
     #[should_panic(expected = "max_entries")]
     fn tiny_max_entries_rejected() {
         RTreeConfig::with_max_entries(3);
+    }
+
+    #[test]
+    fn fallible_constructors_report_bad_configs() {
+        assert!(RTreeConfig::try_with_max_entries(3).is_err());
+        let cfg = RTreeConfig::try_with_max_entries(8).expect("valid capacity");
+        assert!(cfg.try_validate().is_ok());
+        let broken = RTreeConfig {
+            max_entries: 8,
+            min_entries: 7, // > M/2
+            reinsert_count: 1,
+        };
+        assert!(broken.try_validate().is_err());
+        assert!(RStarTree::<usize>::try_new(broken).is_err());
+        assert!(RStarTree::<usize>::try_bulk_load(broken, vec![]).is_err());
+        assert!(RStarTree::<usize>::try_bulk_load_hilbert(broken, vec![]).is_err());
+        // The Ok paths build real trees.
+        let items: Vec<Item<usize>> = (0..40)
+            .map(|i| Item::new(Rect::new(i as f64, 0.0, i as f64 + 0.5, 1.0), i))
+            .collect();
+        let t = RStarTree::try_bulk_load(cfg, items.clone()).expect("valid config");
+        assert_eq!(t.len(), 40);
+        t.validate().expect("bulk-loaded tree is well-formed");
+        let h = RStarTree::try_bulk_load_hilbert(cfg, items).expect("valid config");
+        assert_eq!(h.len(), 40);
     }
 }

@@ -1,6 +1,8 @@
 //! Property-based stress tests: arbitrary operation sequences must keep the
 //! tree structurally valid and query-equivalent to a naive shadow set.
 
+#![cfg(feature = "proptest")]
+
 use minskew_geom::{Point, Rect};
 use minskew_rtree::{RStarTree, RTreeConfig};
 use proptest::prelude::*;

@@ -90,7 +90,9 @@ mod tests {
         // A rect at the top of the world should land at pixel y = 0.
         c.rect(&Rect::new(0.0, 90.0, 10.0, 100.0), "fill:red");
         let svg = c.finish();
-        assert!(svg.contains(r#"<rect x="0.00" y="0.00" width="10.00" height="10.00" style="fill:red"#));
+        assert!(
+            svg.contains(r#"<rect x="0.00" y="0.00" width="10.00" height="10.00" style="fill:red"#)
+        );
     }
 
     #[test]

@@ -25,4 +25,4 @@ mod tune;
 pub use metrics::{bootstrap_error, evaluate, evaluate_all, ErrorInterval, ErrorReport};
 pub use queries::{CenterMode, QueryWorkload};
 pub use truth::GroundTruth;
-pub use tune::{tune_min_skew, TuneOptions, TunedMinSkew, TuneTrial};
+pub use tune::{tune_min_skew, TuneOptions, TuneTrial, TunedMinSkew};

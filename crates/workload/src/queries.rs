@@ -258,7 +258,10 @@ mod tests {
     fn point_queries_are_degenerate() {
         let ds = charminar_with(500, 7);
         let w = QueryWorkload::points(&ds, 100, 8);
-        assert!(w.queries().iter().all(|q| q.area() == 0.0 && q.width() == 0.0));
+        assert!(w
+            .queries()
+            .iter()
+            .all(|q| q.area() == 0.0 && q.width() == 0.0));
         // Every point query sits at a rect centre, so it hits that rect.
         assert!(w.queries().iter().all(|q| ds.count_intersecting(q) > 0));
     }
@@ -291,8 +294,8 @@ mod tests {
     fn csv_roundtrip_replays_exactly() {
         let ds = charminar_with(400, 15);
         let w = QueryWorkload::generate(&ds, 0.1, 40, 16);
-        let path = std::env::temp_dir()
-            .join(format!("minskew-workload-{}.csv", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("minskew-workload-{}.csv", std::process::id()));
         w.save_csv(&path).unwrap();
         let back = QueryWorkload::load_csv(&path).unwrap();
         assert_eq!(back.queries(), w.queries());

@@ -84,7 +84,10 @@ pub fn tune_min_skew(data: &Dataset, buckets: usize, opts: &TuneOptions) -> Tune
         !opts.region_ladder.is_empty() && !opts.refinement_ladder.is_empty(),
         "ladders must be non-empty"
     );
-    assert!(!opts.qsizes.is_empty(), "need at least one validation qsize");
+    assert!(
+        !opts.qsizes.is_empty(),
+        "need at least one validation qsize"
+    );
 
     // Validation workloads + exact counts, computed once.
     let truth = GroundTruth::index(data);
@@ -108,7 +111,9 @@ pub fn tune_min_skew(data: &Dataset, buckets: usize, opts: &TuneOptions) -> Tune
 
     let mut trials = Vec::new();
     let mut best: Option<(TuneTrial, SpatialHistogram)> = None;
-    let consider = |trial: TuneTrial, hist: SpatialHistogram, best: &mut Option<(TuneTrial, SpatialHistogram)>| {
+    let consider = |trial: TuneTrial,
+                    hist: SpatialHistogram,
+                    best: &mut Option<(TuneTrial, SpatialHistogram)>| {
         if best.as_ref().is_none_or(|(b, _)| trial.error < b.error) {
             *best = Some((trial, hist));
         }
@@ -189,11 +194,7 @@ mod tests {
         let ds = charminar_with(8_000, 2);
         let opts = small_opts();
         let tuned = tune_min_skew(&ds, 50, &opts);
-        let worst = tuned
-            .trials
-            .iter()
-            .map(|t| t.error)
-            .fold(0.0f64, f64::max);
+        let worst = tuned.trials.iter().map(|t| t.error).fold(0.0f64, f64::max);
         assert!(tuned.best.error <= worst);
         // On skewed data the spread across configurations is real.
         assert!(worst > tuned.best.error, "tuning space was degenerate");

@@ -19,12 +19,19 @@ fn main() {
     let large_counts = truth.counts(large.queries());
 
     println!("== Region-count sensitivity (Charminar, {buckets} buckets) ==");
-    println!("{:>10} {:>12} {:>12}", "regions", "small (5%)", "large (25%)");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "regions", "small (5%)", "large (25%)"
+    );
     for regions in [100, 400, 1_600, 6_400, 30_000] {
         let hist = MinSkewBuilder::new(buckets).regions(regions).build(&data);
         let e_small = evaluate(&hist, &small, &small_counts).avg_relative_error;
         let e_large = evaluate(&hist, &large, &large_counts).avg_relative_error;
-        println!("{regions:>10} {:>11.1}% {:>11.1}%", e_small * 100.0, e_large * 100.0);
+        println!(
+            "{regions:>10} {:>11.1}% {:>11.1}%",
+            e_small * 100.0,
+            e_large * 100.0
+        );
     }
     println!("(watch the large-query column worsen as regions grow)\n");
 

@@ -20,7 +20,10 @@ fn main() {
     let queries = [
         ("tiny corner probe", Rect::new(100.0, 100.0, 400.0, 400.0)),
         ("dense corner", Rect::new(0.0, 0.0, 1_800.0, 1_800.0)),
-        ("sparse centre", Rect::new(4_000.0, 4_000.0, 6_000.0, 6_000.0)),
+        (
+            "sparse centre",
+            Rect::new(4_000.0, 4_000.0, 6_000.0, 6_000.0),
+        ),
         ("half the state", Rect::new(0.0, 0.0, 10_000.0, 5_000.0)),
         ("everything", Rect::new(0.0, 0.0, 10_000.0, 10_000.0)),
     ];
@@ -43,8 +46,5 @@ fn main() {
     );
     let (_, explain) = table.execute_explain(&Rect::new(4_000.0, 4_000.0, 6_000.0, 6_000.0));
     println!("after auto-ANALYZE: {explain}");
-    println!(
-        "staleness after: {:.2}",
-        table.stats().unwrap().staleness()
-    );
+    println!("staleness after: {:.2}", table.stats().unwrap().staleness());
 }

@@ -27,11 +27,17 @@ fn main() {
     // Estimate a few queries and compare with the exact answer.
     let queries = [
         ("dense corner", Rect::new(0.0, 0.0, 1_500.0, 1_500.0)),
-        ("sparse centre", Rect::new(4_000.0, 4_000.0, 6_000.0, 6_000.0)),
+        (
+            "sparse centre",
+            Rect::new(4_000.0, 4_000.0, 6_000.0, 6_000.0),
+        ),
         ("wide band", Rect::new(0.0, 4_500.0, 10_000.0, 5_500.0)),
         ("point query", Rect::new(500.0, 500.0, 500.0, 500.0)),
     ];
-    println!("{:<14} {:>10} {:>10} {:>8}", "query", "estimate", "actual", "rel err");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "query", "estimate", "actual", "rel err"
+    );
     for (name, q) in queries {
         let estimate = hist.estimate_count(&q);
         let actual = data.count_intersecting(&q) as f64;

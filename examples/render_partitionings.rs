@@ -19,7 +19,11 @@ fn main() -> std::io::Result<()> {
 
     let partitionings = [
         ("equi_area.svg", build_equi_area(&data, buckets), "Figure 2"),
-        ("equi_count.svg", build_equi_count(&data, buckets), "Figure 3"),
+        (
+            "equi_count.svg",
+            build_equi_count(&data, buckets),
+            "Figure 3",
+        ),
         (
             "rtree.svg",
             minskew::estimators::build_rtree_partitioning_default(&data, buckets),
@@ -33,7 +37,11 @@ fn main() -> std::io::Result<()> {
     ];
     for (file, hist, figure) in partitionings {
         std::fs::write(file, partitioning_svg(&data, &hist, 800))?;
-        println!("{file:<22} ({figure}: {} with {} buckets)", hist.name(), hist.num_buckets());
+        println!(
+            "{file:<22} ({figure}: {} with {} buckets)",
+            hist.name(),
+            hist.num_buckets()
+        );
     }
     Ok(())
 }

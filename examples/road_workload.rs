@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example road_workload`.
 
-use minskew::prelude::*;
 use minskew::datagen::RoadNetworkSpec;
+use minskew::prelude::*;
 use minskew_workload::evaluate_all;
 
 fn main() {
@@ -37,10 +37,19 @@ fn main() {
     let sample = SamplingEstimator::build(&data, buckets, 3);
     let fractal = FractalEstimator::build(&data);
     let uniform = build_uniform(&data);
-    println!("fractal dimension of the road data: D2 = {:.2}\n", fractal.d2());
+    println!(
+        "fractal dimension of the road data: D2 = {:.2}\n",
+        fractal.d2()
+    );
 
     let estimators: Vec<&dyn SpatialEstimator> = vec![
-        &minskew, &equi_count, &equi_area, &rtree, &sample, &fractal, &uniform,
+        &minskew,
+        &equi_count,
+        &equi_area,
+        &rtree,
+        &sample,
+        &fractal,
+        &uniform,
     ];
 
     for qsize in [0.05, 0.25] {

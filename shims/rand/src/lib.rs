@@ -1,0 +1,294 @@
+//! Offline, dependency-free stand-in for the subset of the `rand` 0.8 API
+//! this workspace uses.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real `rand` crate cannot be fetched. This shim provides the same call
+//! surface (`Rng`, `SeedableRng`, `rngs::StdRng`, `seq::SliceRandom`) backed
+//! by a deterministic xoshiro256++ generator seeded through splitmix64.
+//! Determinism is a feature here: every dataset generator and sampler in the
+//! workspace seeds explicitly, so runs are reproducible across machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of a `u64` draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from the generator's native output.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with a uniform sampler over an interval (mirrors
+/// `rand::distributions::uniform::SampleUniform` closely enough for type
+/// inference: `Range<T>` links directly to `T` through one generic impl).
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws a value in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "cannot sample empty range");
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(lo <= hi, "cannot sample inverted range");
+                let unit: $t = Standard::sample(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+float_sample_uniform!(f32, f64);
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_in(lo, hi, true, rng)
+    }
+}
+
+/// Convenience draws layered on [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for the real
+    /// `StdRng`; statistical quality is more than adequate for data
+    /// generation and sampling estimators).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // splitmix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice extension methods, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection and shuffling on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(0..=4u32);
+            assert!(y <= 4);
+            let f = rng.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+            let g = rng.gen_range(1.0..=2.0f64);
+            assert!((1.0..=2.0).contains(&g));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+        assert!([1, 2, 3].choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -46,8 +46,8 @@
 
 pub use minskew_core as estimators;
 pub use minskew_data as data;
-pub use minskew_engine as engine;
 pub use minskew_datagen as datagen;
+pub use minskew_engine as engine;
 pub use minskew_geom as geom;
 pub use minskew_rtree as rtree;
 pub use minskew_viz as viz;
@@ -56,12 +56,14 @@ pub use minskew_workload as workload;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use minskew_core::{
-        build_equi_area, build_equi_count, build_grid, build_optimal_bsp,
-        build_rtree_partitioning, build_uniform, Bucket, ExtensionRule, FractalEstimator,
-        MinSkewBuilder, RTreeBuildMethod, SamplingEstimator, SpatialEstimator, SpatialHistogram,
-        SplitStrategy,
+        build_equi_area, build_equi_count, build_grid, build_optimal_bsp, build_rtree_partitioning,
+        build_uniform, try_build_equi_area, try_build_equi_count, try_build_grid,
+        try_build_optimal_bsp, try_build_rtree_partitioning, try_build_uniform, Bucket, BuildError,
+        EstimateError, ExtensionRule, FractalEstimator, MinSkewBuilder, RTreeBuildMethod,
+        SamplingEstimator, SpatialEstimator, SpatialHistogram, SplitStrategy,
     };
     pub use minskew_data::{CsvRectSource, Dataset, DensityGrid, RectSource};
+    pub use minskew_engine::{SpatialTable, StatsDiagnostics, StatsFallback, TableOptions};
     pub use minskew_geom::{Point, Rect};
     pub use minskew_workload::{
         evaluate, tune_min_skew, CenterMode, GroundTruth, QueryWorkload, TuneOptions,

@@ -94,7 +94,11 @@ fn point_query_pipeline() {
     let rep = evaluate(&hist, &w, &counts);
     assert!(rep.avg_relative_error.is_finite());
     // Point estimates should at least be in a sane band on average.
-    assert!(rep.avg_relative_error < 3.0, "err = {}", rep.avg_relative_error);
+    assert!(
+        rep.avg_relative_error < 3.0,
+        "err = {}",
+        rep.avg_relative_error
+    );
 }
 
 /// The uniformity baseline really is bad on skewed data (the paper's
@@ -146,4 +150,139 @@ fn trait_object_roster() {
         assert!(e.size_bytes() > 0);
         assert_eq!(e.input_len(), 2_000);
     }
+}
+
+/// The robustness tentpole end to end: a table survives a corrupt persisted
+/// summary, a grid too coarse for its budget, and fault-injected source
+/// data, serving degraded-but-bounded estimates throughout, and recovers
+/// fully once healthy statistics are rebuilt.
+#[test]
+fn fault_and_recovery_cycle_keeps_estimates_bounded() {
+    use minskew::data::fault::{FaultInjector, FaultKind, FaultSource};
+    use minskew::data::RectSource;
+
+    let data = minskew::datagen::charminar_with(5_000, 17);
+    let mut table = SpatialTable::new(TableOptions::default());
+    for r in data.rects() {
+        table.insert(*r);
+    }
+    let n = table.len() as f64;
+    let queries = [
+        Rect::new(0.0, 0.0, 2_000.0, 2_000.0),
+        Rect::new(-1e9, -1e9, 1e9, 1e9),
+        Rect::new(5_000.0, 5_000.0, 5_001.0, 5_001.0),
+    ];
+    let assert_bounded = |table: &SpatialTable, stage: &str| {
+        for q in &queries {
+            let est = table.estimate(q);
+            assert!(
+                est.is_finite() && (0.0..=n).contains(&est),
+                "{stage}: estimate {est} escapes [0, {n}] for {q:?}"
+            );
+        }
+    };
+
+    // Healthy baseline.
+    table.analyze();
+    assert_eq!(table.stats_diagnostics().fallback, StatsFallback::None);
+    assert_bounded(&table, "healthy");
+    let healthy = table.stats().expect("analyzed").to_bytes();
+
+    // Stage 1: every fault kind applied to the persisted summary. The codec
+    // must reject (or the decoded summary still estimate within bounds) —
+    // never panic — and the table must keep answering.
+    for kind in FaultKind::ALL {
+        for seed in 0..10u64 {
+            let corrupt = FaultInjector::new(seed).corrupt(&healthy, kind);
+            let _ = table.load_stats(&corrupt);
+            assert_bounded(&table, &format!("after {kind:?}/{seed} summary"));
+        }
+    }
+
+    // Stage 2: a corrupt summary triggers rebuild-from-data, and the table
+    // reports it.
+    let mut corrupt = healthy.clone();
+    corrupt[12] ^= 0x40;
+    let diag = table.load_stats(&corrupt);
+    if diag.degraded {
+        assert!(
+            diag.fallback == StatsFallback::RebuiltFromData
+                || diag.fallback == StatsFallback::Uniform,
+            "{diag:?}"
+        );
+    }
+    assert_bounded(&table, "after corrupt summary");
+
+    // Stage 3: fault-injected sources still yield buildable statistics via
+    // the lenient path or clean errors via the strict path — never a panic.
+    for kind in [FaultKind::Truncate, FaultKind::EarlyEof] {
+        let faulty = FaultSource::new(&data, kind, 23);
+        let hist = MinSkewBuilder::new(20)
+            .regions(400)
+            .build_from_source(&faulty);
+        let est = hist.estimate_count(&queries[0]);
+        assert!(est.is_finite() && est >= 0.0, "{kind:?}: {est}");
+        assert_eq!(faulty.stats().n, data.len(), "stats pass through");
+    }
+
+    // Stage 4: recovery — reloading the healthy summary clears degradation.
+    let diag = table.load_stats(&healthy);
+    assert_eq!(diag.fallback, StatsFallback::None);
+    assert!(!diag.degraded);
+    assert_bounded(&table, "recovered");
+}
+
+/// The strict construction surface agrees across the stack: precondition
+/// violations surface as typed errors from `core`, `engine`, and the facade
+/// prelude, while the lenient wrappers keep their legacy behaviour.
+#[test]
+fn try_api_surface_is_consistent() {
+    let empty = Dataset::new(vec![]);
+    assert!(matches!(
+        MinSkewBuilder::try_new(10).and_then(|b| b.try_build(&empty)),
+        Err(BuildError::EmptyDataset)
+    ));
+    assert!(matches!(
+        try_build_equi_area(&empty, 5),
+        Err(BuildError::EmptyDataset)
+    ));
+    assert!(matches!(
+        try_build_equi_count(&empty, 5),
+        Err(BuildError::EmptyDataset)
+    ));
+    assert!(matches!(
+        try_build_grid(&empty, 5),
+        Err(BuildError::EmptyDataset)
+    ));
+    assert!(matches!(
+        try_build_rtree_partitioning(&empty, 5, Default::default()),
+        Err(BuildError::EmptyDataset)
+    ));
+    // Uniform is the degradation floor: empty is fine.
+    assert!(try_build_uniform(&empty).is_ok());
+
+    let data = minskew::datagen::charminar_with(500, 5);
+    assert!(matches!(
+        MinSkewBuilder::try_new(0),
+        Err(BuildError::ZeroBucketBudget)
+    ));
+    assert!(matches!(
+        MinSkewBuilder::try_new(100)
+            .and_then(|b| b.try_regions(4))
+            .and_then(|b| b.try_build(&data)),
+        Err(BuildError::GridTooCoarse {
+            regions: 4,
+            buckets: 100
+        })
+    ));
+    // The lenient wrapper still degrades silently (legacy behaviour).
+    assert!(
+        MinSkewBuilder::new(100)
+            .regions(4)
+            .build(&data)
+            .num_buckets()
+            <= 4
+    );
+    // Engine options are validated the same way.
+    assert!(SpatialTable::try_new(TableOptions::default()).is_ok());
 }

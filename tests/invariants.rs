@@ -1,5 +1,7 @@
 //! Property-based invariants spanning the workspace crates.
 
+#![cfg(feature = "proptest")]
+
 use minskew::prelude::*;
 use proptest::prelude::*;
 
@@ -29,7 +31,12 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
 }
 
 fn arb_query() -> impl Strategy<Value = Rect> {
-    (0.0..1_000.0f64, 0.0..1_000.0f64, 0.0..500.0f64, 0.0..500.0f64)
+    (
+        0.0..1_000.0f64,
+        0.0..1_000.0f64,
+        0.0..500.0f64,
+        0.0..500.0f64,
+    )
         .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
 }
 
@@ -174,5 +181,73 @@ proptest! {
         for q in w.queries() {
             prop_assert!(mbr.contains_rect(q));
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Robustness: the CSV reader is total over arbitrary byte soup — any
+    /// input maps to `Ok` or `Err`, never a panic, and an `Ok` dataset
+    /// contains only finite rectangles.
+    #[test]
+    fn csv_reader_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(ds) = minskew::data::read_rects_csv_from(std::io::BufReader::new(&bytes[..])) {
+            prop_assert!(ds.rects().iter().all(|r| r.is_finite()));
+        }
+    }
+
+    /// Robustness: the histogram codec is total over arbitrary byte soup.
+    #[test]
+    fn codec_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(h) = SpatialHistogram::from_bytes(&bytes) {
+            let est = h.estimate_count(&Rect::new(0.0, 0.0, 1.0, 1.0));
+            prop_assert!(est.is_finite() && est >= 0.0);
+        }
+    }
+
+    /// Robustness: every fault kind applied to a *valid* encoded histogram
+    /// or CSV still yields `Ok`-or-`Err`, never a panic.
+    #[test]
+    fn fault_injected_payloads_never_panic(ds in arb_dataset(), seed in 0u64..1_000) {
+        use minskew::data::fault::{FaultInjector, FaultKind};
+        let hist_bytes = build_equi_count(&ds, 8).to_bytes();
+        let mut csv_bytes = Vec::new();
+        for r in ds.rects() {
+            csv_bytes.extend_from_slice(
+                format!("{},{},{},{}\n", r.lo.x, r.lo.y, r.hi.x, r.hi.y).as_bytes(),
+            );
+        }
+        for kind in FaultKind::ALL {
+            let b = FaultInjector::new(seed).corrupt(&hist_bytes, kind);
+            let _ = SpatialHistogram::from_bytes(&b);
+            let c = FaultInjector::new(seed).corrupt(&csv_bytes, kind);
+            if let Ok(parsed) = minskew::data::read_rects_csv_from(std::io::BufReader::new(&c[..])) {
+                prop_assert!(parsed.rects().iter().all(|r| r.is_finite()), "{kind:?}");
+            }
+        }
+    }
+
+    /// Robustness: a table built over arbitrary data clamps every estimate
+    /// to `[0, N]`, including after walking the degradation ladder.
+    #[test]
+    fn table_estimates_clamped(ds in arb_dataset(), q in arb_query()) {
+        let mut t = SpatialTable::new(TableOptions::default());
+        for r in ds.rects() {
+            t.insert(*r);
+        }
+        t.analyze();
+        let n = t.len() as f64;
+        let est = t.estimate(&q);
+        prop_assert!(est.is_finite() && (0.0..=n).contains(&est));
+        // Corrupt summary: the ladder engages, bounds still hold.
+        let mut bytes = t.stats().expect("analyzed").to_bytes();
+        if !bytes.is_empty() {
+            let idx = bytes.len() / 2;
+            bytes[idx] ^= 0xA5;
+        }
+        let _ = t.load_stats(&bytes);
+        let est = t.estimate(&q);
+        prop_assert!(est.is_finite() && (0.0..=n).contains(&est));
     }
 }

@@ -7,7 +7,13 @@
 #      crates (core/engine/data) additionally deny `unwrap()` in non-test
 #      code via #![cfg_attr(not(test), deny(clippy::unwrap_used))],
 #   3. the root-package test suite (tier 1),
-#   4. the full workspace suite with every feature (incl. proptest suites).
+#   4. the full workspace suite with every feature (incl. proptest suites),
+#   5. the serial/parallel differential suite, exhaustive matrix on, pinned
+#      to one test thread so scheduler interleaving can't mask ordering
+#      bugs inside the work queues,
+#   6. a smoke run of the parallel-speedup bench, which re-checks the
+#      differential contract inline and must leave BENCH_parallel.json
+#      behind at the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,5 +28,19 @@ cargo test -q
 
 echo "==> cargo test --workspace --all-features"
 cargo test -q --workspace --all-features
+
+echo "==> parallel differential suite (exhaustive, single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test parallel_differential --features parallel
+
+echo "==> parallel speedup bench smoke (MINSKEW_QUICK=1)"
+rm -f BENCH_parallel.json
+MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench parallel_speedup >/dev/null
+if [[ ! -f BENCH_parallel.json ]]; then
+    echo "ERROR: bench did not write BENCH_parallel.json" >&2
+    exit 1
+fi
+# The smoke run overwrites the committed full-scale numbers; restore them
+# so CI never silently rewrites the benchmark artefact.
+git checkout -- BENCH_parallel.json 2>/dev/null || true
 
 echo "CI OK"

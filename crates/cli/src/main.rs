@@ -8,7 +8,7 @@
 //!                  [--n N] [--seed S] --out data.csv
 //! minskew build    --input data.csv --technique min-skew|equi-area|
 //!                  equi-count|rtree|uniform [--buckets B] [--regions R]
-//!                  [--refinements K] --out stats.bin
+//!                  [--refinements K] [--threads T] --out stats.bin
 //! minskew estimate --stats stats.bin --query x1,y1,x2,y2 [--input data.csv]
 //! minskew evaluate --input data.csv [--buckets B] [--qsize F]
 //!                  [--queries N] [--seed S]
@@ -150,7 +150,9 @@ minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
   minskew generate --kind charminar|road|synthetic|uniform|points \\
                    [--n N] [--seed S] --out data.csv
   minskew build    --input data.csv --technique min-skew|equi-area|equi-count|rtree|uniform \\
-                   [--buckets B] [--regions R] [--refinements K] --out stats.bin
+                   [--buckets B] [--regions R] [--refinements K] [--threads T] --out stats.bin
+                   (--threads: min-skew only; 1 = serial, 0 = all cores; output is
+                    bit-identical at every setting)
   minskew estimate --stats stats.bin --query x1,y1,x2,y2 [--input data.csv]
   minskew evaluate --input data.csv [--buckets B] [--qsize F] [--queries N] [--seed S]
   minskew tune     --input data.csv [--buckets B] [--queries N]
@@ -249,6 +251,9 @@ fn build_technique(
             if k > 0 {
                 b = b.try_progressive_refinements(k)?;
             }
+            // Bit-identical at every thread count, so this is purely a
+            // wall-clock knob (1 = serial, 0 = one worker per core).
+            b = b.threads(num(opts, "threads", 1usize)?);
             b.try_build(data)?
         }
         "equi-area" => try_build_equi_area(data, buckets)?,
@@ -548,6 +553,49 @@ mod tests {
         .unwrap();
 
         assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_flag_builds_bit_identical_stats() {
+        let dir = std::env::temp_dir().join(format!("minskew-cli-thr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        run(vec![
+            "generate".into(),
+            "--kind".into(),
+            "charminar".into(),
+            "--n".into(),
+            "3000".into(),
+            "--out".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+        let build_with = |threads: &str, out: &std::path::Path| {
+            run(vec![
+                "build".into(),
+                "--input".into(),
+                csv.display().to_string(),
+                "--technique".into(),
+                "min-skew".into(),
+                "--buckets".into(),
+                "25".into(),
+                "--threads".into(),
+                threads.into(),
+                "--out".into(),
+                out.display().to_string(),
+            ])
+            .unwrap();
+            std::fs::read(out).unwrap()
+        };
+        let serial = build_with("1", &dir.join("s1.bin"));
+        for t in ["0", "2", "8"] {
+            assert_eq!(
+                build_with(t, &dir.join(format!("s{t}.bin"))),
+                serial,
+                "--threads {t} drifted from the serial build"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

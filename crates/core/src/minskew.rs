@@ -81,6 +81,7 @@ pub struct MinSkewBuilder {
     refinements: usize,
     strategy: SplitStrategy,
     rule: ExtensionRule,
+    threads: usize,
 }
 
 impl MinSkewBuilder {
@@ -110,6 +111,7 @@ impl MinSkewBuilder {
             refinements: 0,
             strategy: SplitStrategy::default(),
             rule: ExtensionRule::default(),
+            threads: 1,
         })
     }
 
@@ -170,6 +172,26 @@ impl MinSkewBuilder {
     pub fn extension_rule(mut self, rule: ExtensionRule) -> MinSkewBuilder {
         self.rule = rule;
         self
+    }
+
+    /// Sets the construction thread count. `1` (the default) is the serial
+    /// reference path; `0` means one worker per available core.
+    ///
+    /// Parallel construction is **bit-identical** to serial: density-grid
+    /// counting shards integer counters (order-independent merge), split
+    /// candidates are scored independently per block, and the greedy
+    /// selection itself — with its deterministic tie-break (lowest block
+    /// index, then X before Y, then lowest split coordinate) — stays
+    /// sequential. Sources without in-memory slices (streaming CSV scans)
+    /// fall back to serial grid sweeps; the result is still identical.
+    pub fn threads(mut self, threads: usize) -> MinSkewBuilder {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured construction thread count (`0` = auto).
+    pub fn thread_count(&self) -> usize {
+        self.threads
     }
 
     /// Builds the histogram.
@@ -286,7 +308,15 @@ impl MinSkewBuilder {
 
         for phase in 0..phases {
             let cur_side = side >> (self.refinements - phase);
-            let g = DensityGrid::build(data.scan(), mbr, cur_side, cur_side);
+            // Sharded parallel counting when the source is memory-resident;
+            // streaming sources keep the serial single-sweep build. Both
+            // produce bit-identical grids (integer counters merge exactly).
+            let g = match data.as_slice() {
+                Some(rects) if self.threads != 1 => {
+                    DensityGrid::build_with_threads(rects, mbr, cur_side, cur_side, self.threads)
+                }
+                _ => DensityGrid::build(data.scan(), mbr, cur_side, cur_side),
+            };
             let p = GridPrefixSums::from_grid(&g);
             if phase == 0 {
                 blocks.push(g.full_block());
@@ -316,7 +346,7 @@ impl MinSkewBuilder {
             } else {
                 (self.buckets * (phase + 1)) / phases
             };
-            greedy_split(&mut blocks, &p, self.strategy, target);
+            greedy_split(&mut blocks, &p, self.strategy, target, self.threads);
             grid = Some(g);
             prefix = Some(p);
         }
@@ -355,28 +385,36 @@ struct Candidate {
 
 /// Greedily splits `blocks` until `target` buckets exist or no split
 /// reduces the spatial skew.
+///
+/// Split candidates are scored **across open blocks in parallel** (each
+/// block's scan is independent, given the shared prefix-sum tables), while
+/// the greedy selection itself stays sequential with a deterministic
+/// tie-break — so the construction is bit-identical at every thread count.
+///
+/// Tie-break on equal skew reduction: the **lowest block index** wins, and
+/// within a block the X axis before the Y axis, then the **lowest split
+/// coordinate** (enforced by the strictly-greater comparisons in
+/// [`best_split_exact`] / [`best_split_marginal`], which scan axes and
+/// indices in ascending order).
 fn greedy_split(
     blocks: &mut Vec<CellBlock>,
     prefix: &GridPrefixSums,
     strategy: SplitStrategy,
     target: usize,
+    threads: usize,
 ) {
-    let mut candidates: Vec<Option<Candidate>> = blocks
-        .iter()
-        .map(|b| best_split(b, prefix, strategy))
-        .collect();
+    let mut candidates: Vec<Option<Candidate>> = best_splits_par(blocks, prefix, strategy, threads);
     while blocks.len() < target {
         // Pick the bucket whose best split yields the greatest reduction in
-        // spatial skew (the paper's greedy criterion).
-        let best = candidates
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.map(|c| (i, c)))
-            .max_by(|a, b| {
-                a.1.reduction
-                    .partial_cmp(&b.1.reduction)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+        // spatial skew (the paper's greedy criterion). The scan keeps the
+        // first strict maximum, so ties resolve to the lowest block index.
+        let mut best: Option<(usize, Candidate)> = None;
+        for (i, cand) in candidates.iter().enumerate() {
+            let Some(cand) = cand else { continue };
+            if best.is_none_or(|(_, b)| cand.reduction > b.reduction) {
+                best = Some((i, *cand));
+            }
+        }
         let Some((i, cand)) = best else { break };
         if cand.reduction <= 0.0 {
             break;
@@ -387,6 +425,29 @@ fn greedy_split(
         candidates[i] = best_split(&a, prefix, strategy);
         candidates.push(best_split(&b, prefix, strategy));
     }
+}
+
+/// Scores every block's best split, fanning the scans out across threads.
+///
+/// Each block's result is a pure function of `(block, prefix, strategy)`
+/// and lands at its block's index, so the output is identical to the serial
+/// map regardless of thread count or scheduling.
+fn best_splits_par(
+    blocks: &[CellBlock],
+    prefix: &GridPrefixSums,
+    strategy: SplitStrategy,
+    threads: usize,
+) -> Vec<Option<Candidate>> {
+    // A candidate scan is O(width + height) prefix-sum probes; only fan out
+    // when there is enough aggregate work to amortise thread spawns.
+    const PAR_MIN_BLOCKS: usize = 16;
+    if threads == 1 || blocks.len() < PAR_MIN_BLOCKS {
+        return blocks
+            .iter()
+            .map(|b| best_split(b, prefix, strategy))
+            .collect();
+    }
+    minskew_par::map_slice(threads, blocks, |b| best_split(b, prefix, strategy))
 }
 
 /// Finds the best split of one block under the given strategy.
@@ -478,6 +539,12 @@ fn best_split_marginal(block: &CellBlock, prefix: &GridPrefixSums) -> Option<Can
 ///
 /// Shared by every grid-block-based partitioner in this crate (greedy
 /// Min-Skew, the optimal-BSP baseline). One sequential sweep of the source.
+///
+/// Deliberately **not** parallelized: the pass accumulates `f64` sums
+/// (counts, widths, heights), and floating-point addition is not
+/// associative — sharding the sweep would reorder additions and break the
+/// bit-identical serial/parallel contract for, at most, a few percent of
+/// total construction time.
 pub(crate) fn blocks_to_histogram<S: RectSource + ?Sized>(
     name: &str,
     data: &S,
@@ -662,6 +729,52 @@ mod tests {
         assert_eq!(h.num_buckets(), 1);
         assert_eq!(h.total_count(), 1.0);
         assert_eq!(h.estimate_count(&Rect::new(0.0, 0.0, 3.0, 3.0)), 1.0);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let ds = charminar_with(10_000, 11);
+        for strategy in [SplitStrategy::Exact2d, SplitStrategy::Marginal] {
+            for refinements in [0usize, 2] {
+                let base = MinSkewBuilder::new(40)
+                    .regions(1_600)
+                    .progressive_refinements(refinements)
+                    .split_strategy(strategy);
+                let serial = base.clone().threads(1).build(&ds);
+                for threads in [0usize, 2, 3, 8] {
+                    let parallel = base.clone().threads(threads).build(&ds);
+                    assert_eq!(
+                        parallel, serial,
+                        "threads={threads} strategy={strategy:?} refinements={refinements}"
+                    );
+                    assert_eq!(parallel.to_bytes(), serial.to_bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_block_then_lowest_coordinate() {
+        // A 2x1 arrangement of two identical point clusters: splitting the
+        // full block after column 0 or 1 gives the same skew reduction. The
+        // deterministic rule must pick the lowest split coordinate, every
+        // time, at every thread count.
+        let mut rects = Vec::new();
+        for i in 0..32 {
+            let dx = (i % 2) as f64 * 0.1;
+            rects.push(Rect::new(dx, 0.0, dx + 0.05, 0.05)); // cluster in cell 0
+            rects.push(Rect::new(2.0 + dx, 0.0, 2.0 + dx + 0.05, 0.05)); // cell 2
+        }
+        let ds = Dataset::new(rects);
+        let reference = MinSkewBuilder::new(2).regions(9).build(&ds);
+        for threads in [1usize, 2, 8] {
+            let h = MinSkewBuilder::new(2)
+                .regions(9)
+                .threads(threads)
+                .build(&ds);
+            assert_eq!(h, reference, "threads = {threads}");
+        }
+        assert_eq!(reference.num_buckets(), 2);
     }
 
     #[test]

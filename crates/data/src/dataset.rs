@@ -193,4 +193,71 @@ mod tests {
         };
         Dataset::new(vec![bad]);
     }
+
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Closed-interval overlap written from the 1-D definition, without
+        /// going through `Rect::intersects` — an independent oracle.
+        fn overlap_1d(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> bool {
+            a_lo <= b_hi && b_lo <= a_hi
+        }
+
+        /// Rects on a small integer lattice so touching edges, shared
+        /// corners, and exact containment occur constantly, plus degenerate
+        /// zero-width / zero-height / point rectangles (w or h = 0).
+        fn lattice_rect() -> impl Strategy<Value = Rect> {
+            (0i32..12, 0i32..12, 0i32..4, 0i32..4).prop_map(|(x, y, w, h)| {
+                Rect::new(x as f64, y as f64, (x + w) as f64, (y + h) as f64)
+            })
+        }
+
+        proptest! {
+            /// `Dataset::count_intersecting` agrees with counting via the
+            /// per-axis closed-interval definition, including touching-edge
+            /// and point-query cases (the lattice makes ties common).
+            #[test]
+            fn prop_count_matches_interval_oracle(
+                rects in proptest::collection::vec(lattice_rect(), 1..60),
+                query in lattice_rect(),
+            ) {
+                let expected = rects
+                    .iter()
+                    .filter(|r| {
+                        overlap_1d(r.lo.x, r.hi.x, query.lo.x, query.hi.x)
+                            && overlap_1d(r.lo.y, r.hi.y, query.lo.y, query.hi.y)
+                    })
+                    .count();
+                let ds = Dataset::new(rects);
+                prop_assert_eq!(ds.count_intersecting(&query), expected);
+                let sel = ds.selectivity(&query);
+                prop_assert!((sel - expected as f64 / ds.len() as f64).abs() < 1e-12);
+            }
+
+            /// A point query at a rectangle's corner still counts it, and a
+            /// query strictly outside the MBR counts nothing.
+            #[test]
+            fn prop_corner_point_queries_count(
+                rects in proptest::collection::vec(lattice_rect(), 1..40),
+                pick in 0usize..40,
+            ) {
+                let ds = Dataset::new(rects);
+                let r = ds.rects()[pick % ds.len()];
+                for corner in [
+                    Point::new(r.lo.x, r.lo.y),
+                    Point::new(r.hi.x, r.lo.y),
+                    Point::new(r.lo.x, r.hi.y),
+                    Point::new(r.hi.x, r.hi.y),
+                ] {
+                    let q = Rect::from_point(corner);
+                    prop_assert!(ds.count_intersecting(&q) >= 1);
+                }
+                let mbr = ds.stats().mbr;
+                let outside = Rect::new(mbr.hi.x + 1.0, mbr.hi.y + 1.0, mbr.hi.x + 2.0, mbr.hi.y + 2.0);
+                prop_assert_eq!(ds.count_intersecting(&outside), 0);
+            }
+        }
+    }
 }

@@ -186,13 +186,16 @@ mod tests {
         #[test]
         fn prop_prefix_matches_naive(
             vals in proptest::collection::vec(0u32..20, 24),
-            x0 in 0usize..6, y0 in 0usize..4,
+            xa in 0usize..6, xb in 0usize..6,
+            ya in 0usize..4, yb in 0usize..4,
         ) {
             let (nx, ny) = (6, 4);
             let g = grid_from(&vals, nx, ny);
             let p = GridPrefixSums::from_grid(&g);
-            let x1 = x0 + (nx - 1 - x0) / 2; // arbitrary in-range end
-            let y1 = y0 + (ny - 1 - y0) / 2;
+            // Any in-range corner pair, including 1-cell and 1-row/column
+            // degenerate blocks.
+            let (x0, x1) = (xa.min(xb), xa.max(xb));
+            let (y0, y1) = (ya.min(yb), ya.max(yb));
             let b = CellBlock::new(x0, x1, y0, y1);
             let mut cells = Vec::new();
             for iy in y0..=y1 {
@@ -205,6 +208,38 @@ mod tests {
             prop_assert!((p.block_sum(&b) - sum).abs() < 1e-9);
             prop_assert!((p.block_sum2(&b) - sum2).abs() < 1e-9);
             prop_assert!((p.block_sse(&b) - naive_sse(&cells)).abs() < 1e-6);
+        }
+
+        /// Every block's aggregates must agree with naive summation — the
+        /// random-corner case above plus an exhaustive sweep of all
+        /// O(nx²·ny²) blocks of one random grid per case.
+        #[test]
+        fn prop_prefix_matches_naive_all_blocks(
+            vals in proptest::collection::vec(0u32..50, 12),
+        ) {
+            let (nx, ny) = (4, 3);
+            let g = grid_from(&vals, nx, ny);
+            let p = GridPrefixSums::from_grid(&g);
+            for x0 in 0..nx {
+                for x1 in x0..nx {
+                    for y0 in 0..ny {
+                        for y1 in y0..ny {
+                            let b = CellBlock::new(x0, x1, y0, y1);
+                            let mut sum = 0.0;
+                            let mut sum2 = 0.0;
+                            for iy in y0..=y1 {
+                                for ix in x0..=x1 {
+                                    let d = vals[iy * nx + ix] as f64;
+                                    sum += d;
+                                    sum2 += d * d;
+                                }
+                            }
+                            prop_assert!((p.block_sum(&b) - sum).abs() < 1e-9);
+                            prop_assert!((p.block_sum2(&b) - sum2).abs() < 1e-9);
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -40,6 +40,16 @@ pub trait RectSource {
     fn try_scan(&self) -> Result<Box<dyn Iterator<Item = Result<Rect, CsvError>> + '_>, CsvError> {
         Ok(Box::new(self.scan().map(Ok)))
     }
+
+    /// Random access to the rectangles, when the source holds them resident.
+    ///
+    /// Parallel construction paths shard contiguous chunks of this slice
+    /// across worker threads; a streaming source (the default) returns
+    /// `None` and construction falls back to the serial single-sweep
+    /// reference path, preserving the paper's O(1)-memory story.
+    fn as_slice(&self) -> Option<&[Rect]> {
+        None
+    }
 }
 
 impl RectSource for Dataset {
@@ -49,6 +59,10 @@ impl RectSource for Dataset {
 
     fn stats(&self) -> DatasetStats {
         *Dataset::stats(self)
+    }
+
+    fn as_slice(&self) -> Option<&[Rect]> {
+        Some(self.rects())
     }
 }
 
@@ -188,6 +202,8 @@ mod tests {
         let path = tmp("stats.csv");
         write_rects_csv(&ds, &path).unwrap();
         let src = CsvRectSource::open(&path).unwrap();
+        // Disk-backed sources stream; they have no resident slice.
+        assert!(src.as_slice().is_none());
         let a = src.stats();
         let b = *ds.stats();
         assert_eq!(a.n, b.n);
@@ -209,6 +225,8 @@ mod tests {
         assert_eq!(src.scan().count(), 1);
         assert_eq!(src.stats().n, 1);
         assert_eq!(source_mbr(src), Some(Rect::new(0.0, 0.0, 1.0, 1.0)));
+        // In-memory sources expose their slice for sharded construction.
+        assert_eq!(src.as_slice().map(<[Rect]>::len), Some(1));
     }
 
     #[test]

@@ -65,6 +65,12 @@ pub struct TableOptions {
     pub auto_analyze_threshold: Option<f64>,
     /// R\*-tree node capacity.
     pub index_fanout: usize,
+    /// Worker threads for parallel paths (`ANALYZE`-time Min-Skew
+    /// construction, [`SpatialTable::estimate_batch`]). `1` (the default)
+    /// keeps every path on the serial reference implementation; `0` means
+    /// one worker per available core. Results are bit-identical at every
+    /// setting.
+    pub threads: usize,
 }
 
 impl Default for TableOptions {
@@ -74,6 +80,7 @@ impl Default for TableOptions {
             analyze: AnalyzeOptions::default(),
             auto_analyze_threshold: Some(0.2),
             index_fanout: 16,
+            threads: 1,
         }
     }
 }
@@ -218,10 +225,16 @@ impl SpatialTable {
 
     /// Builds the configured statistics over `data` via the strict `try_*`
     /// constructors — one rung of the ladder, no fallback.
-    fn build_stats(data: &Dataset, opts: AnalyzeOptions) -> Result<SpatialHistogram, BuildError> {
+    fn build_stats(
+        data: &Dataset,
+        opts: AnalyzeOptions,
+        threads: usize,
+    ) -> Result<SpatialHistogram, BuildError> {
         match opts.technique {
             StatsTechnique::MinSkew => {
-                let mut b = MinSkewBuilder::try_new(opts.buckets)?.try_regions(opts.regions)?;
+                let mut b = MinSkewBuilder::try_new(opts.buckets)?
+                    .try_regions(opts.regions)?
+                    .threads(threads);
                 if opts.refinements > 0 {
                     b = b.try_progressive_refinements(opts.refinements)?;
                 }
@@ -250,7 +263,7 @@ impl SpatialTable {
     /// configured technique at the configured budget, or an error. Nothing
     /// is installed on failure (the previous statistics stay in force).
     pub fn try_analyze(&mut self) -> Result<(), BuildError> {
-        let hist = Self::build_stats(&self.snapshot(), self.options.analyze)?;
+        let hist = Self::build_stats(&self.snapshot(), self.options.analyze, self.options.threads)?;
         self.install_stats(
             hist,
             StatsDiagnostics {
@@ -276,7 +289,7 @@ impl SpatialTable {
             attempts: 1,
             ..StatsDiagnostics::default()
         };
-        let err = match Self::build_stats(&data, opts) {
+        let err = match Self::build_stats(&data, opts, self.options.threads) {
             Ok(hist) => {
                 self.install_stats(hist, diag);
                 return;
@@ -293,7 +306,7 @@ impl SpatialTable {
                     buckets: regions,
                     ..opts
                 };
-                if let Ok(hist) = Self::build_stats(&data, degraded) {
+                if let Ok(hist) = Self::build_stats(&data, degraded, self.options.threads) {
                     diag.degraded = true;
                     diag.fallback = StatsFallback::DegradedBuckets;
                     self.install_stats(hist, diag);
@@ -349,6 +362,16 @@ impl SpatialTable {
         &self.diagnostics
     }
 
+    /// Sets the worker-thread count used by ANALYZE and batch estimation
+    /// (`1` = inline serial reference, `0` = one worker per available core).
+    ///
+    /// Thread count is a performance knob only: every result is
+    /// bit-identical at every setting, so it can be changed at any time
+    /// without invalidating existing statistics.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.options.threads = threads;
+    }
+
     /// Estimated result size for `query`, falling back to the global
     /// uniformity assumption when the table was never analyzed.
     ///
@@ -391,6 +414,31 @@ impl SpatialTable {
         } else {
             Ok(0.0)
         }
+    }
+
+    /// Estimated result sizes for a batch of queries, fanned out across
+    /// [`TableOptions::threads`] worker threads (`1` = inline serial, `0` =
+    /// one worker per available core).
+    ///
+    /// Semantically `queries.iter().map(|q| self.estimate(q)).collect()`,
+    /// and **bit-identical** to that serial loop at every thread count:
+    /// each estimate is computed independently against the immutable
+    /// statistics and written back at its query's index — no cross-query
+    /// accumulation, so no floating-point reordering. Batch estimation is
+    /// the planner's bulk entry point (multi-query optimization, workload
+    /// what-if analysis, auto-tuning sweeps).
+    pub fn estimate_batch(&self, queries: &[Rect]) -> Vec<f64> {
+        // Chunked queue rather than static chunks: estimate cost varies
+        // with how many buckets a query overlaps.
+        minskew_par::map_chunks_queued(self.options.threads, 64, queries, |q| self.estimate(q))
+    }
+
+    /// Strict counterpart of [`SpatialTable::estimate_batch`]: any
+    /// non-finite query fails the whole batch instead of estimating zero.
+    pub fn try_estimate_batch(&self, queries: &[Rect]) -> Result<Vec<f64>, EstimateError> {
+        minskew_par::map_chunks_queued(self.options.threads, 64, queries, |q| self.try_estimate(q))
+            .into_iter()
+            .collect()
     }
 
     fn stats_stale(&self) -> bool {
@@ -595,6 +643,59 @@ mod tests {
         assert!(rows.is_empty());
         assert_eq!(e.actual_rows, Some(0));
         assert!(!t.delete(RowId(5)));
+    }
+
+    #[test]
+    fn estimate_batch_equals_per_query_loop_at_every_thread_count() {
+        let mut t = SpatialTable::new(TableOptions::default());
+        for r in charminar_with(3_000, 4).rects() {
+            t.insert(*r);
+        }
+        t.analyze();
+        let queries: Vec<Rect> = (0..200)
+            .map(|i| {
+                let s = (i % 50) as f64 * 180.0;
+                Rect::new(s, s * 0.5, s + 700.0, s * 0.5 + 700.0)
+            })
+            .collect();
+        let serial: Vec<f64> = queries.iter().map(|q| t.estimate(q)).collect();
+        for threads in [0usize, 1, 2, 3, 8] {
+            t.options.threads = threads;
+            let batch = t.estimate_batch(&queries);
+            // Bit-identical, not approximately equal.
+            let serial_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+            let batch_bits: Vec<u64> = batch.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_bits, serial_bits, "threads = {threads}");
+            assert_eq!(t.try_estimate_batch(&queries).expect("finite"), serial);
+        }
+        // Strict batch rejects a poisoned query; graceful batch maps it to 0.
+        let poisoned = Rect {
+            lo: minskew_geom::Point::new(f64::NAN, 0.0),
+            hi: minskew_geom::Point::new(1.0, 1.0),
+        };
+        let mut with_bad = queries.clone();
+        with_bad.push(poisoned);
+        assert!(t.try_estimate_batch(&with_bad).is_err());
+        assert_eq!(t.estimate_batch(&with_bad).last(), Some(&0.0));
+    }
+
+    #[test]
+    fn threaded_analyze_builds_identical_statistics() {
+        let data = charminar_with(9_000, 6);
+        let mut serial_table = SpatialTable::new(TableOptions::default());
+        let mut par_table = SpatialTable::new(TableOptions {
+            threads: 4,
+            ..TableOptions::default()
+        });
+        for r in data.rects() {
+            serial_table.insert(*r);
+            par_table.insert(*r);
+        }
+        serial_table.analyze();
+        par_table.analyze();
+        let a = serial_table.stats().expect("analyzed").to_bytes();
+        let b = par_table.stats().expect("analyzed").to_bytes();
+        assert_eq!(a, b, "ANALYZE must not depend on the thread count");
     }
 
     #[test]

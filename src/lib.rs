@@ -49,6 +49,7 @@ pub use minskew_data as data;
 pub use minskew_datagen as datagen;
 pub use minskew_engine as engine;
 pub use minskew_geom as geom;
+pub use minskew_par as par;
 pub use minskew_rtree as rtree;
 pub use minskew_viz as viz;
 pub use minskew_workload as workload;

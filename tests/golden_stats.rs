@@ -1,0 +1,59 @@
+//! Golden test: the committed `charminar.stats` pins both the wire format
+//! and the Min-Skew construction algorithm.
+//!
+//! The file is produced by `examples/summary_persistence.rs`
+//! (`charminar_with(30_000, 5)` summarised by `MinSkewBuilder::new(100)`
+//! with default settings). Decoding it, re-encoding it, and rebuilding it
+//! from scratch must all reproduce the committed bytes exactly, so any
+//! codec drift (layout, endianness, header fields) or construction drift
+//! (split order, tie-breaking, skew arithmetic) fails tier-1 loudly
+//! instead of silently invalidating every catalog ever persisted.
+//!
+//! If this test fails because of an *intentional* format or algorithm
+//! change, regenerate the golden file with
+//! `cargo run --release --example summary_persistence` and say so in the
+//! commit message — that is a catalog-breaking change.
+
+use minskew::prelude::*;
+
+fn golden_bytes() -> Vec<u8> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/charminar.stats");
+    std::fs::read(path).expect("committed charminar.stats is readable")
+}
+
+#[test]
+fn golden_stats_round_trips_byte_for_byte() {
+    let bytes = golden_bytes();
+    let hist = SpatialHistogram::from_bytes(&bytes).expect("committed golden file decodes");
+    assert_eq!(
+        hist.to_bytes(),
+        bytes,
+        "re-encoding the committed histogram changed its bytes: codec drift"
+    );
+}
+
+#[test]
+fn golden_stats_matches_fresh_construction() {
+    let bytes = golden_bytes();
+    let data = minskew::datagen::charminar_with(30_000, 5);
+    for threads in [1usize, 4] {
+        let rebuilt = MinSkewBuilder::new(100).threads(threads).build(&data);
+        assert_eq!(
+            rebuilt.to_bytes(),
+            bytes,
+            "rebuilding with threads={threads} diverged from the committed \
+             golden file: construction drift"
+        );
+    }
+}
+
+#[test]
+fn golden_stats_sanity() {
+    let hist = SpatialHistogram::from_bytes(&golden_bytes()).expect("decodes");
+    assert_eq!(hist.num_buckets(), 100);
+    // The summary must still describe the Charminar distribution: the four
+    // corner clusters hold most of the mass.
+    let corner = Rect::new(0.0, 0.0, 2_500.0, 2_500.0);
+    let middle = Rect::new(3_750.0, 3_750.0, 6_250.0, 6_250.0);
+    assert!(hist.estimate_count(&corner) > hist.estimate_count(&middle));
+}

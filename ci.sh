@@ -11,9 +11,15 @@
 #   5. the serial/parallel differential suite, exhaustive matrix on, pinned
 #      to one test thread so scheduler interleaving can't mask ordering
 #      bugs inside the work queues,
-#   6. a smoke run of the parallel-speedup bench, which re-checks the
-#      differential contract inline and must leave BENCH_parallel.json
-#      behind at the workspace root.
+#   6. the indexed-vs-linear serving differential suite, exhaustive matrix
+#      on, single test thread (same rationale as the parallel suite),
+#   7. a focused clippy pass over the serving-path crates that additionally
+#      denies needless_collect / redundant_clone — the serving path is
+#      allocation-free by design and those lints catch regressions,
+#   8. smoke runs of the parallel-speedup and serving-throughput benches,
+#      which re-check the differential contracts inline and must leave
+#      BENCH_parallel.json / BENCH_estimate.json behind at the workspace
+#      root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -32,6 +38,13 @@ cargo test -q --workspace --all-features
 echo "==> parallel differential suite (exhaustive, single test thread)"
 RUST_TEST_THREADS=1 cargo test -q --test parallel_differential --features parallel
 
+echo "==> serving differential suite (exhaustive, single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test serving_differential --features serving
+
+echo "==> clippy (serving crates, allocation lints denied)"
+cargo clippy -p minskew-core -p minskew-engine --all-targets -- \
+    -D warnings -D clippy::needless_collect -D clippy::redundant_clone
+
 echo "==> parallel speedup bench smoke (MINSKEW_QUICK=1)"
 rm -f BENCH_parallel.json
 MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench parallel_speedup >/dev/null
@@ -42,5 +55,14 @@ fi
 # The smoke run overwrites the committed full-scale numbers; restore them
 # so CI never silently rewrites the benchmark artefact.
 git checkout -- BENCH_parallel.json 2>/dev/null || true
+
+echo "==> serving throughput bench smoke (MINSKEW_QUICK=1)"
+rm -f BENCH_estimate.json
+MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench serving_throughput >/dev/null
+if [[ ! -f BENCH_estimate.json ]]; then
+    echo "ERROR: bench did not write BENCH_estimate.json" >&2
+    exit 1
+fi
+git checkout -- BENCH_estimate.json 2>/dev/null || true
 
 echo "CI OK"

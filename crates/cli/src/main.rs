@@ -40,8 +40,8 @@ use std::process::ExitCode;
 
 use minskew_core::{
     build_uniform, try_build_equi_area, try_build_equi_count, try_build_rtree_partitioning_default,
-    BuildError, FractalEstimator, MinSkewBuilder, SamplingEstimator, SpatialEstimator,
-    SpatialHistogram,
+    BuildError, FractalEstimator, IndexScratch, MinSkewBuilder, SamplingEstimator,
+    SpatialEstimator, SpatialHistogram,
 };
 use minskew_data::{read_rects_csv, write_rects_csv, CsvError, Dataset};
 use minskew_datagen::{
@@ -310,11 +310,17 @@ fn estimate(opts: &Flags) -> Result<(), CliError> {
         )
     })?;
     let query = parse_query(req(opts, "query")?)?;
+    // Serve through the bucket index — bit-identical to the linear scan.
+    let mut scratch = IndexScratch::new();
+    let est = hist.estimate_count_indexed(&query, &mut scratch);
+    let selectivity = if hist.input_len() == 0 {
+        0.0
+    } else {
+        est / hist.input_len() as f64
+    };
     println!(
-        "{}: estimated |Q| = {:.1} (selectivity {:.5})",
+        "{}: estimated |Q| = {est:.1} (selectivity {selectivity:.5})",
         hist.name(),
-        hist.estimate_count(&query),
-        hist.estimate_selectivity(&query)
     );
     if opts.contains_key("input") {
         let data = load(opts)?;

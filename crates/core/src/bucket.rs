@@ -77,10 +77,23 @@ impl Bucket {
     /// zero-length axis counts as fully covered when the clipped query
     /// reaches it.
     pub fn estimate(&self, query: &Rect, rule: ExtensionRule) -> f64 {
+        let (ex, ey) = rule.amounts(self.avg_width, self.avg_height);
+        self.estimate_with_extension(query, ex, ey)
+    }
+
+    /// [`Bucket::estimate`] with the per-side extension amounts already
+    /// computed (`rule.amounts(avg_width, avg_height)`).
+    ///
+    /// This is the hot-path entry point: [`crate::SpatialHistogram`]
+    /// precomputes the per-bucket amounts once per histogram instead of
+    /// re-deriving them on every query. Passing the amounts produced by
+    /// [`ExtensionRule::amounts`] for this bucket makes the result
+    /// bit-identical to [`Bucket::estimate`].
+    #[inline]
+    pub fn estimate_with_extension(&self, query: &Rect, ex: f64, ey: f64) -> f64 {
         if self.count == 0.0 {
             return 0.0;
         }
-        let (ex, ey) = rule.amounts(self.avg_width, self.avg_height);
         let extended = query.expanded(ex, ey);
         if !extended.intersects(&self.mbr) {
             return 0.0;

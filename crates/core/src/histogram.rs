@@ -1,8 +1,11 @@
 //! The shared bucket-set estimator used by every partitioning technique.
 
+use std::sync::OnceLock;
+
 use minskew_geom::Rect;
 
-use crate::{Bucket, ExtensionRule, SpatialEstimator};
+use crate::index::CandidateSet;
+use crate::{Bucket, BucketIndex, ExtensionRule, IndexScratch, SpatialEstimator};
 
 /// A spatial histogram: a flat set of disjoint-by-construction buckets, each
 /// approximated under the uniformity assumption.
@@ -24,6 +27,16 @@ pub struct SpatialHistogram {
     /// `maintenance` module. Not persisted and excluded from equality so
     /// that codec round-trips compare cleanly.
     churn: f64,
+    /// Per-bucket `(ex, ey)` extension amounts under `rule`
+    /// (`rule.amounts(avg_width, avg_height)` per bucket), computed once per
+    /// histogram so the per-query scan does not re-derive them. Invalidated
+    /// (with [`SpatialHistogram::total`] and [`SpatialHistogram::index`])
+    /// whenever the buckets or the rule change; excluded from equality.
+    ext: OnceLock<Vec<(f64, f64)>>,
+    /// Cached [`SpatialHistogram::total_count`].
+    total: OnceLock<f64>,
+    /// Lazily built serving-path directory; see [`BucketIndex`].
+    index: OnceLock<BucketIndex>,
 }
 
 impl PartialEq for SpatialHistogram {
@@ -45,17 +58,41 @@ impl SpatialHistogram {
         input_len: usize,
         rule: ExtensionRule,
     ) -> SpatialHistogram {
-        SpatialHistogram {
+        let hist = SpatialHistogram {
             name: name.into(),
             buckets,
             input_len,
             rule,
             churn: 0.0,
-        }
+            ext: OnceLock::new(),
+            total: OnceLock::new(),
+            index: OnceLock::new(),
+        };
+        // Seed the cheap O(B) caches eagerly (the index stays lazy — only
+        // serving paths pay for it, via `bucket_index`).
+        hist.ext_amounts();
+        hist.total_count();
+        hist
     }
 
+    /// Mutable bucket access for maintenance. Invalidates every derived
+    /// cache: the extension constants, the cached total, and the serving
+    /// index are all functions of the bucket array.
     pub(crate) fn buckets_mut(&mut self) -> &mut [Bucket] {
+        self.ext.take();
+        self.total.take();
+        self.index.take();
         &mut self.buckets
+    }
+
+    /// Per-bucket extension amounts under the active rule, computed once.
+    fn ext_amounts(&self) -> &[(f64, f64)] {
+        self.ext.get_or_init(|| {
+            self.buckets
+                .iter()
+                .map(|b| self.rule.amounts(b.avg_width, b.avg_height))
+                .collect()
+        })
     }
 
     pub(crate) fn input_len_mut(&mut self, delta: isize) {
@@ -86,24 +123,91 @@ impl SpatialHistogram {
     }
 
     /// Returns the histogram with a different extension rule (for
-    /// ablation experiments).
+    /// ablation experiments). Rule-dependent caches (extension constants,
+    /// serving index) are invalidated and rebuilt on next use.
     pub fn with_extension_rule(mut self, rule: ExtensionRule) -> SpatialHistogram {
-        self.rule = rule;
+        if rule != self.rule {
+            self.rule = rule;
+            self.ext.take();
+            self.index.take();
+        }
         self
     }
 
     /// Sum of bucket counts; equals the number of input rectangles whose
-    /// centre fell inside some bucket (normally all of them).
+    /// centre fell inside some bucket (normally all of them). Cached after
+    /// the first call; invalidated by maintenance.
     pub fn total_count(&self) -> f64 {
-        self.buckets.iter().map(|b| b.count).sum()
+        *self
+            .total
+            .get_or_init(|| self.buckets.iter().map(|b| b.count).sum())
+    }
+
+    /// The serving-path directory over this histogram's buckets, built
+    /// lazily on first use and cached until the buckets or the extension
+    /// rule change. See [`BucketIndex`] for the bit-identical pruning
+    /// contract.
+    pub fn bucket_index(&self) -> &BucketIndex {
+        self.index
+            .get_or_init(|| BucketIndex::build(&self.buckets, self.rule))
+    }
+
+    /// Forces the serving index to be built now (useful before sharing the
+    /// histogram across query threads, so no thread pays the build cost).
+    pub fn with_index(self) -> SpatialHistogram {
+        self.bucket_index();
+        self
+    }
+
+    /// [`SpatialEstimator::estimate_count`] through the serving index:
+    /// bit-identical to the linear scan, sub-linear in the bucket count for
+    /// selective queries, and allocation-free once `scratch` is warm.
+    ///
+    /// The index gathers exactly the buckets the extended query can touch
+    /// (plus possibly a few whose estimate is exactly `0.0`), in ascending
+    /// bucket order — so the partial sums match the linear scan bit for
+    /// bit. Queries covering most of the directory fall back to the linear
+    /// scan internally.
+    pub fn estimate_count_indexed(&self, query: &Rect, scratch: &mut IndexScratch) -> f64 {
+        let index = self.bucket_index();
+        let partial: f64 = match index.candidates(query, scratch) {
+            CandidateSet::Scan => return self.estimate_count(query),
+            CandidateSet::Pruned => -0.0,
+            CandidateSet::Subset(ids) => {
+                let ext = self.ext_amounts();
+                ids.iter()
+                    .map(|&i| {
+                        let (ex, ey) = ext[i as usize];
+                        self.buckets[i as usize].estimate_with_extension(query, ex, ey)
+                    })
+                    .sum()
+            }
+        };
+        if self.buckets.is_empty() {
+            // The linear fold over zero terms is Rust's additive identity,
+            // `-0.0`; `partial` is exactly that.
+            partial
+        } else {
+            // Every pruned bucket's term is exactly `+0.0`. Rust's f64 sum
+            // folds from `-0.0`, so skipping those terms is bitwise
+            // invisible except in one case: when every candidate term was
+            // zero too, the linear fold ends at `+0.0` (`-0.0 + 0.0`)
+            // while the pruned fold may end at `-0.0`. Adding a single
+            // `+0.0` — one of the skipped terms — applies exactly that
+            // correction and is a bitwise no-op for every non-negative sum.
+            partial + 0.0
+        }
     }
 }
 
 impl SpatialEstimator for SpatialHistogram {
     fn estimate_count(&self, query: &Rect) -> f64 {
+        // The extension amounts are a pure per-bucket function of the rule;
+        // using the precomputed table is bit-identical to re-deriving them.
         self.buckets
             .iter()
-            .map(|b| b.estimate(query, self.rule))
+            .zip(self.ext_amounts())
+            .map(|(b, &(ex, ey))| b.estimate_with_extension(query, ex, ey))
             .sum()
     }
 
@@ -181,7 +285,6 @@ mod tests {
         let q = Rect::new(0.0, 0.0, 5.0, 10.0);
         let a = h.estimate_count(&q);
         let b = h
-            .clone()
             .with_extension_rule(ExtensionRule::PaperLiteral)
             .estimate_count(&q);
         assert!(b > a, "paper-literal extension must estimate higher");
@@ -192,5 +295,51 @@ mod tests {
         let h = SpatialHistogram::from_parts("e", vec![], 0, ExtensionRule::Minkowski);
         assert_eq!(h.estimate_count(&Rect::new(0.0, 0.0, 1.0, 1.0)), 0.0);
         assert_eq!(h.estimate_selectivity(&Rect::new(0.0, 0.0, 1.0, 1.0)), 0.0);
+        let mut scratch = IndexScratch::new();
+        assert_eq!(
+            h.estimate_count_indexed(&Rect::new(0.0, 0.0, 1.0, 1.0), &mut scratch),
+            0.0
+        );
+    }
+
+    #[test]
+    fn indexed_estimate_matches_linear_bits() {
+        let h = two_bucket_hist().with_index();
+        let mut scratch = IndexScratch::new();
+        for q in [
+            Rect::new(0.0, 0.0, 15.0, 10.0),
+            Rect::new(-100.0, -100.0, -50.0, -50.0),
+            Rect::new(9.9, 4.0, 10.1, 6.0),
+            Rect::from_point(minskew_geom::Point::new(3.0, 3.0)),
+        ] {
+            assert_eq!(
+                h.estimate_count(&q).to_bits(),
+                h.estimate_count_indexed(&q, &mut scratch).to_bits(),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn caches_invalidate_on_bucket_mutation_and_rule_swap() {
+        let mut h = two_bucket_hist();
+        assert_eq!(h.total_count(), 100.0);
+        let _ = h.bucket_index(); // force-build the lazy index
+        h.buckets_mut()[0].count = 0.0;
+        assert_eq!(h.total_count(), 40.0, "total cache must invalidate");
+        let mut scratch = IndexScratch::new();
+        let q = Rect::new(0.0, 0.0, 15.0, 10.0);
+        assert_eq!(
+            h.estimate_count(&q).to_bits(),
+            h.estimate_count_indexed(&q, &mut scratch).to_bits(),
+            "index cache must invalidate with the buckets"
+        );
+        // Rule swap invalidates the extension table + index but not total.
+        let h2 = h.with_extension_rule(ExtensionRule::PaperLiteral);
+        assert_eq!(h2.total_count(), 40.0);
+        assert_eq!(
+            h2.estimate_count(&q).to_bits(),
+            h2.estimate_count_indexed(&q, &mut scratch).to_bits()
+        );
     }
 }

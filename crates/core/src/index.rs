@@ -1,0 +1,531 @@
+//! A flat, dependency-free spatial directory over histogram buckets, making
+//! `estimate_count` sub-linear in the bucket count on the serving path.
+//!
+//! # The pruning contract
+//!
+//! The linear reference path ([`crate::SpatialHistogram::estimate_count`])
+//! sums [`Bucket::estimate`] over **every** bucket; a bucket contributes a
+//! non-zero term only when the *extended* query (the query grown by that
+//! bucket's own `W̄/H̄` slack under the active [`ExtensionRule`]) intersects
+//! the bucket's bounding box. The index exploits that: it places each
+//! non-empty bucket's raw MBR into a uniform grid directory, and at lookup
+//! time extends the query **once** by the *maximum* per-bucket extension
+//! amounts — using the exact same [`Rect::expanded`] code path the
+//! per-bucket estimate uses — and gathers only the buckets whose cells the
+//! extended query touches.
+//!
+//! Why this is bit-identical to the linear scan (proof sketch, mirrored in
+//! DESIGN.md §9):
+//!
+//! 1. **No false negatives.** IEEE-754 addition/subtraction are monotone,
+//!    so for per-bucket amounts `ex_b <= max_ex` (a maximum over the very
+//!    same computed values) the *computed* rectangle
+//!    `query.expanded(ex_b, ey_b)` is contained in the computed
+//!    `query.expanded(max_ex, max_ey)`. A bucket whose estimate is non-zero
+//!    therefore intersects the max-extended query, whose cell range overlaps
+//!    the bucket's cell range because cell coordinates are a monotone
+//!    function of position. Every such bucket is gathered.
+//! 2. **False positives are exact no-ops.** A gathered bucket still goes
+//!    through the unchanged [`Bucket::estimate`] arithmetic; if the query
+//!    misses it, the term is exactly `+0.0`, and `s + 0.0 == s` bit-for-bit
+//!    for every non-negative partial sum `s` (all bucket estimates are
+//!    non-negative products of clamped fractions). The one wrinkle is
+//!    Rust's fold identity: `f64::sum()` starts from `-0.0`, so a fold
+//!    that skips *every* term ends at `-0.0` where the full fold over
+//!    all-zero terms ends at `+0.0`; the caller re-adds a single `+0.0`
+//!    (one of the skipped terms) to apply exactly that correction — see
+//!    [`crate::SpatialHistogram::estimate_count_indexed`].
+//! 3. **Order is preserved.** Candidates are deduplicated and sorted into
+//!    ascending bucket order before summation, so the surviving terms are
+//!    added in exactly the order the linear scan adds them.
+//!
+//! Empty buckets (`count == 0.0`) estimate to `0.0` unconditionally and are
+//! excluded from the directory outright. Queries whose extended footprint
+//! covers most of the grid fall back to the linear scan itself — which is
+//! trivially bit-identical — so the indexed path never does more work than
+//! `O(B)` plus a small constant.
+
+use minskew_geom::Rect;
+
+use crate::{Bucket, ExtensionRule};
+
+/// Grid sizing target: aim for this many cells per non-empty bucket.
+const TARGET_CELLS_PER_BUCKET: usize = 4;
+/// Directory size cap: keeps the CSR arrays small even for huge budgets.
+const MAX_CELLS: usize = 1 << 16;
+/// Rebuild the grid coarser when heavily-overlapping buckets blow up the
+/// per-cell lists past this many entries per bucket on average.
+const MAX_ENTRIES_PER_BUCKET: usize = 32;
+
+/// Reusable per-caller scratch space for index lookups.
+///
+/// Holding the candidate buffer and the visited stamps outside the index
+/// makes lookups allocation-free once the scratch is warm, and lets many
+/// threads share one immutable [`BucketIndex`] with a scratch per worker.
+#[derive(Debug, Clone, Default)]
+pub struct IndexScratch {
+    /// Deduplicated candidate bucket ids for the current query.
+    candidates: Vec<u32>,
+    /// Stamp per bucket id; `visited[b] == stamp` means already gathered.
+    visited: Vec<u32>,
+    /// Current query's stamp (wraps safely; see [`IndexScratch::begin`]).
+    stamp: u32,
+}
+
+impl IndexScratch {
+    /// Creates an empty scratch. Buffers grow on first use and are then
+    /// reused for every subsequent lookup.
+    pub fn new() -> IndexScratch {
+        IndexScratch::default()
+    }
+
+    /// Prepares the scratch for a histogram with `num_buckets` buckets.
+    fn begin(&mut self, num_buckets: usize) {
+        if self.visited.len() < num_buckets {
+            self.visited.resize(num_buckets, 0);
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // One wrap every 2^32 queries: reset the stamps and restart.
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.stamp = 1;
+        }
+        self.candidates.clear();
+    }
+
+    /// Marks a bucket as gathered; returns `true` the first time.
+    #[inline]
+    fn mark(&mut self, id: u32) -> bool {
+        let slot = &mut self.visited[id as usize];
+        if *slot == self.stamp {
+            false
+        } else {
+            *slot = self.stamp;
+            true
+        }
+    }
+}
+
+/// Result of a candidate lookup.
+#[derive(Debug)]
+pub enum CandidateSet<'a> {
+    /// The extended query misses every non-empty bucket: the estimate is
+    /// exactly `0.0` (the sum the linear scan would produce).
+    Pruned,
+    /// The query covers most of the directory; the caller should run the
+    /// plain linear scan (bit-identical by definition).
+    Scan,
+    /// Deduplicated candidate bucket ids in **ascending** order. Every
+    /// bucket with a non-zero estimate is present; extra ids estimate to
+    /// exactly `0.0`.
+    Subset(&'a [u32]),
+}
+
+/// A static uniform-grid directory over the non-empty buckets of a
+/// histogram, built for one [`ExtensionRule`].
+///
+/// Layout: a `gx × gy` grid over the union of the bucket MBRs, with a CSR
+/// (`cell_starts`/`cell_buckets`) mapping each cell to the sorted ids of
+/// the buckets overlapping it. See the module docs for the bit-identical
+/// pruning contract.
+#[derive(Debug, Clone)]
+pub struct BucketIndex {
+    /// Union of the non-empty buckets' MBRs (meaningless when `empty`).
+    bounds: Rect,
+    /// Grid resolution.
+    gx: u32,
+    gy: u32,
+    /// Precomputed `gx / bounds.width()` (0.0 for a degenerate axis).
+    scale_x: f64,
+    scale_y: f64,
+    /// CSR offsets, length `gx * gy + 1`.
+    cell_starts: Vec<u32>,
+    /// Concatenated per-cell bucket-id lists, ascending within each cell.
+    cell_buckets: Vec<u32>,
+    /// Maximum per-bucket extension amounts under the build rule.
+    max_ex: f64,
+    max_ey: f64,
+    /// Number of buckets in the histogram the index was built over.
+    num_buckets: usize,
+    /// `true` when no bucket has a non-zero count.
+    empty: bool,
+}
+
+impl BucketIndex {
+    /// Builds the directory over `buckets` for estimation under `rule`.
+    pub fn build(buckets: &[Bucket], rule: ExtensionRule) -> BucketIndex {
+        let active: Vec<u32> = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.count != 0.0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let Some((&first, rest)) = active.split_first() else {
+            return BucketIndex {
+                bounds: Rect::from_point(minskew_geom::Point::new(0.0, 0.0)),
+                gx: 1,
+                gy: 1,
+                scale_x: 0.0,
+                scale_y: 0.0,
+                cell_starts: vec![0, 0],
+                cell_buckets: Vec::new(),
+                max_ex: 0.0,
+                max_ey: 0.0,
+                num_buckets: buckets.len(),
+                empty: true,
+            };
+        };
+        let mut bounds = buckets[first as usize].mbr;
+        let mut max_ex = 0.0f64;
+        let mut max_ey = 0.0f64;
+        for &i in std::iter::once(&first).chain(rest) {
+            let b = &buckets[i as usize];
+            bounds = bounds.union(&b.mbr);
+            let (ex, ey) = rule.amounts(b.avg_width, b.avg_height);
+            // f64::max ignores NaN operands: a bucket with corrupt average
+            // dimensions estimates to 0.0 unconditionally (its extended
+            // query is a NaN rectangle that intersects nothing), so it is
+            // safe for it not to influence the lookup extension.
+            max_ex = max_ex.max(ex);
+            max_ey = max_ey.max(ey);
+        }
+
+        let target = active
+            .len()
+            .saturating_mul(TARGET_CELLS_PER_BUCKET)
+            .clamp(1, MAX_CELLS);
+        let mut side = (target as f64).sqrt().ceil().max(1.0) as u32;
+        loop {
+            let index = Self::build_at(buckets, &active, bounds, side, max_ex, max_ey);
+            // Heavily overlapping buckets (e.g. R-tree partitionings) can
+            // make every bucket span many cells; coarsen until the CSR
+            // stays linear in the bucket count.
+            if side <= 1 || index.cell_buckets.len() <= MAX_ENTRIES_PER_BUCKET * active.len().max(1)
+            {
+                return index;
+            }
+            side = (side / 2).max(1);
+        }
+    }
+
+    fn build_at(
+        buckets: &[Bucket],
+        active: &[u32],
+        bounds: Rect,
+        side: u32,
+        max_ex: f64,
+        max_ey: f64,
+    ) -> BucketIndex {
+        let (gx, gy) = (side, side);
+        let scale_x = if bounds.width() > 0.0 {
+            gx as f64 / bounds.width()
+        } else {
+            0.0
+        };
+        let scale_y = if bounds.height() > 0.0 {
+            gy as f64 / bounds.height()
+        } else {
+            0.0
+        };
+        let mut index = BucketIndex {
+            bounds,
+            gx,
+            gy,
+            scale_x,
+            scale_y,
+            cell_starts: vec![0u32; (gx as usize * gy as usize) + 1],
+            cell_buckets: Vec::new(),
+            max_ex,
+            max_ey,
+            num_buckets: buckets.len(),
+            empty: false,
+        };
+        // Two-pass CSR fill: count, prefix-sum, then place. Buckets are
+        // visited in ascending id order, so each cell's list ends sorted.
+        for &i in active {
+            let (cx0, cx1, cy0, cy1) = index.cell_span(&buckets[i as usize].mbr);
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    index.cell_starts[(cy as usize * gx as usize + cx as usize) + 1] += 1;
+                }
+            }
+        }
+        for c in 1..index.cell_starts.len() {
+            index.cell_starts[c] += index.cell_starts[c - 1];
+        }
+        index.cell_buckets = vec![0u32; *index.cell_starts.last().unwrap_or(&0) as usize];
+        let mut cursors: Vec<u32> = index.cell_starts[..index.cell_starts.len() - 1].to_vec();
+        for &i in active {
+            let (cx0, cx1, cy0, cy1) = index.cell_span(&buckets[i as usize].mbr);
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    let cell = cy as usize * gx as usize + cx as usize;
+                    index.cell_buckets[cursors[cell] as usize] = i;
+                    cursors[cell] += 1;
+                }
+            }
+        }
+        index
+    }
+
+    /// Cell coordinate of `x` along the x axis, clamped into the grid.
+    ///
+    /// Monotone non-decreasing in `x` (subtraction, multiplication by a
+    /// non-negative constant, `floor`, and clamping are all monotone under
+    /// IEEE-754 rounding), which is what makes cell-range overlap a sound
+    /// necessary condition for rectangle intersection.
+    #[inline]
+    fn cell_x(&self, x: f64) -> u32 {
+        let t = (x - self.bounds.lo.x) * self.scale_x;
+        // Float→int casts saturate, so ±∞ clamp to the grid edges.
+        (t.floor().max(0.0) as u32).min(self.gx - 1)
+    }
+
+    /// Cell coordinate of `y` along the y axis (see [`BucketIndex::cell_x`]).
+    #[inline]
+    fn cell_y(&self, y: f64) -> u32 {
+        let t = (y - self.bounds.lo.y) * self.scale_y;
+        (t.floor().max(0.0) as u32).min(self.gy - 1)
+    }
+
+    /// Inclusive cell span of a rectangle.
+    #[inline]
+    fn cell_span(&self, r: &Rect) -> (u32, u32, u32, u32) {
+        (
+            self.cell_x(r.lo.x),
+            self.cell_x(r.hi.x),
+            self.cell_y(r.lo.y),
+            self.cell_y(r.hi.y),
+        )
+    }
+
+    /// Gathers the candidate buckets for `query`, reusing `scratch`.
+    ///
+    /// See [`CandidateSet`] for the three outcomes and the module docs for
+    /// why summing [`Bucket::estimate`] over the candidates reproduces the
+    /// full linear scan bit-for-bit.
+    pub fn candidates<'a>(&self, query: &Rect, scratch: &'a mut IndexScratch) -> CandidateSet<'a> {
+        if self.empty {
+            return CandidateSet::Pruned;
+        }
+        // The one query-side extension, through the exact code path every
+        // per-bucket estimate uses (`Rect::expanded`), with the maximum
+        // amounts: computed containment of every per-bucket extension.
+        let extended = query.expanded(self.max_ex, self.max_ey);
+        if !extended.intersects(&self.bounds) {
+            return CandidateSet::Pruned;
+        }
+        let (cx0, cx1, cy0, cy1) = self.cell_span(&extended);
+        let span_cells = (cx1 - cx0 + 1) as usize * (cy1 - cy0 + 1) as usize;
+        let total_cells = self.gx as usize * self.gy as usize;
+        if span_cells * 2 >= total_cells {
+            return CandidateSet::Scan;
+        }
+        scratch.begin(self.num_buckets);
+        for cy in cy0..=cy1 {
+            let row = cy as usize * self.gx as usize;
+            for cx in cx0..=cx1 {
+                let cell = row + cx as usize;
+                let lo = self.cell_starts[cell] as usize;
+                let hi = self.cell_starts[cell + 1] as usize;
+                for &id in &self.cell_buckets[lo..hi] {
+                    if scratch.mark(id) {
+                        scratch.candidates.push(id);
+                    }
+                }
+            }
+        }
+        // Ascending bucket order = the linear scan's summation order.
+        scratch.candidates.sort_unstable();
+        CandidateSet::Subset(&scratch.candidates)
+    }
+
+    /// Number of directory cells.
+    pub fn cells(&self) -> usize {
+        self.gx as usize * self.gy as usize
+    }
+
+    /// Total CSR entries (sum of per-cell list lengths).
+    pub fn entries(&self) -> usize {
+        self.cell_buckets.len()
+    }
+
+    /// The query-side extension amounts applied at lookup time.
+    pub fn max_extension(&self) -> (f64, f64) {
+        (self.max_ex, self.max_ey)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_buckets(side: usize) -> Vec<Bucket> {
+        let mut out = Vec::new();
+        for iy in 0..side {
+            for ix in 0..side {
+                let (x, y) = (ix as f64 * 10.0, iy as f64 * 10.0);
+                out.push(Bucket {
+                    mbr: Rect::new(x, y, x + 10.0, y + 10.0),
+                    count: 5.0,
+                    avg_width: 1.0,
+                    avg_height: 1.0,
+                });
+            }
+        }
+        out
+    }
+
+    fn linear(buckets: &[Bucket], q: &Rect, rule: ExtensionRule) -> f64 {
+        buckets.iter().map(|b| b.estimate(q, rule)).sum()
+    }
+
+    /// Mirrors `SpatialHistogram::estimate_count_indexed`, including the
+    /// `+ 0.0` identity-correction for skipped terms (all these tests use
+    /// at least one bucket).
+    fn indexed(buckets: &[Bucket], q: &Rect, rule: ExtensionRule) -> f64 {
+        let index = BucketIndex::build(buckets, rule);
+        let mut scratch = IndexScratch::new();
+        let partial: f64 = match index.candidates(q, &mut scratch) {
+            CandidateSet::Pruned => -0.0,
+            CandidateSet::Scan => return linear(buckets, q, rule),
+            CandidateSet::Subset(ids) => ids
+                .iter()
+                .map(|&i| buckets[i as usize].estimate(q, rule))
+                .sum(),
+        };
+        partial + 0.0
+    }
+
+    #[test]
+    fn small_query_gathers_few_and_matches_linear() {
+        let buckets = grid_buckets(16); // 256 buckets over [0,160]^2
+        let rule = ExtensionRule::Minkowski;
+        let index = BucketIndex::build(&buckets, rule);
+        let mut scratch = IndexScratch::new();
+        let q = Rect::new(33.0, 41.0, 47.0, 55.0);
+        match index.candidates(&q, &mut scratch) {
+            CandidateSet::Subset(ids) => {
+                assert!(!ids.is_empty() && ids.len() < 40, "got {}", ids.len());
+                assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+            }
+            other => panic!("expected subset, got {other:?}"),
+        }
+        let a = linear(&buckets, &q, rule);
+        let b = indexed(&buckets, &q, rule);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn disjoint_and_covering_queries_match_linear() {
+        let buckets = grid_buckets(8);
+        for rule in [
+            ExtensionRule::Minkowski,
+            ExtensionRule::PaperLiteral,
+            ExtensionRule::None,
+        ] {
+            for q in [
+                Rect::new(-500.0, -500.0, -400.0, -400.0), // disjoint
+                Rect::new(-10.0, -10.0, 200.0, 200.0),     // covers all
+                Rect::new(79.9, 0.0, 80.1, 80.0),          // bucket seam
+                Rect::from_point(minskew_geom::Point::new(40.0, 40.0)), // corner point
+            ] {
+                assert_eq!(
+                    linear(&buckets, &q, rule).to_bits(),
+                    indexed(&buckets, &q, rule).to_bits(),
+                    "rule={rule:?} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_count_histograms_prune_everything() {
+        let index = BucketIndex::build(&[], ExtensionRule::Minkowski);
+        let mut scratch = IndexScratch::new();
+        assert!(matches!(
+            index.candidates(&Rect::new(0.0, 0.0, 1.0, 1.0), &mut scratch),
+            CandidateSet::Pruned
+        ));
+        let dead = vec![
+            Bucket {
+                mbr: Rect::new(0.0, 0.0, 10.0, 10.0),
+                count: 0.0,
+                avg_width: 1.0,
+                avg_height: 1.0,
+            };
+            4
+        ];
+        let index = BucketIndex::build(&dead, ExtensionRule::Minkowski);
+        assert!(matches!(
+            index.candidates(&Rect::new(0.0, 0.0, 10.0, 10.0), &mut scratch),
+            CandidateSet::Pruned
+        ));
+    }
+
+    #[test]
+    fn degenerate_point_pile_directory_works() {
+        let buckets = vec![Bucket {
+            mbr: Rect::from_point(minskew_geom::Point::new(5.0, 5.0)),
+            count: 64.0,
+            avg_width: 0.0,
+            avg_height: 0.0,
+        }];
+        let rule = ExtensionRule::Minkowski;
+        for q in [
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            Rect::new(6.0, 6.0, 10.0, 10.0),
+            Rect::from_point(minskew_geom::Point::new(5.0, 5.0)),
+        ] {
+            assert_eq!(
+                linear(&buckets, &q, rule).to_bits(),
+                indexed(&buckets, &q, rule).to_bits(),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_and_stamp_wrap() {
+        let buckets = grid_buckets(4);
+        let index = BucketIndex::build(&buckets, ExtensionRule::Minkowski);
+        let mut scratch = IndexScratch::new();
+        // Force the wrap path: pretend 2^32 - 2 queries already ran.
+        scratch.stamp = u32::MAX - 1;
+        let q = Rect::new(0.0, 0.0, 15.0, 15.0);
+        let expect = linear(&buckets, &q, ExtensionRule::Minkowski);
+        for _ in 0..4 {
+            let got: f64 = match index.candidates(&q, &mut scratch) {
+                CandidateSet::Subset(ids) => ids
+                    .iter()
+                    .map(|&i| buckets[i as usize].estimate(&q, ExtensionRule::Minkowski))
+                    .sum(),
+                other => panic!("expected subset, got {other:?}"),
+            };
+            assert_eq!(got.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn overlapping_buckets_coarsen_but_stay_correct() {
+        // Every bucket covers the whole extent: the CSR blowup guard must
+        // coarsen the grid rather than build a quadratic directory.
+        let buckets = vec![
+            Bucket {
+                mbr: Rect::new(0.0, 0.0, 100.0, 100.0),
+                count: 1.0,
+                avg_width: 0.5,
+                avg_height: 0.5,
+            };
+            200
+        ];
+        let index = BucketIndex::build(&buckets, ExtensionRule::Minkowski);
+        assert!(index.entries() <= 32 * 200 || index.cells() == 1);
+        let q = Rect::new(10.0, 10.0, 20.0, 20.0);
+        assert_eq!(
+            linear(&buckets, &q, ExtensionRule::Minkowski).to_bits(),
+            indexed(&buckets, &q, ExtensionRule::Minkowski).to_bits()
+        );
+    }
+}

@@ -53,6 +53,7 @@ pub mod error;
 mod fractal;
 mod gridhist;
 mod histogram;
+mod index;
 mod maintenance;
 mod minskew;
 mod optimal;
@@ -68,6 +69,7 @@ pub use error::{BuildError, EstimateError};
 pub use fractal::FractalEstimator;
 pub use gridhist::{build_grid, try_build_grid};
 pub use histogram::SpatialHistogram;
+pub use index::{BucketIndex, CandidateSet, IndexScratch};
 pub use minskew::{MinSkewBuilder, MinSkewDetail, SplitStrategy};
 pub use optimal::{build_optimal_bsp, optimal_bsp_skew, try_build_optimal_bsp, OptimalBsp};
 pub use rtree_part::{

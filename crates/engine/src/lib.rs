@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod cache;
 mod planner;
 mod table;
 

@@ -1,13 +1,16 @@
 //! The spatial table: storage, index, statistics, and the execution loop.
 
+use std::sync::{Mutex, PoisonError};
+
 use minskew_core::{
     build_uniform, try_build_equi_area, try_build_equi_count, try_build_uniform, BuildError,
-    EstimateError, MinSkewBuilder, SpatialEstimator, SpatialHistogram,
+    EstimateError, IndexScratch, MinSkewBuilder, SpatialHistogram,
 };
 use minskew_data::Dataset;
 use minskew_geom::Rect;
 use minskew_rtree::{RStarTree, RTreeConfig};
 
+use crate::cache::{cache_key, QueryCache};
 use crate::{CostModel, Explain, Plan};
 
 /// Stable identifier of a row in a [`SpatialTable`].
@@ -71,6 +74,17 @@ pub struct TableOptions {
     /// one worker per available core. Results are bit-identical at every
     /// setting.
     pub threads: usize,
+    /// Enables the per-table query-result cache: repeated single-query
+    /// estimates with the same rectangle bits are answered from a bounded
+    /// LRU instead of re-scanning the histogram. The cache is invalidated
+    /// by every mutation (`insert`, `delete`, any statistics install), so a
+    /// cached value is always bit-identical to a fresh computation. Batch
+    /// estimation bypasses the cache. Defaults to `true`.
+    pub query_cache: bool,
+    /// Capacity of the query-result cache in entries (applied at table
+    /// construction or via [`SpatialTable::set_query_cache`]). Defaults to
+    /// 1024 (~48 KiB).
+    pub query_cache_capacity: usize,
 }
 
 impl Default for TableOptions {
@@ -81,6 +95,8 @@ impl Default for TableOptions {
             auto_analyze_threshold: Some(0.2),
             index_fanout: 16,
             threads: 1,
+            query_cache: true,
+            query_cache_capacity: 1024,
         }
     }
 }
@@ -124,6 +140,25 @@ pub struct StatsDiagnostics {
     pub attempts: usize,
     /// The error that forced degradation, if any.
     pub last_error: Option<String>,
+    /// Query-cache hits since the table was created (or the cache was
+    /// reconfigured). Counted by [`SpatialTable::estimate`] /
+    /// [`SpatialTable::try_estimate`]; batch estimation bypasses the cache.
+    pub cache_hits: u64,
+    /// Query-cache misses (lookups that had to compute).
+    pub cache_misses: u64,
+    /// Times the cache was flushed because a mutation made its entries
+    /// potentially stale (only non-empty flushes are counted).
+    pub cache_invalidations: u64,
+}
+
+/// Per-table serving state: the query-result cache and the reusable index
+/// scratch for single-query estimates. Behind a [`Mutex`] so `&self`
+/// estimation stays `Sync` (batch workers use their own scratch and never
+/// touch this lock).
+#[derive(Debug)]
+struct ServingState {
+    cache: QueryCache,
+    scratch: IndexScratch,
 }
 
 /// A spatial table: rows of rectangles with a stable id, an R\*-tree index,
@@ -135,6 +170,7 @@ pub struct SpatialTable {
     index: RStarTree<u64>,
     stats: Option<SpatialHistogram>,
     diagnostics: StatsDiagnostics,
+    serving: Mutex<ServingState>,
 }
 
 impl SpatialTable {
@@ -166,8 +202,28 @@ impl SpatialTable {
             index: RStarTree::new(config),
             stats: None,
             diagnostics: StatsDiagnostics::default(),
+            serving: Mutex::new(ServingState {
+                cache: QueryCache::new(if options.query_cache {
+                    options.query_cache_capacity
+                } else {
+                    0
+                }),
+                scratch: IndexScratch::new(),
+            }),
             options,
         })
+    }
+
+    /// Drops every cached estimate. Called by every path that changes what
+    /// an estimate could return: row mutations and statistics installs.
+    fn invalidate_cache(&mut self) {
+        // A poisoned lock only means some estimating thread panicked; the
+        // cache itself is a plain value and flushing it is always safe.
+        self.serving
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .cache
+            .invalidate();
     }
 
     /// Number of live rows.
@@ -197,6 +253,7 @@ impl SpatialTable {
         if let Some(stats) = &mut self.stats {
             stats.note_insert(&rect);
         }
+        self.invalidate_cache();
         RowId(id)
     }
 
@@ -215,6 +272,7 @@ impl SpatialTable {
         if let Some(stats) = &mut self.stats {
             stats.note_delete(&rect);
         }
+        self.invalidate_cache();
         true
     }
 
@@ -251,12 +309,15 @@ impl SpatialTable {
         Dataset::new(self.rows.iter().flatten().copied().collect())
     }
 
-    /// Installs `hist` and records how it was obtained.
+    /// Installs `hist` and records how it was obtained. New statistics mean
+    /// new estimates, so the query cache is flushed here — this covers
+    /// `analyze`, `try_analyze`, `load_stats`, and auto-`ANALYZE` alike.
     fn install_stats(&mut self, hist: SpatialHistogram, mut diag: StatsDiagnostics) {
         diag.requested_buckets = self.options.analyze.buckets;
         diag.achieved_buckets = hist.buckets().len();
         self.stats = Some(hist);
         self.diagnostics = diag;
+        self.invalidate_cache();
     }
 
     /// Rebuilds the optimizer statistics from the live rows, strictly: the
@@ -330,7 +391,7 @@ impl SpatialTable {
     /// degradation-protected via [`SpatialTable::analyze`]) — and the
     /// returned diagnostics say so. Estimates therefore stay available and
     /// bounded through a corrupt-summary / recovery cycle.
-    pub fn load_stats(&mut self, bytes: &[u8]) -> &StatsDiagnostics {
+    pub fn load_stats(&mut self, bytes: &[u8]) -> StatsDiagnostics {
         match SpatialHistogram::from_bytes(bytes) {
             Ok(hist) => {
                 self.install_stats(
@@ -354,12 +415,20 @@ impl SpatialTable {
                 self.diagnostics.last_error = Some(format!("corrupt summary: {corrupt}"));
             }
         }
-        &self.diagnostics
+        self.stats_diagnostics()
     }
 
-    /// Diagnostics for the most recent statistics build or load.
-    pub fn stats_diagnostics(&self) -> &StatsDiagnostics {
-        &self.diagnostics
+    /// Diagnostics for the most recent statistics build or load, with the
+    /// query-cache counters merged in. Returned by value: the counters live
+    /// with the cache behind the serving lock, so a borrow cannot carry
+    /// them.
+    pub fn stats_diagnostics(&self) -> StatsDiagnostics {
+        let serving = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut diag = self.diagnostics.clone();
+        diag.cache_hits = serving.cache.hits();
+        diag.cache_misses = serving.cache.misses();
+        diag.cache_invalidations = serving.cache.invalidations();
+        diag
     }
 
     /// Sets the worker-thread count used by ANALYZE and batch estimation
@@ -370,6 +439,25 @@ impl SpatialTable {
     /// without invalidating existing statistics.
     pub fn set_threads(&mut self, threads: usize) {
         self.options.threads = threads;
+    }
+
+    /// Replaces the `ANALYZE` configuration (technique, bucket budget,
+    /// grid regions, refinements). Takes effect on the next analysis; the
+    /// installed statistics are untouched.
+    pub fn set_analyze_options(&mut self, analyze: AnalyzeOptions) {
+        self.options.analyze = analyze;
+    }
+
+    /// Reconfigures the query-result cache: on/off and capacity. The cache
+    /// (and its hit/miss counters) is reset.
+    pub fn set_query_cache(&mut self, enabled: bool, capacity: usize) {
+        self.options.query_cache = enabled;
+        self.options.query_cache_capacity = capacity;
+        let serving = self
+            .serving
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        serving.cache = QueryCache::new(if enabled { capacity } else { 0 });
     }
 
     /// Estimated result size for `query`, falling back to the global
@@ -384,17 +472,41 @@ impl SpatialTable {
 
     /// Estimated result size for `query`, rejecting non-finite queries
     /// instead of guessing. The `Ok` value is finite and within `[0, N]`.
+    ///
+    /// Serving path: the estimate goes through the histogram's
+    /// [`minskew_core::BucketIndex`] (sub-linear in the bucket count,
+    /// bit-identical to the linear scan) and, when
+    /// [`TableOptions::query_cache`] is on, through the per-table LRU —
+    /// also bit-identical, because every mutation flushes it.
     pub fn try_estimate(&self, query: &Rect) -> Result<f64, EstimateError> {
         if !query.is_finite() {
             return Err(EstimateError::NonFiniteQuery);
         }
+        let mut guard = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+        let serving = &mut *guard;
+        if !self.options.query_cache {
+            return Ok(self.estimate_finite(query, &mut serving.scratch));
+        }
+        let key = cache_key(query);
+        if let Some(cached) = serving.cache.get(&key) {
+            return Ok(cached);
+        }
+        let value = self.estimate_finite(query, &mut serving.scratch);
+        serving.cache.insert(key, value);
+        Ok(value)
+    }
+
+    /// The uncached estimator core for a query already validated finite.
+    /// All serving entry points (single-query, batch, planner) funnel here,
+    /// so they agree bit for bit.
+    fn estimate_finite(&self, query: &Rect, scratch: &mut IndexScratch) -> f64 {
         let raw = match &self.stats {
-            Some(stats) => stats.estimate_count(query),
+            Some(stats) => stats.estimate_count_indexed(query, scratch),
             None => {
                 // Planner fallback: treat the whole table as one bucket
                 // covering the index MBR (a DBMS guesses without stats too).
                 if self.live == 0 {
-                    return Ok(0.0);
+                    return 0.0;
                 }
                 let mbr = self.index.mbr();
                 let frac = if mbr.area() > 0.0 {
@@ -410,9 +522,9 @@ impl SpatialTable {
         // Clamp to [0, N]: degraded or stale statistics may over- or
         // under-shoot, but the bound always holds.
         if raw.is_finite() {
-            Ok(raw.clamp(0.0, self.live as f64))
+            raw.clamp(0.0, self.live as f64)
         } else {
-            Ok(0.0)
+            0.0
         }
     }
 
@@ -427,18 +539,46 @@ impl SpatialTable {
     /// accumulation, so no floating-point reordering. Batch estimation is
     /// the planner's bulk entry point (multi-query optimization, workload
     /// what-if analysis, auto-tuning sweeps).
+    ///
+    /// Each worker reuses one [`IndexScratch`] across every query it
+    /// serves, so the loop is allocation-free once the scratch warms up.
+    /// The batch path bypasses the query cache (and its counters): with
+    /// per-worker scratch there is no shared state to lock.
     pub fn estimate_batch(&self, queries: &[Rect]) -> Vec<f64> {
         // Chunked queue rather than static chunks: estimate cost varies
         // with how many buckets a query overlaps.
-        minskew_par::map_chunks_queued(self.options.threads, 64, queries, |q| self.estimate(q))
+        minskew_par::map_chunks_queued_with(
+            self.options.threads,
+            64,
+            queries,
+            IndexScratch::new,
+            |scratch, q| {
+                if q.is_finite() {
+                    self.estimate_finite(q, scratch)
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     /// Strict counterpart of [`SpatialTable::estimate_batch`]: any
     /// non-finite query fails the whole batch instead of estimating zero.
+    ///
+    /// Validation runs as one upfront pass over the batch, so the worker
+    /// loop itself is branch-light; the reported error is the same
+    /// first-in-input-order failure the per-query loop would hit.
     pub fn try_estimate_batch(&self, queries: &[Rect]) -> Result<Vec<f64>, EstimateError> {
-        minskew_par::map_chunks_queued(self.options.threads, 64, queries, |q| self.try_estimate(q))
-            .into_iter()
-            .collect()
+        if queries.iter().any(|q| !q.is_finite()) {
+            return Err(EstimateError::NonFiniteQuery);
+        }
+        Ok(minskew_par::map_chunks_queued_with(
+            self.options.threads,
+            64,
+            queries,
+            IndexScratch::new,
+            |scratch, q| self.estimate_finite(q, scratch),
+        ))
     }
 
     fn stats_stale(&self) -> bool {
@@ -673,7 +813,7 @@ mod tests {
             lo: minskew_geom::Point::new(f64::NAN, 0.0),
             hi: minskew_geom::Point::new(1.0, 1.0),
         };
-        let mut with_bad = queries.clone();
+        let mut with_bad = queries;
         with_bad.push(poisoned);
         assert!(t.try_estimate_batch(&with_bad).is_err());
         assert_eq!(t.estimate_batch(&with_bad).last(), Some(&0.0));
@@ -789,7 +929,7 @@ mod tests {
         // own rows and says so.
         let mut corrupt = good.clone();
         corrupt[10] ^= 0xFF;
-        let d = t.load_stats(&corrupt).clone();
+        let d = t.load_stats(&corrupt);
         assert_eq!(d.fallback, StatsFallback::RebuiltFromData);
         assert!(d.degraded);
         assert!(d
@@ -819,6 +959,107 @@ mod tests {
         };
         assert!(t.try_estimate(&poisoned).is_err());
         assert_eq!(t.estimate(&poisoned), 0.0);
+    }
+
+    #[test]
+    fn cached_estimates_equal_uncached_and_invalidate_on_mutation() {
+        let data = charminar_with(2_500, 11);
+        let mut cached = SpatialTable::new(TableOptions::default());
+        let mut plain = SpatialTable::new(TableOptions {
+            query_cache: false,
+            ..TableOptions::default()
+        });
+        for r in data.rects() {
+            cached.insert(*r);
+            plain.insert(*r);
+        }
+        cached.analyze();
+        plain.analyze();
+        let queries: Vec<Rect> = (0..60)
+            .map(|i| {
+                let s = (i % 20) as f64 * 300.0;
+                Rect::new(s, s, s + 900.0, s + 900.0)
+            })
+            .collect();
+        // Repeated queries: the second pass over the same 20 distinct
+        // rectangles must hit the cache and return the same bits.
+        for pass in 0..3 {
+            for q in &queries {
+                assert_eq!(
+                    cached.estimate(q).to_bits(),
+                    plain.estimate(q).to_bits(),
+                    "pass={pass} q={q}"
+                );
+            }
+        }
+        let d = cached.stats_diagnostics();
+        assert!(d.cache_hits > 0, "repeated queries must hit: {d:?}");
+        assert!(d.cache_misses >= 20);
+        // Mutations flush the cache; estimates immediately reflect them.
+        let q = queries[0];
+        let before = cached.estimate(&q);
+        let id = cached.insert(Rect::new(10.0, 10.0, 60.0, 60.0));
+        plain.insert(Rect::new(10.0, 10.0, 60.0, 60.0));
+        assert_eq!(
+            cached.estimate(&q).to_bits(),
+            plain.estimate(&q).to_bits(),
+            "post-insert estimates must agree (no stale cache entry)"
+        );
+        cached.delete(id);
+        plain.delete(RowId(plain.rows.len() as u64 - 1));
+        assert_eq!(
+            cached.estimate(&q).to_bits(),
+            plain.estimate(&q).to_bits(),
+            "post-delete estimates must agree"
+        );
+        assert_eq!(cached.estimate(&q).to_bits(), before.to_bits());
+        assert!(cached.stats_diagnostics().cache_invalidations >= 2);
+    }
+
+    #[test]
+    fn query_cache_can_be_reconfigured() {
+        let mut t = grid_table(20);
+        t.analyze();
+        let q = Rect::new(0.0, 0.0, 50.0, 50.0);
+        let reference = t.estimate(&q);
+        t.set_query_cache(false, 0);
+        assert_eq!(t.estimate(&q).to_bits(), reference.to_bits());
+        assert_eq!(t.stats_diagnostics().cache_hits, 0);
+        t.set_query_cache(true, 4);
+        let _ = t.estimate(&q);
+        assert_eq!(t.estimate(&q).to_bits(), reference.to_bits());
+        assert_eq!(t.stats_diagnostics().cache_hits, 1);
+    }
+
+    #[test]
+    fn try_estimate_batch_error_position_regression() {
+        // Hoisted validation must preserve the old semantics: the batch
+        // fails with the same error whether the bad query sits first, in
+        // the middle, or last — and a clean batch matches the per-query
+        // loop exactly.
+        let mut t = grid_table(15);
+        t.analyze();
+        let good: Vec<Rect> = (0..130)
+            .map(|i| {
+                let s = (i % 30) as f64 * 5.0;
+                Rect::new(s, s, s + 20.0, s + 20.0)
+            })
+            .collect();
+        let serial: Vec<f64> = good.iter().map(|q| t.estimate(q)).collect();
+        assert_eq!(t.try_estimate_batch(&good).expect("all finite"), serial);
+        let poisoned = Rect {
+            lo: minskew_geom::Point::new(f64::INFINITY, 0.0),
+            hi: minskew_geom::Point::new(1.0, 1.0),
+        };
+        for position in [0usize, 64, good.len()] {
+            let mut batch = good.clone();
+            batch.insert(position, poisoned);
+            let err = t.try_estimate_batch(&batch).expect_err("must reject");
+            assert!(
+                matches!(err, EstimateError::NonFiniteQuery),
+                "position={position}"
+            );
+        }
     }
 
     #[test]

@@ -58,13 +58,16 @@ pub use minskew_workload as workload;
 pub mod prelude {
     pub use minskew_core::{
         build_equi_area, build_equi_count, build_grid, build_optimal_bsp, build_rtree_partitioning,
-        build_uniform, try_build_equi_area, try_build_equi_count, try_build_grid,
-        try_build_optimal_bsp, try_build_rtree_partitioning, try_build_uniform, Bucket, BuildError,
-        EstimateError, ExtensionRule, FractalEstimator, MinSkewBuilder, RTreeBuildMethod,
-        SamplingEstimator, SpatialEstimator, SpatialHistogram, SplitStrategy,
+        build_rtree_partitioning_default, build_uniform, try_build_equi_area, try_build_equi_count,
+        try_build_grid, try_build_optimal_bsp, try_build_rtree_partitioning, try_build_uniform,
+        Bucket, BucketIndex, BuildError, EstimateError, ExtensionRule, FractalEstimator,
+        IndexScratch, MinSkewBuilder, RTreeBuildMethod, SamplingEstimator, SpatialEstimator,
+        SpatialHistogram, SplitStrategy,
     };
     pub use minskew_data::{CsvRectSource, Dataset, DensityGrid, RectSource};
-    pub use minskew_engine::{SpatialTable, StatsDiagnostics, StatsFallback, TableOptions};
+    pub use minskew_engine::{
+        AnalyzeOptions, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique, TableOptions,
+    };
     pub use minskew_geom::{Point, Rect};
     pub use minskew_workload::{
         evaluate, tune_min_skew, CenterMode, GroundTruth, QueryWorkload, TuneOptions,

@@ -16,10 +16,15 @@
 #   7. a focused clippy pass over the serving-path crates that additionally
 #      denies needless_collect / redundant_clone — the serving path is
 #      allocation-free by design and those lints catch regressions,
-#   8. smoke runs of the parallel-speedup and serving-throughput benches,
-#      which re-check the differential contracts inline and must leave
-#      BENCH_parallel.json / BENCH_estimate.json behind at the workspace
-#      root.
+#   8. the observability differential suite, exhaustive matrix on, single
+#      test thread — then re-run with minskew-obs compiled to no-ops to
+#      prove the compiled-out configuration serves the same bytes,
+#   9. a focused clippy pass over minskew-obs denying `unwrap()` even in
+#      the presence of poisoned-lock recovery paths,
+#  10. smoke runs of the parallel-speedup, serving-throughput, and
+#      obs-overhead benches, which re-check the differential contracts
+#      inline and must leave BENCH_parallel.json / BENCH_estimate.json /
+#      BENCH_obs.json behind at the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -40,6 +45,15 @@ RUST_TEST_THREADS=1 cargo test -q --test parallel_differential --features parall
 
 echo "==> serving differential suite (exhaustive, single test thread)"
 RUST_TEST_THREADS=1 cargo test -q --test serving_differential --features serving
+
+echo "==> observability differential suite (exhaustive, single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test obs_differential --features obs
+
+echo "==> observability suites with minskew-obs compiled to no-ops"
+cargo test -q --test obs_differential --test golden_metrics --features minskew-obs/noop
+
+echo "==> clippy (minskew-obs, unwrap denied everywhere)"
+cargo clippy -p minskew-obs --all-targets -- -D warnings -D clippy::unwrap_used
 
 echo "==> clippy (serving crates, allocation lints denied)"
 cargo clippy -p minskew-core -p minskew-engine --all-targets -- \
@@ -64,5 +78,14 @@ if [[ ! -f BENCH_estimate.json ]]; then
     exit 1
 fi
 git checkout -- BENCH_estimate.json 2>/dev/null || true
+
+echo "==> observability overhead bench smoke (MINSKEW_QUICK=1)"
+rm -f BENCH_obs.json
+MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench obs_overhead >/dev/null
+if [[ ! -f BENCH_obs.json ]]; then
+    echo "ERROR: bench did not write BENCH_obs.json" >&2
+    exit 1
+fi
+git checkout -- BENCH_obs.json 2>/dev/null || true
 
 echo "CI OK"

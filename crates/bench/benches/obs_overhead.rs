@@ -1,0 +1,187 @@
+//! Observability overhead: the engine's serving path timed with metrics
+//! enabled (default sampling, accuracy reservoir on) against the same path
+//! with `TableOptions::metrics = false`, on both the cached and the
+//! uncached serving configurations — with the bit-identity contract
+//! re-checked before timing (instrumentation that changes an estimate is a
+//! bug, not an acceptable cost).
+//!
+//! The contract under test is the observability layer's ≤5% serving
+//! overhead budget: with metrics on, every call pays a few plain integer
+//! bumps under the already-held serving lock, one in
+//! `metrics_sampling` calls pays the stage-timing clock reads, and
+//! uncached computes pay one splitmix64 step for the accuracy reservoir.
+//! Nothing on the hot path touches the registry (publication happens on
+//! read).
+//!
+//! Writes machine-readable results to `BENCH_obs.json` at the workspace
+//! root. `host_cpus` is recorded honestly; the serving path is
+//! single-threaded, so the overhead ratio is meaningful on a 1-CPU
+//! container too. `MINSKEW_QUICK=1` shrinks the inputs for a smoke run.
+
+use minskew_bench::{charminar_scaled, time_it, Scale, DEFAULT_REGIONS};
+use minskew_engine::{AnalyzeOptions, SpatialTable, StatsTechnique, TableOptions};
+use minskew_geom::Rect;
+use minskew_workload::QueryWorkload;
+use std::hint::black_box;
+use std::path::Path;
+
+const BUCKETS: usize = 200;
+const REPS: usize = 5;
+
+/// Best-of-`REPS` wall-clock seconds for `f`.
+fn best_of<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let (_, secs) = time_it(&mut f);
+        best = best.min(secs);
+    }
+    best
+}
+
+struct Row {
+    path: &'static str,
+    qps_metrics_off: f64,
+    qps_metrics_on: f64,
+}
+
+impl Row {
+    fn overhead_pct(&self) -> f64 {
+        (self.qps_metrics_off - self.qps_metrics_on) / self.qps_metrics_off * 100.0
+    }
+}
+
+fn build_table(data: &minskew_data::Dataset, metrics: bool, cache: bool) -> SpatialTable {
+    let mut table = SpatialTable::new(TableOptions {
+        analyze: AnalyzeOptions {
+            technique: StatsTechnique::MinSkew,
+            buckets: BUCKETS,
+            regions: DEFAULT_REGIONS,
+            refinements: 0,
+        },
+        metrics,
+        query_cache: cache,
+        ..TableOptions::default()
+    });
+    for r in data.rects() {
+        table.insert(*r);
+    }
+    table.analyze();
+    table
+}
+
+/// Times `rounds` passes over the query pool on both tables and returns
+/// the row — after asserting the two configurations agree to the bit.
+fn bench_path(
+    path: &'static str,
+    off: &SpatialTable,
+    on: &SpatialTable,
+    pool: &[Rect],
+    rounds: usize,
+) -> Row {
+    let reference: Vec<u64> = pool.iter().map(|q| off.estimate(q).to_bits()).collect();
+    let instrumented: Vec<u64> = pool.iter().map(|q| on.estimate(q).to_bits()).collect();
+    assert_eq!(
+        instrumented, reference,
+        "metrics changed an estimate on the {path} path"
+    );
+
+    let calls = (pool.len() * rounds) as f64;
+    let timed = |table: &SpatialTable| {
+        best_of(|| {
+            let mut acc = 0.0;
+            for _ in 0..rounds {
+                for q in pool {
+                    acc += table.estimate(q);
+                }
+            }
+            black_box(acc)
+        })
+    };
+    Row {
+        path,
+        qps_metrics_off: calls / timed(off),
+        qps_metrics_on: calls / timed(on),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!(
+        "[obs] host_cpus = {host_cpus}, quick = {}, obs enabled = {}",
+        scale.data_divisor != 1,
+        minskew_obs::enabled()
+    );
+
+    let data = charminar_scaled(scale);
+    let pool_size = scale.queries.min(1_000);
+    let workload = QueryWorkload::generate(&data, 0.05, pool_size, 0xB0B5);
+    let pool: Vec<Rect> = workload.queries().to_vec();
+    let rounds = (200_000 / (pool.len() * scale.data_divisor)).max(2);
+
+    let mut rows = Vec::new();
+    for (path, cache) in [("uncached", false), ("cached", true)] {
+        let off = build_table(&data, false, cache);
+        let on = build_table(&data, true, cache);
+        if cache {
+            // Warm both caches so the timed loop measures steady-state hits.
+            for q in &pool {
+                let _ = off.estimate(q);
+                let _ = on.estimate(q);
+            }
+        }
+        let row = bench_path(path, &off, &on, &pool, rounds);
+        eprintln!(
+            "[obs] {path}: metrics off {:.0} q/s, on {:.0} q/s, overhead {:.2}%",
+            row.qps_metrics_off,
+            row.qps_metrics_on,
+            row.overhead_pct()
+        );
+        rows.push(row);
+    }
+
+    println!("\n## Observability overhead (queries/sec, best of {REPS})\n");
+    println!("| path | metrics off | metrics on | overhead |");
+    println!("|------|-------------|------------|----------|");
+    for r in &rows {
+        println!(
+            "| {} | {:.0} | {:.0} | {:.2}% |",
+            r.path,
+            r.qps_metrics_off,
+            r.qps_metrics_on,
+            r.overhead_pct()
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!("  \"rects\": {},\n", data.len()));
+    json.push_str(&format!("  \"buckets\": {BUCKETS},\n"));
+    json.push_str(&format!(
+        "  \"metrics_sampling\": {},\n",
+        TableOptions::default().metrics_sampling
+    ));
+    json.push_str(&format!("  \"quick\": {},\n", scale.data_divisor != 1));
+    json.push_str(
+        "  \"note\": \"single-query serving, metrics on (default sampling + \
+         accuracy reservoir) vs TableOptions::metrics = false; estimates \
+         bit-checked equal before timing; contract is <= 5% overhead\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"path\": \"{}\", \"qps_metrics_off\": {:.1}, \
+             \"qps_metrics_on\": {:.1}, \"overhead_pct\": {:.2}}}{}\n",
+            r.path,
+            r.qps_metrics_off,
+            r.qps_metrics_on,
+            r.overhead_pct(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
+    std::fs::write(&out, json).expect("write BENCH_obs.json");
+    println!("\nwrote {}", out.display());
+}

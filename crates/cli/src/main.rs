@@ -10,13 +10,21 @@
 //!                  equi-count|rtree|uniform [--buckets B] [--regions R]
 //!                  [--refinements K] [--threads T] --out stats.bin
 //! minskew estimate --stats stats.bin --query x1,y1,x2,y2 [--input data.csv]
+//!                  [--trace]
 //! minskew evaluate --input data.csv [--buckets B] [--qsize F]
 //!                  [--queries N] [--seed S]
 //! minskew tune     --input data.csv [--buckets B] [--queries N]
 //!                  [--out stats.bin]
 //! minskew render   --input data.csv --technique <t> [--buckets B]
 //!                  --out out.svg
+//! minskew stats    --input data.csv [--buckets B] [--queries N]
+//!                  [--qsize F] [--seed S] [--json]
 //! ```
+//!
+//! `build --trace` prints the Min-Skew per-split audit trail; `estimate
+//! --trace` prints the query's lifecycle spans; `stats` drives a serving
+//! workload through the query engine and dumps the metrics registry
+//! (human-readable, or the `minskew-obs/v1` JSON document with `--json`).
 //!
 //! Dataset files are `x1,y1,x2,y2` CSV; statistics files use the library's
 //! versioned catalog codec.
@@ -40,14 +48,15 @@ use std::process::ExitCode;
 
 use minskew_core::{
     build_uniform, try_build_equi_area, try_build_equi_count, try_build_rtree_partitioning_default,
-    BuildError, FractalEstimator, IndexScratch, MinSkewBuilder, SamplingEstimator,
-    SpatialEstimator, SpatialHistogram,
+    BuildError, FractalEstimator, IndexScratch, MinSkewBuildTrace, MinSkewBuilder,
+    SamplingEstimator, SpatialEstimator, SpatialHistogram,
 };
 use minskew_data::{read_rects_csv, write_rects_csv, CsvError, Dataset};
 use minskew_datagen::{
     charminar_with, clustered_points, uniform_rects, ClusteredPointSpec, RoadNetworkSpec,
     SyntheticSpec,
 };
+use minskew_engine::{AnalyzeOptions, SpatialTable, TableOptions};
 use minskew_geom::Rect;
 use minskew_workload::{evaluate_all, GroundTruth, QueryWorkload};
 
@@ -136,6 +145,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "evaluate" => evaluate_cmd(&opts),
         "tune" => tune(&opts),
         "render" => render(&opts),
+        "stats" => stats_cmd(&opts),
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
             Ok(())
@@ -150,18 +160,26 @@ minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
   minskew generate --kind charminar|road|synthetic|uniform|points \\
                    [--n N] [--seed S] --out data.csv
   minskew build    --input data.csv --technique min-skew|equi-area|equi-count|rtree|uniform \\
-                   [--buckets B] [--regions R] [--refinements K] [--threads T] --out stats.bin
+                   [--buckets B] [--regions R] [--refinements K] [--threads T] [--trace] \\
+                   --out stats.bin
                    (--threads: min-skew only; 1 = serial, 0 = all cores; output is
-                    bit-identical at every setting)
-  minskew estimate --stats stats.bin --query x1,y1,x2,y2 [--input data.csv]
+                    bit-identical at every setting. --trace prints the Min-Skew
+                    per-split audit trail; tracing never changes the output bytes)
+  minskew estimate --stats stats.bin --query x1,y1,x2,y2 [--input data.csv] [--trace]
   minskew evaluate --input data.csv [--buckets B] [--qsize F] [--queries N] [--seed S]
   minskew tune     --input data.csv [--buckets B] [--queries N]
   minskew render   --input data.csv --technique T [--buckets B] [--regions R] --out out.svg
+  minskew stats    --input data.csv [--buckets B] [--queries N] [--qsize F] [--seed S] [--json]
+                   (drives a serving workload through the query engine, audits live
+                    accuracy against exact counts, and dumps the metrics registry)
 
 exit codes: 0 ok, 2 usage, 3 I/O, 4 malformed dataset, 5 corrupt stats, 6 build failure
 ";
 
 type Flags = HashMap<String, String>;
+
+/// Flags that take no value: present means `true`.
+const BOOL_FLAGS: &[&str] = &["trace", "json"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut out = HashMap::new();
@@ -170,12 +188,20 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(CliError::usage(format!("expected --flag, got {flag:?}")));
         };
+        if BOOL_FLAGS.contains(&name) {
+            out.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| CliError::usage(format!("flag --{name} needs a value")))?;
         out.insert(name.to_owned(), value.clone());
     }
     Ok(out)
+}
+
+fn flag_set(opts: &Flags, name: &str) -> bool {
+    opts.contains_key(name)
 }
 
 fn req<'a>(opts: &'a Flags, name: &str) -> Result<&'a str, CliError> {
@@ -242,6 +268,15 @@ fn build_technique(
     technique: &str,
     opts: &Flags,
 ) -> Result<SpatialHistogram, CliError> {
+    Ok(build_technique_traced(data, technique, opts, false)?.0)
+}
+
+fn build_technique_traced(
+    data: &Dataset,
+    technique: &str,
+    opts: &Flags,
+    traced: bool,
+) -> Result<(SpatialHistogram, Option<MinSkewBuildTrace>), CliError> {
     let buckets = num(opts, "buckets", 100usize)?;
     Ok(match technique {
         "min-skew" => {
@@ -254,21 +289,48 @@ fn build_technique(
             // Bit-identical at every thread count, so this is purely a
             // wall-clock knob (1 = serial, 0 = one worker per core).
             b = b.threads(num(opts, "threads", 1usize)?);
-            b.try_build(data)?
+            if traced {
+                // The traced build is byte-identical to the untraced one.
+                let (hist, trace) = b.try_build_traced(data)?;
+                (hist, Some(trace))
+            } else {
+                (b.try_build(data)?, None)
+            }
         }
-        "equi-area" => try_build_equi_area(data, buckets)?,
-        "equi-count" => try_build_equi_count(data, buckets)?,
-        "rtree" => try_build_rtree_partitioning_default(data, buckets)?,
-        "uniform" => build_uniform(data),
+        "equi-area" => (try_build_equi_area(data, buckets)?, None),
+        "equi-count" => (try_build_equi_count(data, buckets)?, None),
+        "rtree" => (try_build_rtree_partitioning_default(data, buckets)?, None),
+        "uniform" => (build_uniform(data), None),
         other => return Err(CliError::usage(format!("unknown technique {other:?}"))),
     })
+}
+
+fn print_build_trace(trace: &MinSkewBuildTrace) {
+    println!(
+        "build trace: {} splits over {} phase(s), final grid {}x{} -> final skew {:.3}",
+        trace.splits.len(),
+        trace.phases,
+        trace.grid_side,
+        trace.grid_side,
+        trace.final_skew
+    );
+    for (i, s) in trace.splits.iter().enumerate() {
+        println!(
+            "  #{i:<4} phase {} bucket {:<4} {:?} @ {:<12.3} skew {:.3} -> {:.3}",
+            s.phase, s.bucket, s.axis, s.coordinate, s.skew_before, s.skew_after
+        );
+    }
+    if trace.build_ns > 0 {
+        println!("build time: {:.3} ms", trace.build_ns as f64 / 1e6);
+    }
 }
 
 fn build(opts: &Flags) -> Result<(), CliError> {
     let data = load(opts)?;
     let technique = req(opts, "technique")?;
     let out = req(opts, "out")?;
-    let hist = build_technique(&data, technique, opts)?;
+    let traced = flag_set(opts, "trace");
+    let (hist, trace) = build_technique_traced(&data, technique, opts, traced)?;
     std::fs::write(out, hist.to_bytes())
         .map_err(|e| CliError::new(ErrorKind::Io, format!("writing {out}: {e}")))?;
     println!(
@@ -278,6 +340,14 @@ fn build(opts: &Flags) -> Result<(), CliError> {
         hist.size_bytes(),
         data.len()
     );
+    match &trace {
+        Some(trace) => print_build_trace(trace),
+        None if traced => println!(
+            "(per-split tracing is Min-Skew-only; build time for every technique \
+             is recorded under core.build.* in `minskew stats`)"
+        ),
+        None => {}
+    }
     Ok(())
 }
 
@@ -300,19 +370,26 @@ fn parse_query(s: &str) -> Result<Rect, CliError> {
 }
 
 fn estimate(opts: &Flags) -> Result<(), CliError> {
+    let trace = minskew_obs::Trace::new();
     let stats_path = req(opts, "stats")?;
-    let bytes = std::fs::read(stats_path)
-        .map_err(|e| CliError::new(ErrorKind::Io, format!("reading {stats_path}: {e}")))?;
-    let hist = SpatialHistogram::from_bytes(&bytes).map_err(|e| {
-        CliError::new(
-            ErrorKind::CorruptStats,
-            format!("decoding {stats_path}: {e}"),
-        )
-    })?;
+    let hist = {
+        let _span = trace.span("decode_stats");
+        let bytes = std::fs::read(stats_path)
+            .map_err(|e| CliError::new(ErrorKind::Io, format!("reading {stats_path}: {e}")))?;
+        SpatialHistogram::from_bytes(&bytes).map_err(|e| {
+            CliError::new(
+                ErrorKind::CorruptStats,
+                format!("decoding {stats_path}: {e}"),
+            )
+        })?
+    };
     let query = parse_query(req(opts, "query")?)?;
     // Serve through the bucket index — bit-identical to the linear scan.
     let mut scratch = IndexScratch::new();
-    let est = hist.estimate_count_indexed(&query, &mut scratch);
+    let est = {
+        let _span = trace.span("estimate");
+        hist.estimate_count_indexed(&query, &mut scratch)
+    };
     let selectivity = if hist.input_len() == 0 {
         0.0
     } else {
@@ -323,8 +400,75 @@ fn estimate(opts: &Flags) -> Result<(), CliError> {
         hist.name(),
     );
     if opts.contains_key("input") {
+        let _span = trace.span("exact_count");
         let data = load(opts)?;
         println!("exact:    |Q| = {}", data.count_intersecting(&query));
+    }
+    if flag_set(opts, "trace") {
+        if minskew_obs::enabled() {
+            println!("trace:");
+            for e in trace.events() {
+                println!(
+                    "  {:<14} start {:>10.3} us  dur {:>10.3} us",
+                    e.name,
+                    e.start_ns as f64 / 1e3,
+                    e.dur_ns as f64 / 1e3
+                );
+            }
+        } else {
+            println!("trace: unavailable (minskew-obs compiled with the `noop` feature)");
+        }
+    }
+    Ok(())
+}
+
+fn stats_cmd(opts: &Flags) -> Result<(), CliError> {
+    let data = load(opts)?;
+    let buckets = num(opts, "buckets", 100usize)?;
+    let queries = num(opts, "queries", 1_000usize)?;
+    let qsize = num(opts, "qsize", 0.05f64)?;
+    let seed = num(opts, "seed", 1u64)?;
+    let mut table = SpatialTable::try_new(TableOptions {
+        analyze: AnalyzeOptions {
+            buckets,
+            ..AnalyzeOptions::default()
+        },
+        // A short demonstration workload: sample densely so the latency
+        // histograms actually fill.
+        metrics_sampling: 4,
+        ..TableOptions::default()
+    })?;
+    for r in data.rects() {
+        table.insert(*r);
+    }
+    table.analyze();
+    let workload = QueryWorkload::generate(&data, qsize, queries, seed);
+    for q in workload.queries() {
+        let _ = table.estimate(q);
+    }
+    // Serve the same workload once more through the batch path (and, for
+    // the single-query path, through the now-warm cache).
+    table.estimate_batch(workload.queries());
+    for q in workload.queries() {
+        let _ = table.estimate(q);
+    }
+    let report = table.audit_accuracy();
+    // The engine publishes per-table metrics; builders and the parallel
+    // runtime publish to the process-wide registry. Merge for one view.
+    let mut snap = table.metrics();
+    snap.merge(minskew_obs::Registry::global().snapshot());
+    if flag_set(opts, "json") {
+        println!("{}", snap.to_json());
+    } else {
+        println!(
+            "served {} queries twice (+ once batched) over {} rects, {buckets} buckets",
+            workload.len(),
+            data.len()
+        );
+        if let Some(report) = &report {
+            println!("{report}");
+        }
+        print!("{}", snap.to_text());
     }
     Ok(())
 }
@@ -425,6 +569,18 @@ mod tests {
         assert_eq!(num::<usize>(&flags, "missing", 5).unwrap(), 5);
         assert!(parse_flags(&["oops".into()]).is_err());
         assert!(parse_flags(&["--dangling".into()]).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        // `--trace` / `--json` consume no operand: the flag after them still
+        // parses as a flag, and trailing position is fine.
+        let flags = parse_flags(&["--trace".into(), "--n".into(), "9".into(), "--json".into()])
+            .expect("boolean flags parse");
+        assert!(flag_set(&flags, "trace"));
+        assert!(flag_set(&flags, "json"));
+        assert!(!flag_set(&flags, "quiet"));
+        assert_eq!(num::<usize>(&flags, "n", 0).unwrap(), 9);
     }
 
     #[test]
@@ -671,6 +827,72 @@ mod tests {
         ])
         .unwrap();
         assert!(stats.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_build_is_byte_identical_and_stats_subcommand_runs() {
+        let dir = std::env::temp_dir().join(format!("minskew-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        run(vec![
+            "generate".into(),
+            "--kind".into(),
+            "charminar".into(),
+            "--n".into(),
+            "1200".into(),
+            "--out".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+        // `build --trace` must not change the emitted statistics bytes.
+        let build = |traced: bool, out: &std::path::Path| {
+            let mut args = vec![
+                "build".to_string(),
+                "--input".into(),
+                csv.display().to_string(),
+                "--technique".into(),
+                "min-skew".into(),
+                "--buckets".into(),
+                "16".into(),
+                "--regions".into(),
+                "256".into(),
+                "--out".into(),
+                out.display().to_string(),
+            ];
+            if traced {
+                args.push("--trace".into());
+            }
+            run(args).unwrap();
+            std::fs::read(out).unwrap()
+        };
+        let plain = build(false, &dir.join("plain.bin"));
+        let traced = build(true, &dir.join("traced.bin"));
+        assert_eq!(plain, traced, "--trace changed the stats bytes");
+        // `estimate --trace` runs.
+        run(vec![
+            "estimate".into(),
+            "--stats".into(),
+            dir.join("plain.bin").display().to_string(),
+            "--query".into(),
+            "0,0,2000,2000".into(),
+            "--trace".into(),
+        ])
+        .unwrap();
+        // `stats` serves a workload and exits cleanly in both output modes.
+        let base = vec![
+            "stats".to_string(),
+            "--input".into(),
+            csv.display().to_string(),
+            "--buckets".into(),
+            "12".into(),
+            "--queries".into(),
+            "80".into(),
+        ];
+        run(base.clone()).unwrap();
+        let mut json = base;
+        json.push("--json".into());
+        run(json).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

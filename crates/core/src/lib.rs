@@ -46,6 +46,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod bucket;
+mod buildobs;
 mod codec;
 mod diagnostics;
 mod equi;
@@ -70,7 +71,7 @@ pub use fractal::FractalEstimator;
 pub use gridhist::{build_grid, try_build_grid};
 pub use histogram::SpatialHistogram;
 pub use index::{BucketIndex, CandidateSet, IndexScratch};
-pub use minskew::{MinSkewBuilder, MinSkewDetail, SplitStrategy};
+pub use minskew::{MinSkewBuildTrace, MinSkewBuilder, MinSkewDetail, SplitEvent, SplitStrategy};
 pub use optimal::{build_optimal_bsp, optimal_bsp_skew, try_build_optimal_bsp, OptimalBsp};
 pub use rtree_part::{
     build_rtree_partitioning, build_rtree_partitioning_default, try_build_rtree_partitioning,

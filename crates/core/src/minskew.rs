@@ -245,20 +245,7 @@ impl MinSkewBuilder {
         &self,
         source: &S,
     ) -> Result<(SpatialHistogram, MinSkewDetail), BuildError> {
-        let stats = source.stats();
-        if stats.n == 0 {
-            return Err(BuildError::EmptyDataset);
-        }
-        if !stats.mbr.is_finite() {
-            return Err(BuildError::NonFiniteMbr);
-        }
-        let side = self.final_grid_side();
-        if side * side < self.buckets {
-            return Err(BuildError::GridTooCoarse {
-                regions: side * side,
-                buckets: self.buckets,
-            });
-        }
+        self.check_preconditions(source)?;
         Ok(self.build_from_source_detailed(source))
     }
 
@@ -287,6 +274,64 @@ impl MinSkewBuilder {
         &self,
         source: &S,
     ) -> (SpatialHistogram, MinSkewDetail) {
+        let (hist, detail, _) = self.build_impl(source, false);
+        (hist, detail)
+    }
+
+    /// [`Self::build_from_source`] with a per-split build trace: every
+    /// greedy split of the §4.2 loop recorded as a [`SplitEvent`], so the
+    /// construction is auditable split by split.
+    ///
+    /// The traced build is **byte-identical** to the untraced one — tracing
+    /// only adds O(1) prefix-sum probes per chosen split and never
+    /// influences a splitting decision.
+    pub fn build_from_source_traced<S: RectSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> (SpatialHistogram, MinSkewBuildTrace) {
+        let (hist, _, trace) = self.build_impl(source, true);
+        (hist, trace)
+    }
+
+    /// Fallible counterpart of [`MinSkewBuilder::build_from_source_traced`]:
+    /// the same precondition checks as [`MinSkewBuilder::try_build`], then a
+    /// traced build.
+    pub fn try_build_traced<S: RectSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<(SpatialHistogram, MinSkewBuildTrace), BuildError> {
+        self.check_preconditions(source)?;
+        let (hist, _, trace) = self.build_impl(source, true);
+        Ok((hist, trace))
+    }
+
+    /// Shared precondition checks for the `try_` builders.
+    fn check_preconditions<S: RectSource + ?Sized>(&self, source: &S) -> Result<(), BuildError> {
+        let stats = source.stats();
+        if stats.n == 0 {
+            return Err(BuildError::EmptyDataset);
+        }
+        if !stats.mbr.is_finite() {
+            return Err(BuildError::NonFiniteMbr);
+        }
+        let side = self.final_grid_side();
+        if side * side < self.buckets {
+            return Err(BuildError::GridTooCoarse {
+                regions: side * side,
+                buckets: self.buckets,
+            });
+        }
+        Ok(())
+    }
+
+    /// The one construction path behind every `build*` entry point. When
+    /// `traced`, chosen splits are recorded (the trace is empty otherwise).
+    fn build_impl<S: RectSource + ?Sized>(
+        &self,
+        source: &S,
+        traced: bool,
+    ) -> (SpatialHistogram, MinSkewDetail, MinSkewBuildTrace) {
+        let mut build_clock = minskew_obs::Stopwatch::start();
         let data = source;
         if data.stats().n == 0 {
             return (
@@ -295,6 +340,7 @@ impl MinSkewBuilder {
                     spatial_skew: 0.0,
                     grid_side: 0,
                 },
+                MinSkewBuildTrace::default(),
             );
         }
         let mbr = data.stats().mbr;
@@ -305,6 +351,7 @@ impl MinSkewBuilder {
         let mut grid = None;
         let mut prefix = None;
         let mut prev_dims = (0usize, 0usize);
+        let mut splits: Vec<SplitEvent> = Vec::new();
 
         for phase in 0..phases {
             let cur_side = side >> (self.refinements - phase);
@@ -346,7 +393,32 @@ impl MinSkewBuilder {
             } else {
                 (self.buckets * (phase + 1)) / phases
             };
-            greedy_split(&mut blocks, &p, self.strategy, target, self.threads);
+            let mut raw: Vec<RawSplit> = Vec::new();
+            greedy_split(
+                &mut blocks,
+                &p,
+                self.strategy,
+                target,
+                self.threads,
+                traced.then_some(&mut raw),
+            );
+            // Convert grid indices into data-space coordinates while this
+            // phase's grid is still in scope; later phases use finer grids.
+            for r in raw {
+                let coordinate = match r.axis {
+                    Axis::X => g.cell_rect(r.index, 0).hi.x,
+                    Axis::Y => g.cell_rect(0, r.index).hi.y,
+                };
+                splits.push(SplitEvent {
+                    phase,
+                    bucket: r.bucket,
+                    axis: r.axis,
+                    grid_index: r.index,
+                    coordinate,
+                    skew_before: r.sse_before,
+                    skew_after: r.sse_after,
+                });
+            }
             grid = Some(g);
             prefix = Some(p);
         }
@@ -355,13 +427,20 @@ impl MinSkewBuilder {
         let prefix = prefix.expect("at least one phase ran");
         let skew: f64 = blocks.iter().map(|b| prefix.block_sse(b)).sum();
         let hist = blocks_to_histogram("Min-Skew", data, &grid, &blocks, self.rule);
-        (
-            hist,
-            MinSkewDetail {
-                spatial_skew: skew,
-                grid_side: grid.nx().max(grid.ny()),
-            },
-        )
+        let build_ns = build_clock.lap();
+        crate::buildobs::record_build(&hist, build_ns);
+        let detail = MinSkewDetail {
+            spatial_skew: skew,
+            grid_side: grid.nx().max(grid.ny()),
+        };
+        let trace = MinSkewBuildTrace {
+            splits,
+            phases,
+            final_skew: skew,
+            grid_side: detail.grid_side,
+            build_ns,
+        };
+        (hist, detail, trace)
     }
 }
 
@@ -373,6 +452,55 @@ pub struct MinSkewDetail {
     pub spatial_skew: f64,
     /// Side length of the final grid actually used.
     pub grid_side: usize,
+}
+
+/// One greedy split of the §4.2 loop, as recorded by
+/// [`MinSkewBuilder::build_from_source_traced`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitEvent {
+    /// Progressive-refinement phase the split belongs to (0-based).
+    pub phase: usize,
+    /// Index of the bucket that was split (its lower half stays at this
+    /// index; the upper half is appended).
+    pub bucket: usize,
+    /// Split axis.
+    pub axis: Axis,
+    /// Grid-cell index the split falls *after*, on this phase's grid.
+    pub grid_index: usize,
+    /// Data-space coordinate of the split boundary.
+    pub coordinate: f64,
+    /// Spatial skew (SSE) of the split bucket before the split.
+    pub skew_before: f64,
+    /// Combined spatial skew of the two halves after the split; the greedy
+    /// criterion guarantees `skew_after <= skew_before` up to float noise.
+    pub skew_after: f64,
+}
+
+/// The full per-split audit trail of one Min-Skew construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MinSkewBuildTrace {
+    /// Every greedy split, in the order it was applied.
+    pub splits: Vec<SplitEvent>,
+    /// Number of progressive-refinement phases run (refinements + 1).
+    pub phases: usize,
+    /// Spatial skew of the final partitioning on the final grid.
+    pub final_skew: f64,
+    /// Side length of the final grid actually used.
+    pub grid_side: usize,
+    /// Wall-clock construction time in nanoseconds (0 when `minskew-obs`
+    /// is compiled with its `noop` feature).
+    pub build_ns: u64,
+}
+
+/// A chosen split as recorded inside [`greedy_split`], in grid coordinates;
+/// the phase loop converts these to data-space [`SplitEvent`]s.
+#[derive(Debug, Clone, Copy)]
+struct RawSplit {
+    bucket: usize,
+    axis: Axis,
+    index: usize,
+    sse_before: f64,
+    sse_after: f64,
 }
 
 /// A bucket's cached best split.
@@ -402,6 +530,7 @@ fn greedy_split(
     strategy: SplitStrategy,
     target: usize,
     threads: usize,
+    mut sink: Option<&mut Vec<RawSplit>>,
 ) {
     let mut candidates: Vec<Option<Candidate>> = best_splits_par(blocks, prefix, strategy, threads);
     while blocks.len() < target {
@@ -420,6 +549,17 @@ fn greedy_split(
             break;
         }
         let (a, b) = blocks[i].split_after(cand.axis, cand.index);
+        if let Some(sink) = sink.as_deref_mut() {
+            // Audit-trail probes only: three O(1) prefix-sum lookups per
+            // *chosen* split, never consulted by the greedy decision above.
+            sink.push(RawSplit {
+                bucket: i,
+                axis: cand.axis,
+                index: cand.index,
+                sse_before: prefix.block_sse(&blocks[i]),
+                sse_after: prefix.block_sse(&a) + prefix.block_sse(&b),
+            });
+        }
         blocks[i] = a;
         blocks.push(b);
         candidates[i] = best_split(&a, prefix, strategy);
@@ -775,6 +915,40 @@ mod tests {
             assert_eq!(h, reference, "threads = {threads}");
         }
         assert_eq!(reference.num_buckets(), 2);
+    }
+
+    #[test]
+    fn traced_build_is_byte_identical_and_auditable() {
+        let ds = charminar_with(6_000, 12);
+        for refinements in [0usize, 2] {
+            let builder = MinSkewBuilder::new(30)
+                .regions(1_600)
+                .progressive_refinements(refinements);
+            let plain = builder.build(&ds);
+            let (traced, trace) = builder.build_from_source_traced(&ds);
+            assert_eq!(plain, traced, "refinements = {refinements}");
+            assert_eq!(plain.to_bytes(), traced.to_bytes());
+            // The audit trail accounts for the greedy loop: one event per
+            // split, each reducing the split bucket's skew, phases ordered.
+            assert_eq!(trace.phases, refinements + 1);
+            assert!(!trace.splits.is_empty());
+            assert!(trace.splits.len() < 30);
+            let mbr = ds.stats().mbr;
+            for w in trace.splits.windows(2) {
+                assert!(w[0].phase <= w[1].phase, "phases must be ordered");
+            }
+            for s in &trace.splits {
+                assert!(
+                    s.skew_after <= s.skew_before + 1e-6,
+                    "split must not increase its bucket's skew"
+                );
+                assert!(s.coordinate >= mbr.lo.coord(s.axis));
+                assert!(s.coordinate <= mbr.hi.coord(s.axis));
+            }
+            let (strict, strict_trace) = builder.try_build_traced(&ds).expect("valid input");
+            assert_eq!(strict, plain);
+            assert_eq!(strict_trace.splits, trace.splits);
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub fn try_build_uniform(data: &Dataset) -> Result<SpatialHistogram, BuildError>
 /// `N·W̄·H̄ / Area(T)`, which for identically-sized rectangles equals the
 /// paper's `TA / Area(T)` average.
 pub fn build_uniform(data: &Dataset) -> SpatialHistogram {
+    let mut build_clock = minskew_obs::Stopwatch::start();
     let s = data.stats();
     let bucket = Bucket {
         mbr: s.mbr,
@@ -34,7 +35,9 @@ pub fn build_uniform(data: &Dataset) -> SpatialHistogram {
         avg_height: s.avg_height,
     };
     let buckets = if s.n == 0 { vec![] } else { vec![bucket] };
-    SpatialHistogram::from_parts("Uniform", buckets, s.n, ExtensionRule::default())
+    let hist = SpatialHistogram::from_parts("Uniform", buckets, s.n, ExtensionRule::default());
+    crate::buildobs::record_build(&hist, build_clock.lap());
+    hist
 }
 
 #[cfg(test)]

@@ -52,9 +52,11 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod cache;
+mod monitor;
 mod planner;
 mod table;
 
+pub use monitor::AccuracyReport;
 pub use planner::{CostModel, Explain, Plan};
 pub use table::{
     AnalyzeOptions, RowId, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique,

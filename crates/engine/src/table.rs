@@ -1,16 +1,18 @@
 //! The spatial table: storage, index, statistics, and the execution loop.
 
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use minskew_core::{
     build_uniform, try_build_equi_area, try_build_equi_count, try_build_uniform, BuildError,
-    EstimateError, IndexScratch, MinSkewBuilder, SpatialHistogram,
+    EstimateError, IndexScratch, MinSkewBuilder, SpatialEstimator, SpatialHistogram,
 };
 use minskew_data::Dataset;
 use minskew_geom::Rect;
+use minskew_obs::{Histogram, Registry, Stopwatch};
 use minskew_rtree::{RStarTree, RTreeConfig};
 
 use crate::cache::{cache_key, QueryCache};
+use crate::monitor::{AccuracyReport, Reservoir};
 use crate::{CostModel, Explain, Plan};
 
 /// Stable identifier of a row in a [`SpatialTable`].
@@ -79,12 +81,36 @@ pub struct TableOptions {
     /// LRU instead of re-scanning the histogram. The cache is invalidated
     /// by every mutation (`insert`, `delete`, any statistics install), so a
     /// cached value is always bit-identical to a fresh computation. Batch
-    /// estimation bypasses the cache. Defaults to `true`.
+    /// estimation bypasses the cache (recorded in
+    /// [`StatsDiagnostics::batch_cache_bypass`]). Defaults to `true`.
     pub query_cache: bool,
     /// Capacity of the query-result cache in entries (applied at table
     /// construction or via [`SpatialTable::set_query_cache`]). Defaults to
     /// 1024 (~48 KiB).
     pub query_cache_capacity: usize,
+    /// Enables in-process metrics and the online accuracy monitor.
+    ///
+    /// Instrumentation is **bit-invisible**: every estimate and every
+    /// encoded statistics summary is byte-identical whether this is `true`,
+    /// `false`, or the `minskew-obs` crate is compiled with its `noop`
+    /// feature. The serving-path cost with metrics on is a few plain
+    /// integer operations per call plus sampled stage timing (see
+    /// [`TableOptions::metrics_sampling`]). Defaults to `true`.
+    pub metrics: bool,
+    /// Sample one in this many single-query estimates for stage timing
+    /// (cache probe → index scan → clamp) and per-technique latency
+    /// histograms. Rounded up to a power of two; values `<= 1` time every
+    /// call. Unsampled calls never read the clock. Defaults to 256.
+    pub metrics_sampling: u32,
+    /// Capacity of the accuracy monitor's query reservoir (`0` disables the
+    /// monitor). The serving path samples computed queries into the
+    /// reservoir; [`SpatialTable::audit_accuracy`] replays them against
+    /// exact index counts. Defaults to 256.
+    pub accuracy_reservoir: usize,
+    /// Average relative error (the paper's §5 metric, `Σ|r−e| / Σr`) above
+    /// which [`SpatialTable::audit_accuracy`] reports drift and recommends
+    /// re-`ANALYZE`. Defaults to 0.5.
+    pub accuracy_drift_threshold: f64,
 }
 
 impl Default for TableOptions {
@@ -97,6 +123,10 @@ impl Default for TableOptions {
             threads: 1,
             query_cache: true,
             query_cache_capacity: 1024,
+            metrics: true,
+            metrics_sampling: 256,
+            accuracy_reservoir: 256,
+            accuracy_drift_threshold: 0.5,
         }
     }
 }
@@ -124,8 +154,31 @@ pub enum StatsFallback {
     Uniform,
 }
 
+impl StatsFallback {
+    /// Stable lowercase label, used in metric names and `Display` output.
+    fn label(self) -> &'static str {
+        match self {
+            StatsFallback::None => "none",
+            StatsFallback::DegradedBuckets => "degraded_buckets",
+            StatsFallback::RebuiltFromData => "rebuilt_from_data",
+            StatsFallback::Uniform => "uniform",
+        }
+    }
+}
+
+impl std::fmt::Display for StatsFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Diagnostics for the most recent statistics build or load.
+///
+/// Marked `#[non_exhaustive]`: construct it with
+/// [`SpatialTable::stats_diagnostics`] (or `Default` + struct update),
+/// never field-by-field, so new counters can land without breaking callers.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct StatsDiagnostics {
     /// Bucket budget the configuration asked for.
     pub requested_buckets: usize,
@@ -142,23 +195,134 @@ pub struct StatsDiagnostics {
     pub last_error: Option<String>,
     /// Query-cache hits since the table was created (or the cache was
     /// reconfigured). Counted by [`SpatialTable::estimate`] /
-    /// [`SpatialTable::try_estimate`]; batch estimation bypasses the cache.
+    /// [`SpatialTable::try_estimate`]. Batch traffic never shows up here —
+    /// it is tallied separately in [`StatsDiagnostics::batch_queries`] /
+    /// [`StatsDiagnostics::batch_cache_bypass`], which is why
+    /// `hits + misses` need not equal the total queries served.
     pub cache_hits: u64,
     /// Query-cache misses (lookups that had to compute).
     pub cache_misses: u64,
     /// Times the cache was flushed because a mutation made its entries
     /// potentially stale (only non-empty flushes are counted).
     pub cache_invalidations: u64,
+    /// Queries served through [`SpatialTable::estimate_batch`] /
+    /// [`SpatialTable::try_estimate_batch`] (which never consult the
+    /// cache).
+    pub batch_queries: u64,
+    /// Of [`StatsDiagnostics::batch_queries`], how many bypassed an
+    /// *enabled* query cache — cacheable work the batch path skipped
+    /// because its workers use lock-free per-worker scratch instead.
+    pub batch_cache_bypass: u64,
 }
 
-/// Per-table serving state: the query-result cache and the reusable index
-/// scratch for single-query estimates. Behind a [`Mutex`] so `&self`
+impl std::fmt::Display for StatsDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stats {}/{} buckets (fallback: {}, attempts: {}{})",
+            self.achieved_buckets,
+            self.requested_buckets,
+            self.fallback,
+            self.attempts,
+            if self.degraded { ", degraded" } else { "" },
+        )?;
+        write!(
+            f,
+            "; cache {} hits / {} misses / {} flushes; batch {} queries ({} cache-bypassed)",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_invalidations,
+            self.batch_queries,
+            self.batch_cache_bypass,
+        )?;
+        if let Some(err) = &self.last_error {
+            write!(f, "; last error: {err}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-table serving state: the query-result cache, the reusable index
+/// scratch for single-query estimates, and the per-call bookkeeping that is
+/// cheap precisely because the serving lock is already held — plain `u64`
+/// arithmetic, no atomics, no clock reads. Behind a [`Mutex`] so `&self`
 /// estimation stays `Sync` (batch workers use their own scratch and never
 /// touch this lock).
 #[derive(Debug)]
 struct ServingState {
     cache: QueryCache,
     scratch: IndexScratch,
+    /// Single-query estimates served (cached or computed).
+    calls: u64,
+    /// Of `calls`, how many took the sampled stage-timing path.
+    sampled: u64,
+    /// Batch API invocations.
+    batch_calls: u64,
+    /// Queries served through the batch APIs.
+    batch_queries: u64,
+    /// Of `batch_queries`, how many bypassed an enabled query cache.
+    batch_bypass: u64,
+    /// Accuracy-monitor reservoir of computed (non-cache-hit) queries.
+    reservoir: Reservoir,
+    /// High-water marks already published into the registry; publication is
+    /// delta-based so it can run on every read without double counting.
+    published: PublishedCounters,
+}
+
+impl ServingState {
+    fn new(options: &TableOptions) -> ServingState {
+        ServingState {
+            cache: QueryCache::new(if options.query_cache {
+                options.query_cache_capacity
+            } else {
+                0
+            }),
+            scratch: IndexScratch::new(),
+            calls: 0,
+            sampled: 0,
+            batch_calls: 0,
+            batch_queries: 0,
+            batch_bypass: 0,
+            reservoir: Reservoir::new(if options.metrics {
+                options.accuracy_reservoir
+            } else {
+                0
+            }),
+            published: PublishedCounters::default(),
+        }
+    }
+}
+
+/// Registry-published high-water marks for the serving counters.
+#[derive(Debug, Default)]
+struct PublishedCounters {
+    calls: u64,
+    sampled: u64,
+    batch_calls: u64,
+    batch_queries: u64,
+    batch_bypass: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_invalidations: u64,
+}
+
+/// The hot-path latency histograms, resolved once at table construction so
+/// sampled calls record through the `Arc` without a registry lookup.
+#[derive(Debug)]
+struct TableMetrics {
+    cache_probe_ns: Arc<Histogram>,
+    index_scan_ns: Arc<Histogram>,
+    clamp_ns: Arc<Histogram>,
+}
+
+impl TableMetrics {
+    fn new(registry: &Registry) -> TableMetrics {
+        TableMetrics {
+            cache_probe_ns: registry.histogram("engine.query.cache_probe_ns"),
+            index_scan_ns: registry.histogram("engine.query.index_scan_ns"),
+            clamp_ns: registry.histogram("engine.query.clamp_ns"),
+        }
+    }
 }
 
 /// A spatial table: rows of rectangles with a stable id, an R\*-tree index,
@@ -171,6 +335,9 @@ pub struct SpatialTable {
     stats: Option<SpatialHistogram>,
     diagnostics: StatsDiagnostics,
     serving: Mutex<ServingState>,
+    /// Per-table metrics registry (see [`SpatialTable::metrics`]).
+    registry: Registry,
+    metrics: TableMetrics,
 }
 
 impl SpatialTable {
@@ -196,20 +363,17 @@ impl SpatialTable {
         if options.analyze.buckets == 0 {
             return Err(BuildError::ZeroBucketBudget);
         }
+        let registry = Registry::new();
+        let metrics = TableMetrics::new(&registry);
         Ok(SpatialTable {
             rows: Vec::new(),
             live: 0,
             index: RStarTree::new(config),
             stats: None,
             diagnostics: StatsDiagnostics::default(),
-            serving: Mutex::new(ServingState {
-                cache: QueryCache::new(if options.query_cache {
-                    options.query_cache_capacity
-                } else {
-                    0
-                }),
-                scratch: IndexScratch::new(),
-            }),
+            serving: Mutex::new(ServingState::new(&options)),
+            registry,
+            metrics,
             options,
         })
     }
@@ -315,16 +479,56 @@ impl SpatialTable {
     fn install_stats(&mut self, hist: SpatialHistogram, mut diag: StatsDiagnostics) {
         diag.requested_buckets = self.options.analyze.buckets;
         diag.achieved_buckets = hist.buckets().len();
+        if self.options.metrics && minskew_obs::enabled() {
+            // Degradation-ladder outcome counters: one per fallback rung, so
+            // a fleet of tables exposes how often ANALYZE lands where.
+            self.registry
+                .counter(&format!(
+                    "engine.analyze.fallback.{}",
+                    diag.fallback.label()
+                ))
+                .inc();
+            self.registry
+                .gauge("engine.stats.buckets")
+                .set(diag.achieved_buckets as f64);
+            self.registry
+                .gauge("engine.stats.bytes")
+                .set(hist.size_bytes() as f64);
+        }
         self.stats = Some(hist);
         self.diagnostics = diag;
         self.invalidate_cache();
+        // New statistics start a new accuracy era: the reservoir's sample
+        // must not mix queries served by the previous statistics.
+        self.serving
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .reservoir
+            .clear();
+    }
+
+    /// Records one completed `ANALYZE` in the registry: a run counter plus a
+    /// per-technique build-time histogram.
+    fn note_analyze(&self, technique: &str, build_ns: u64) {
+        if !self.options.metrics || !minskew_obs::enabled() {
+            return;
+        }
+        self.registry.counter("engine.analyze.runs").inc();
+        self.registry
+            .histogram(&format!(
+                "engine.analyze.{}.build_ns",
+                minskew_obs::name_component(technique)
+            ))
+            .record(build_ns);
     }
 
     /// Rebuilds the optimizer statistics from the live rows, strictly: the
     /// configured technique at the configured budget, or an error. Nothing
     /// is installed on failure (the previous statistics stay in force).
     pub fn try_analyze(&mut self) -> Result<(), BuildError> {
+        let mut clock = Stopwatch::start();
         let hist = Self::build_stats(&self.snapshot(), self.options.analyze, self.options.threads)?;
+        self.note_analyze(hist.name(), clock.lap());
         self.install_stats(
             hist,
             StatsDiagnostics {
@@ -346,12 +550,14 @@ impl SpatialTable {
     pub fn analyze(&mut self) {
         let opts = self.options.analyze;
         let data = self.snapshot();
+        let mut clock = Stopwatch::start();
         let mut diag = StatsDiagnostics {
             attempts: 1,
             ..StatsDiagnostics::default()
         };
         let err = match Self::build_stats(&data, opts, self.options.threads) {
             Ok(hist) => {
+                self.note_analyze(hist.name(), clock.lap());
                 self.install_stats(hist, diag);
                 return;
             }
@@ -370,6 +576,7 @@ impl SpatialTable {
                 if let Ok(hist) = Self::build_stats(&data, degraded, self.options.threads) {
                     diag.degraded = true;
                     diag.fallback = StatsFallback::DegradedBuckets;
+                    self.note_analyze(hist.name(), clock.lap());
                     self.install_stats(hist, diag);
                     return;
                 }
@@ -380,7 +587,9 @@ impl SpatialTable {
         diag.attempts += 1;
         diag.degraded = true;
         diag.fallback = StatsFallback::Uniform;
-        self.install_stats(build_uniform(&data), diag);
+        let hist = build_uniform(&data);
+        self.note_analyze(hist.name(), clock.lap());
+        self.install_stats(hist, diag);
     }
 
     /// Installs a persisted statistics summary (the bytes of
@@ -404,6 +613,9 @@ impl SpatialTable {
             }
             Err(e) => {
                 let corrupt = e.to_string();
+                if self.options.metrics && minskew_obs::enabled() {
+                    self.registry.counter("engine.stats.corrupt_summary").inc();
+                }
                 self.analyze();
                 // analyze() recorded its own outcome; stamp on top that the
                 // trigger was a corrupt summary, preserving a deeper rung.
@@ -428,6 +640,8 @@ impl SpatialTable {
         diag.cache_hits = serving.cache.hits();
         diag.cache_misses = serving.cache.misses();
         diag.cache_invalidations = serving.cache.invalidations();
+        diag.batch_queries = serving.batch_queries;
+        diag.batch_cache_bypass = serving.batch_bypass;
         diag
     }
 
@@ -458,6 +672,11 @@ impl SpatialTable {
             .get_mut()
             .unwrap_or_else(PoisonError::into_inner);
         serving.cache = QueryCache::new(if enabled { capacity } else { 0 });
+        // The fresh cache restarts its counters from zero; reset their
+        // published high-water marks so later deltas stay non-negative.
+        serving.published.cache_hits = 0;
+        serving.published.cache_misses = 0;
+        serving.published.cache_invalidations = 0;
     }
 
     /// Estimated result size for `query`, falling back to the global
@@ -484,8 +703,33 @@ impl SpatialTable {
         }
         let mut guard = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
         let serving = &mut *guard;
+        serving.calls += 1;
+        if !self.options.metrics || !minskew_obs::enabled() {
+            // Metrics off: the original serving path, untouched. The counter
+            // bump above is a plain u64 add under the already-held lock.
+            if !self.options.query_cache {
+                return Ok(self.estimate_finite(query, &mut serving.scratch));
+            }
+            let key = cache_key(query);
+            if let Some(cached) = serving.cache.get(&key) {
+                return Ok(cached);
+            }
+            let value = self.estimate_finite(query, &mut serving.scratch);
+            serving.cache.insert(key, value);
+            return Ok(value);
+        }
+        // Metrics on: 1-in-`metrics_sampling` calls take the timed path;
+        // the rest run the exact same estimator functions with counter-only
+        // bookkeeping (crucially: no clock reads off the sampled path).
+        let mask = u64::from(self.options.metrics_sampling.max(1)).next_power_of_two() - 1;
+        if (serving.calls - 1) & mask == 0 {
+            serving.sampled += 1;
+            return Ok(self.estimate_timed(query, serving));
+        }
         if !self.options.query_cache {
-            return Ok(self.estimate_finite(query, &mut serving.scratch));
+            let value = self.estimate_finite(query, &mut serving.scratch);
+            serving.reservoir.observe(*query);
+            return Ok(value);
         }
         let key = cache_key(query);
         if let Some(cached) = serving.cache.get(&key) {
@@ -493,14 +737,63 @@ impl SpatialTable {
         }
         let value = self.estimate_finite(query, &mut serving.scratch);
         serving.cache.insert(key, value);
+        serving.reservoir.observe(*query);
         Ok(value)
+    }
+
+    /// The sampled serving path: same functions in the same order as the
+    /// unsampled path (so the result is bit-identical), with a [`Stopwatch`]
+    /// lap between stages feeding the `engine.query.*_ns` histograms.
+    fn estimate_timed(&self, query: &Rect, serving: &mut ServingState) -> f64 {
+        let mut clock = Stopwatch::start();
+        if self.options.query_cache {
+            let key = cache_key(query);
+            let cached = serving.cache.get(&key);
+            self.metrics.cache_probe_ns.record(clock.lap());
+            if let Some(value) = cached {
+                return value;
+            }
+            let raw = self.estimate_raw(query, &mut serving.scratch);
+            self.metrics.index_scan_ns.record(clock.lap());
+            let value = self.clamp_estimate(raw);
+            self.metrics.clamp_ns.record(clock.lap());
+            self.record_estimate_latency(clock.total());
+            serving.cache.insert(key, value);
+            serving.reservoir.observe(*query);
+            return value;
+        }
+        let raw = self.estimate_raw(query, &mut serving.scratch);
+        self.metrics.index_scan_ns.record(clock.lap());
+        let value = self.clamp_estimate(raw);
+        self.metrics.clamp_ns.record(clock.lap());
+        self.record_estimate_latency(clock.total());
+        serving.reservoir.observe(*query);
+        value
+    }
+
+    /// Records a sampled end-to-end estimate latency into the per-technique
+    /// histogram `engine.estimate.<technique>.ns`.
+    fn record_estimate_latency(&self, ns: u64) {
+        let technique = match &self.stats {
+            Some(stats) => minskew_obs::name_component(stats.name()),
+            None => String::from("fallback"),
+        };
+        self.registry
+            .histogram(&format!("engine.estimate.{technique}.ns"))
+            .record(ns);
     }
 
     /// The uncached estimator core for a query already validated finite.
     /// All serving entry points (single-query, batch, planner) funnel here,
     /// so they agree bit for bit.
     fn estimate_finite(&self, query: &Rect, scratch: &mut IndexScratch) -> f64 {
-        let raw = match &self.stats {
+        self.clamp_estimate(self.estimate_raw(query, scratch))
+    }
+
+    /// The raw (unclamped) estimate: histogram probe, or the single-bucket
+    /// planner fallback when the table was never analyzed.
+    fn estimate_raw(&self, query: &Rect, scratch: &mut IndexScratch) -> f64 {
+        match &self.stats {
             Some(stats) => stats.estimate_count_indexed(query, scratch),
             None => {
                 // Planner fallback: treat the whole table as one bucket
@@ -518,9 +811,12 @@ impl SpatialTable {
                 };
                 self.live as f64 * frac
             }
-        };
-        // Clamp to [0, N]: degraded or stale statistics may over- or
-        // under-shoot, but the bound always holds.
+        }
+    }
+
+    /// Clamp to `[0, N]`: degraded or stale statistics may over- or
+    /// under-shoot, but the bound always holds.
+    fn clamp_estimate(&self, raw: f64) -> f64 {
         if raw.is_finite() {
             raw.clamp(0.0, self.live as f64)
         } else {
@@ -542,9 +838,14 @@ impl SpatialTable {
     ///
     /// Each worker reuses one [`IndexScratch`] across every query it
     /// serves, so the loop is allocation-free once the scratch warms up.
-    /// The batch path bypasses the query cache (and its counters): with
-    /// per-worker scratch there is no shared state to lock.
+    /// The batch path bypasses the query cache — with per-worker scratch
+    /// there is no shared state to lock — so cached single-query answers are
+    /// neither consulted nor refreshed here. That silent bypass is itself
+    /// observable: every batch bumps [`StatsDiagnostics::batch_queries`],
+    /// and when the cache is enabled the bypassed queries are counted in
+    /// [`StatsDiagnostics::batch_cache_bypass`].
     pub fn estimate_batch(&self, queries: &[Rect]) -> Vec<f64> {
+        self.note_batch(queries.len());
         // Chunked queue rather than static chunks: estimate cost varies
         // with how many buckets a query overlaps.
         minskew_par::map_chunks_queued_with(
@@ -572,6 +873,7 @@ impl SpatialTable {
         if queries.iter().any(|q| !q.is_finite()) {
             return Err(EstimateError::NonFiniteQuery);
         }
+        self.note_batch(queries.len());
         Ok(minskew_par::map_chunks_queued_with(
             self.options.threads,
             64,
@@ -579,6 +881,149 @@ impl SpatialTable {
             IndexScratch::new,
             |scratch, q| self.estimate_finite(q, scratch),
         ))
+    }
+
+    /// Records one batch invocation of `n` queries in the serving counters.
+    fn note_batch(&self, n: usize) {
+        let mut serving = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+        serving.batch_calls += 1;
+        serving.batch_queries += n as u64;
+        if self.options.query_cache {
+            serving.batch_bypass += n as u64;
+        }
+    }
+
+    /// Publishes the serving counters into the per-table registry as deltas
+    /// over the previously published high-water marks. Runs only on metric
+    /// reads, never on the serving path.
+    fn publish_serving_metrics(&self, serving: &mut ServingState) {
+        if !self.options.metrics || !minskew_obs::enabled() {
+            return;
+        }
+        let calls = serving.calls;
+        let sampled = serving.sampled;
+        let batch_calls = serving.batch_calls;
+        let batch_queries = serving.batch_queries;
+        let batch_bypass = serving.batch_bypass;
+        let cache_hits = serving.cache.hits();
+        let cache_misses = serving.cache.misses();
+        let cache_invalidations = serving.cache.invalidations();
+        let published = &mut serving.published;
+        // `saturating_sub`: reconfiguring the cache resets its counters, so
+        // a current value may briefly sit below its published shadow.
+        let bump = |name: &str, current: u64, shadow: &mut u64| {
+            self.registry
+                .counter(name)
+                .add(current.saturating_sub(*shadow));
+            *shadow = current;
+        };
+        bump("engine.query.calls", calls, &mut published.calls);
+        bump("engine.query.sampled", sampled, &mut published.sampled);
+        bump(
+            "engine.batch.calls",
+            batch_calls,
+            &mut published.batch_calls,
+        );
+        bump(
+            "engine.batch.queries",
+            batch_queries,
+            &mut published.batch_queries,
+        );
+        bump(
+            "engine.batch.cache_bypass",
+            batch_bypass,
+            &mut published.batch_bypass,
+        );
+        bump("engine.cache.hits", cache_hits, &mut published.cache_hits);
+        bump(
+            "engine.cache.misses",
+            cache_misses,
+            &mut published.cache_misses,
+        );
+        bump(
+            "engine.cache.invalidations",
+            cache_invalidations,
+            &mut published.cache_invalidations,
+        );
+    }
+
+    /// A snapshot of this table's metrics registry (`engine.*` counters,
+    /// gauges, and latency histograms). Serving counters are published into
+    /// the registry lazily, on this read — the hot path only does plain
+    /// arithmetic under its own lock.
+    ///
+    /// Build-time metrics (`core.build.*`) and parallel-runtime metrics
+    /// (`par.*`) live in the process-wide [`minskew_obs::Registry::global`]
+    /// registry, not here: they aggregate work that is not owned by any one
+    /// table.
+    pub fn metrics(&self) -> minskew_obs::RegistrySnapshot {
+        {
+            let mut serving = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+            self.publish_serving_metrics(&mut serving);
+        }
+        self.registry.snapshot()
+    }
+
+    /// This table's metrics as a self-describing JSON document
+    /// (schema `minskew-obs/v1`).
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// Replays the accuracy monitor's reservoir of sampled served queries
+    /// against exact index counts and reports the paper's §5 error metric
+    /// `Σ|r_i − e_i| / Σ r_i` over that sample.
+    ///
+    /// Returns `None` when nothing has been sampled yet (metrics disabled,
+    /// [`TableOptions::accuracy_reservoir`] zero, or no uncached queries
+    /// served since the last statistics install). The audit runs the exact
+    /// counts outside the serving lock, so concurrent estimates are not
+    /// blocked; it publishes `engine.accuracy.avg_rel_error` /
+    /// `engine.accuracy.samples` gauges and, on drift, bumps the
+    /// `engine.accuracy.drift_detected` counter.
+    pub fn audit_accuracy(&self) -> Option<AccuracyReport> {
+        let (samples, observed) = {
+            let serving = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+            (
+                serving.reservoir.samples().to_vec(),
+                serving.reservoir.seen(),
+            )
+        };
+        if samples.is_empty() {
+            return None;
+        }
+        let mut scratch = IndexScratch::new();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for query in &samples {
+            let actual = self.index.count_intersecting(query) as f64;
+            let estimate = self.estimate_finite(query, &mut scratch);
+            num += (actual - estimate).abs();
+            den += actual;
+        }
+        let avg_relative_error = num / den.max(1.0);
+        let drifted = avg_relative_error > self.options.accuracy_drift_threshold;
+        let report = AccuracyReport {
+            samples: samples.len(),
+            observed,
+            avg_relative_error,
+            drifted,
+            recommend_reanalyze: drifted || self.stats_stale(),
+        };
+        if self.options.metrics && minskew_obs::enabled() {
+            self.registry
+                .gauge("engine.accuracy.avg_rel_error")
+                .set(avg_relative_error);
+            self.registry
+                .gauge("engine.accuracy.samples")
+                .set(samples.len() as f64);
+            if drifted {
+                self.registry
+                    .counter("engine.accuracy.drift_detected")
+                    .inc();
+            }
+        }
+        Some(report)
     }
 
     fn stats_stale(&self) -> bool {
@@ -1084,5 +1529,213 @@ mod tests {
             let e = t.plan(&Rect::new(0.0, 0.0, 2_000.0, 2_000.0));
             assert!(e.estimated_rows.is_finite() && e.estimated_rows >= 0.0);
         }
+    }
+
+    #[test]
+    fn batch_counters_and_diagnostics_display() {
+        let mut t = grid_table(15);
+        t.analyze();
+        let queries: Vec<Rect> = (0..10)
+            .map(|i| Rect::new(0.0, 0.0, 10.0 + i as f64, 10.0))
+            .collect();
+        t.estimate_batch(&queries);
+        let _ = t.try_estimate_batch(&queries[..4]).expect("finite");
+        let diag = t.stats_diagnostics();
+        assert_eq!(diag.batch_queries, 14);
+        // The default table has the cache on, so every batch query bypassed
+        // it.
+        assert_eq!(diag.batch_cache_bypass, 14);
+        let text = diag.to_string();
+        assert!(
+            text.contains("batch 14 queries (14 cache-bypassed)"),
+            "{text}"
+        );
+
+        // With the cache off, batches are counted but nothing is "bypassed".
+        t.set_query_cache(false, 0);
+        t.estimate_batch(&queries);
+        let diag = t.stats_diagnostics();
+        assert_eq!(diag.batch_queries, 24);
+        assert_eq!(diag.batch_cache_bypass, 14);
+    }
+
+    #[test]
+    fn metrics_are_bit_invisible_to_estimates() {
+        let queries: Vec<Rect> = (0..300)
+            .map(|i| {
+                let s = (i % 40) as f64 * 3.0;
+                Rect::new(s, s, s + 25.0 + (i / 40) as f64, s + 25.0)
+            })
+            .collect();
+        let run = |metrics: bool, sampling: u32| {
+            let mut t = SpatialTable::new(TableOptions {
+                metrics,
+                metrics_sampling: sampling,
+                ..TableOptions::default()
+            });
+            for iy in 0..30 {
+                for ix in 0..30 {
+                    let (x, y) = (ix as f64 * 10.0, iy as f64 * 10.0);
+                    t.insert(Rect::new(x, y, x + 5.0, y + 5.0));
+                }
+            }
+            t.analyze();
+            let single: Vec<u64> = queries.iter().map(|q| t.estimate(q).to_bits()).collect();
+            let batch: Vec<u64> = t
+                .estimate_batch(&queries)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            (single, batch)
+        };
+        let off = run(false, 256);
+        // Sampling 1 forces every call down the timed path.
+        for sampling in [1, 256] {
+            assert_eq!(run(true, sampling), off, "sampling={sampling}");
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_queries() {
+        let mut t = grid_table(10);
+        t.analyze();
+        for i in 0..20 {
+            let _ = t.estimate(&Rect::new(0.0, 0.0, 5.0 + i as f64, 5.0));
+        }
+        t.estimate_batch(&[Rect::new(0.0, 0.0, 9.0, 9.0); 3]);
+        let snap = t.metrics();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        if minskew_obs::enabled() {
+            assert_eq!(counter("engine.query.calls"), Some(20));
+            assert_eq!(counter("engine.batch.queries"), Some(3));
+            assert_eq!(counter("engine.batch.cache_bypass"), Some(3));
+            // Publication is delta-based: a second read must not double
+            // count.
+            let again = t.metrics();
+            assert_eq!(
+                again
+                    .counters
+                    .iter()
+                    .find(|(n, _)| n == "engine.query.calls"),
+                Some(&("engine.query.calls".to_owned(), 20))
+            );
+            assert!(t.metrics_json().contains("\"engine.query.calls\": 20"));
+        } else {
+            // Compiled to no-ops: nothing is ever published.
+            assert_eq!(counter("engine.query.calls").unwrap_or(0), 0);
+        }
+    }
+
+    #[test]
+    fn accuracy_audit_matches_offline_error() {
+        if !minskew_obs::enabled() {
+            // The serving path never samples the reservoir when the obs
+            // crate is compiled to no-ops; there is nothing to audit.
+            return;
+        }
+        let mut t = SpatialTable::new(TableOptions {
+            accuracy_reservoir: 1024, // larger than the workload: no eviction
+            ..TableOptions::default()
+        });
+        for r in charminar_with(2_000, 5).rects() {
+            t.insert(*r);
+        }
+        t.analyze();
+        let queries: Vec<Rect> = (0..100)
+            .map(|i| {
+                let s = (i % 10) as f64 * 700.0;
+                Rect::new(s, s, s + 2_000.0, s + 1_500.0 + i as f64)
+            })
+            .collect();
+        for q in &queries {
+            let _ = t.estimate(q);
+        }
+        let report = t.audit_accuracy().expect("reservoir is non-empty");
+        assert_eq!(report.samples, 100);
+        assert_eq!(report.observed, 100);
+        // Recompute the paper's metric offline over the same queries.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for q in &queries {
+            let actual = t.index.count_intersecting(q) as f64;
+            num += (actual - t.estimate(q)).abs();
+            den += actual;
+        }
+        let offline = num / den.max(1.0);
+        assert!(
+            (report.avg_relative_error - offline).abs() < 1e-12,
+            "audit {} vs offline {offline}",
+            report.avg_relative_error
+        );
+        assert!(!report.drifted, "{report}");
+        assert!(report.to_string().starts_with("accuracy:"));
+    }
+
+    #[test]
+    fn accuracy_drift_detected_after_churn_and_cleared_by_analyze() {
+        if !minskew_obs::enabled() {
+            return;
+        }
+        let mut t = SpatialTable::new(TableOptions {
+            accuracy_reservoir: 512,
+            auto_analyze_threshold: None, // drift must not self-heal here
+            ..TableOptions::default()
+        });
+        for iy in 0..20 {
+            for ix in 0..20 {
+                let (x, y) = (ix as f64 * 10.0, iy as f64 * 10.0);
+                t.insert(Rect::new(x, y, x + 5.0, y + 5.0));
+            }
+        }
+        t.analyze();
+        // Pile new rows into one corner cell: the installed histogram knows
+        // nothing about them beyond a staleness patch.
+        for _ in 0..4_000 {
+            t.insert(Rect::new(1.0, 1.0, 2.0, 2.0));
+        }
+        for i in 0..50 {
+            let _ = t.estimate(&Rect::new(0.0, 0.0, 3.0 + (i % 7) as f64, 3.0));
+        }
+        let report = t.audit_accuracy().expect("queries were sampled");
+        assert!(report.drifted, "{report}");
+        assert!(report.recommend_reanalyze);
+        // Re-ANALYZE installs fresh statistics and clears the reservoir.
+        t.analyze();
+        assert!(t.audit_accuracy().is_none());
+        for i in 0..50 {
+            let _ = t.estimate(&Rect::new(0.0, 0.0, 3.0 + (i % 7) as f64, 3.0));
+        }
+        let healed = t.audit_accuracy().expect("new era sampled");
+        assert!(!healed.drifted, "{healed}");
+    }
+
+    #[test]
+    fn metrics_off_disables_sampling_and_reservoir() {
+        let mut t = SpatialTable::new(TableOptions {
+            metrics: false,
+            ..TableOptions::default()
+        });
+        for iy in 0..10 {
+            for ix in 0..10 {
+                let (x, y) = (ix as f64 * 10.0, iy as f64 * 10.0);
+                t.insert(Rect::new(x, y, x + 5.0, y + 5.0));
+            }
+        }
+        t.analyze();
+        for i in 0..40 {
+            let _ = t.estimate(&Rect::new(0.0, 0.0, 5.0 + i as f64, 5.0));
+        }
+        assert!(t.audit_accuracy().is_none());
+        // Diagnostics counters still work (they are plain bookkeeping, not
+        // registry metrics)...
+        assert_eq!(t.stats_diagnostics().cache_misses, 40);
+        // ...but nothing was published to the registry.
+        let snap = t.metrics();
+        assert!(snap.counters.iter().all(|&(_, v)| v == 0), "{snap:?}");
     }
 }

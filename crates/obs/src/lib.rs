@@ -1,0 +1,82 @@
+//! Zero-dependency observability for the `minskew` estimator stack.
+//!
+//! Everything here is built from `std` alone — no external crates — and is
+//! designed around one hard contract: **instrumentation must be invisible to
+//! the computation it observes**. Metrics are write-only from the hot path's
+//! perspective (relaxed atomics, no locks on record), timers read only the
+//! monotonic clock, and the whole crate compiles to no-ops under the `noop`
+//! feature (same API, zero state, no clock reads) so the differential test
+//! suites can prove estimates and encoded statistics are byte-identical with
+//! observability present, active, or compiled out.
+//!
+//! The pieces:
+//!
+//! * [`Counter`] — a lock-free monotonic `u64` (relaxed atomic add).
+//! * [`Gauge`] — a lock-free `f64` cell (the latest value wins).
+//! * [`Histogram`] — fixed-bucket **log₂** distribution of `u64` samples
+//!   (latencies in nanoseconds, sizes in bytes): 64 buckets, bucket *i*
+//!   counting values in `[2^i, 2^(i+1))`, recorded with two relaxed atomic
+//!   adds and summarised without allocation.
+//! * [`Stopwatch`] / [`Timer`] — monotonic-clock timing; `Timer` is the RAII
+//!   form that records into a histogram on drop.
+//! * [`Trace`] / [`Span`] — an event buffer of named RAII spans with start
+//!   offsets and durations, for `--trace`-style reporting.
+//! * [`Registry`] — a process- or component-wide directory of metrics under
+//!   hierarchical dot-separated names, exported to JSON
+//!   ([`Registry::to_json`], schema-pinned by a golden test) or
+//!   human-readable text ([`Registry::to_text`]).
+//!
+//! # Example
+//!
+//! ```
+//! use minskew_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let served = registry.counter("engine.query.calls");
+//! let latency = registry.histogram("engine.query.ns");
+//! served.inc();
+//! latency.record(1_500);
+//! let json = registry.to_json();
+//! if minskew_obs::enabled() {
+//!     assert!(json.contains("\"engine.query.calls\": 1"));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod export;
+mod metrics;
+mod registry;
+mod span;
+
+pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{Registry, RegistrySnapshot};
+pub use span::{Span, Stopwatch, Timer, Trace, TraceEvent};
+
+/// `true` when the crate records real metrics; `false` when the `noop`
+/// feature compiled every operation away. Callers use this to skip
+/// assertions about metric contents, never to guard recording itself (the
+/// no-ops are free).
+pub const fn enabled() -> bool {
+    !cfg!(feature = "noop")
+}
+
+/// Normalises a display name (a technique name like `"Min-Skew"`) into one
+/// dot-separated metric-name component: lowercase, with `-`, spaces, and
+/// `.` replaced by `_` so the component cannot collide with the hierarchy
+/// separator.
+///
+/// ```
+/// assert_eq!(minskew_obs::name_component("Min-Skew"), "min_skew");
+/// assert_eq!(minskew_obs::name_component("Equi-Area"), "equi_area");
+/// ```
+pub fn name_component(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            '-' | ' ' | '.' => '_',
+            c => c.to_ascii_lowercase(),
+        })
+        .collect()
+}

@@ -1,0 +1,212 @@
+//! A directory of named metrics with snapshot-based export.
+
+use crate::export;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A directory of metrics under hierarchical dot-separated names
+/// (`engine.cache.hits`, `par.worker.busy_ns`).
+///
+/// Lookup-or-create goes through a mutex, so callers hold on to the returned
+/// `Arc` rather than re-resolving names on hot paths; recording through the
+/// `Arc` is lock-free. A name resolves to the kind it was first registered
+/// as — asking for the same name as a different kind returns a fresh
+/// *detached* instance (recorded values go nowhere visible) instead of
+/// panicking, because observability must never take the process down.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry, created on first use. Components that are
+    /// not handed an explicit registry (the parallel runtime, builders)
+    /// record here; `minskew stats` and the exporters read it.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The counter registered under `name`, created at zero if absent. If
+    /// `name` is already a gauge or histogram, returns a detached counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        let metric = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// The gauge registered under `name`, created at `0.0` if absent. If
+    /// `name` is already another kind, returns a detached gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        let metric = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// The histogram registered under `name`, created empty if absent. If
+    /// `name` is already another kind, returns a detached histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.lock();
+        let metric = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, names sorted.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.lock();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// The registry as JSON (schema `minskew-obs/v1`, pinned by a golden
+    /// test). Names sort lexicographically; non-finite gauges export as
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        export::to_json(&self.snapshot())
+    }
+
+    /// The registry as aligned human-readable text, one metric per line.
+    pub fn to_text(&self) -> String {
+        export::to_text(&self.snapshot())
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]: every metric's name and value,
+/// grouped by kind, names in ascending lexicographic order within each
+/// group.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// The snapshot as JSON (schema `minskew-obs/v1`, pinned by a golden
+    /// test). Names sort lexicographically; non-finite gauges export as
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        export::to_json(self)
+    }
+
+    /// The snapshot as aligned human-readable text, one metric per line.
+    pub fn to_text(&self) -> String {
+        export::to_text(self)
+    }
+
+    /// Merges another snapshot into this one and restores the sorted-name
+    /// invariant. Metrics sharing a name across the two snapshots both
+    /// survive (consumers see duplicate rows rather than silently summed
+    /// values); use distinct name prefixes per registry to avoid that.
+    pub fn merge(&mut self, other: RegistrySnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instance() {
+        let r = Registry::new();
+        let a = r.counter("x.calls");
+        let b = r.counter("x.calls");
+        a.inc();
+        b.add(2);
+        if crate::enabled() {
+            assert_eq!(a.get(), 3);
+        }
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_instance() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.add(7);
+        let g = r.gauge("x");
+        g.set(1.0);
+        let h = r.histogram("x");
+        h.record(1);
+        // The original counter is untouched and still registered.
+        if crate::enabled() {
+            assert_eq!(c.get(), 7);
+            assert_eq!(r.snapshot().counters, vec![("x".to_owned(), 7)]);
+        }
+        assert!(r.snapshot().gauges.is_empty());
+        assert!(r.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn snapshot_sorts_names() {
+        let r = Registry::new();
+        r.counter("b");
+        r.counter("a");
+        r.counter("c");
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = Registry::global().counter("test.registry.global");
+        let b = Registry::global().counter("test.registry.global");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

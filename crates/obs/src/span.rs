@@ -1,0 +1,250 @@
+//! Monotonic-clock timing: stopwatches, RAII histogram timers, and named
+//! trace spans.
+
+use crate::Histogram;
+#[cfg(not(feature = "noop"))]
+use std::sync::{Mutex, PoisonError};
+#[cfg(not(feature = "noop"))]
+use std::time::Instant;
+
+/// Saturating nanoseconds since an earlier instant (u64 covers ~584 years).
+#[cfg(not(feature = "noop"))]
+fn nanos_since(earlier: Instant) -> u64 {
+    u64::try_from(earlier.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A monotonic lap timer: [`Stopwatch::lap`] returns the nanoseconds since
+/// the previous lap (or since [`Stopwatch::start`]) and restarts the lap.
+///
+/// This is the building block for staged hot-path timing (probe → scan →
+/// clamp): one `Stopwatch`, one clock read per stage boundary. Under the
+/// `noop` feature the clock is never read and every lap is `0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    #[cfg(not(feature = "noop"))]
+    origin: Instant,
+    #[cfg(not(feature = "noop"))]
+    last: Instant,
+}
+
+impl Stopwatch {
+    /// Starts (or restarts) a stopwatch now.
+    #[inline]
+    pub fn start() -> Stopwatch {
+        #[cfg(not(feature = "noop"))]
+        let now = Instant::now();
+        Stopwatch {
+            #[cfg(not(feature = "noop"))]
+            origin: now,
+            #[cfg(not(feature = "noop"))]
+            last: now,
+        }
+    }
+
+    /// Nanoseconds since the previous lap; the lap restarts.
+    #[inline]
+    pub fn lap(&mut self) -> u64 {
+        #[cfg(not(feature = "noop"))]
+        {
+            let now = Instant::now();
+            let ns = u64::try_from(now.duration_since(self.last).as_nanos()).unwrap_or(u64::MAX);
+            self.last = now;
+            ns
+        }
+        #[cfg(feature = "noop")]
+        0
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`] (independent of laps).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        #[cfg(not(feature = "noop"))]
+        return nanos_since(self.origin);
+        #[cfg(feature = "noop")]
+        0
+    }
+}
+
+/// RAII timer: records elapsed nanoseconds into a [`Histogram`] on drop.
+#[derive(Debug)]
+pub struct Timer<'a> {
+    histogram: &'a Histogram,
+    #[cfg(not(feature = "noop"))]
+    start: Instant,
+}
+
+impl<'a> Timer<'a> {
+    /// Starts timing; the elapsed time lands in `histogram` when the timer
+    /// drops.
+    #[inline]
+    pub fn start(histogram: &'a Histogram) -> Timer<'a> {
+        Timer {
+            histogram,
+            #[cfg(not(feature = "noop"))]
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "noop"))]
+        self.histogram.record(nanos_since(self.start));
+        #[cfg(feature = "noop")]
+        let _ = self.histogram;
+    }
+}
+
+/// One completed span in a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span's name.
+    pub name: String,
+    /// Nanoseconds from the trace's creation to the span's start.
+    pub start_ns: u64,
+    /// The span's duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// An append-only buffer of completed [`Span`]s, ordered by completion.
+///
+/// A `Trace` is cheap to create and intended to be short-lived — one per
+/// CLI invocation or per diagnosed request — so events are plain `String`s
+/// behind a mutex, not a lock-free ring. Under the `noop` feature spans
+/// record nothing and [`Trace::events`] is always empty.
+#[derive(Debug, Default)]
+pub struct Trace {
+    #[cfg(not(feature = "noop"))]
+    epoch: Option<Instant>,
+    #[cfg(not(feature = "noop"))]
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// Creates an empty trace; span offsets are measured from this moment.
+    pub fn new() -> Trace {
+        Trace {
+            #[cfg(not(feature = "noop"))]
+            epoch: Some(Instant::now()),
+            #[cfg(not(feature = "noop"))]
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens a named span; it records itself into the trace when dropped.
+    #[inline]
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        Span {
+            #[cfg(not(feature = "noop"))]
+            trace: self,
+            #[cfg(not(feature = "noop"))]
+            name: name.into(),
+            #[cfg(not(feature = "noop"))]
+            start: Instant::now(),
+            #[cfg(feature = "noop")]
+            _phantom: {
+                let _ = name.into();
+                std::marker::PhantomData
+            },
+        }
+    }
+
+    /// All completed spans, in completion order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        #[cfg(not(feature = "noop"))]
+        return self
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        #[cfg(feature = "noop")]
+        Vec::new()
+    }
+}
+
+/// An open trace span; completes (and records itself) on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    #[cfg(not(feature = "noop"))]
+    trace: &'a Trace,
+    #[cfg(not(feature = "noop"))]
+    name: String,
+    #[cfg(not(feature = "noop"))]
+    start: Instant,
+    #[cfg(feature = "noop")]
+    _phantom: std::marker::PhantomData<&'a Trace>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "noop"))]
+        {
+            let start_ns = self.trace.epoch.map_or(0, |epoch| {
+                u64::try_from(self.start.duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
+            });
+            let event = TraceEvent {
+                name: std::mem::take(&mut self.name),
+                start_ns,
+                dur_ns: nanos_since(self.start),
+            };
+            self.trace
+                .events
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_laps_are_monotone() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap();
+        let b = sw.lap();
+        if crate::enabled() {
+            // Laps are non-negative by construction; both reads succeeded,
+            // and the total covers at least both laps.
+            assert!(a < u64::MAX && b < u64::MAX);
+            assert!(sw.total() >= a + b);
+        } else {
+            assert_eq!((a, b), (0, 0));
+            assert_eq!(sw.total(), 0);
+        }
+    }
+
+    #[test]
+    fn timer_records_into_histogram_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = Timer::start(&h);
+        }
+        if crate::enabled() {
+            assert_eq!(h.count(), 1);
+        } else {
+            assert_eq!(h.count(), 0);
+        }
+    }
+
+    #[test]
+    fn trace_collects_spans_in_completion_order() {
+        let trace = Trace::new();
+        {
+            let _outer = trace.span("outer");
+            let _inner = trace.span("inner");
+            // `inner` drops first, so it completes first.
+        }
+        let events = trace.events();
+        if crate::enabled() {
+            assert_eq!(events.len(), 2);
+            assert_eq!(events[0].name, "inner");
+            assert_eq!(events[1].name, "outer");
+            assert!(events[1].start_ns <= events[0].start_ns);
+        } else {
+            assert!(events.is_empty());
+        }
+    }
+}

@@ -160,15 +160,28 @@ where
         let mut state = init();
         return items.iter().map(|item| f(&mut state, item)).collect();
     }
+    let workers = threads.min(n_chunks);
+    if minskew_obs::enabled() {
+        let registry = minskew_obs::Registry::global();
+        registry.counter("par.queued.calls").inc();
+        registry.counter("par.queued.chunks").add(n_chunks as u64);
+        registry.counter("par.queued.workers").add(workers as u64);
+    }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<Vec<R>>> = (0..n_chunks).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads.min(n_chunks))
+        let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
                 let init = &init;
                 let f = &f;
                 scope.spawn(move || {
+                    // Per-worker observability, accumulated locally and
+                    // flushed once at worker exit — the claim loop itself
+                    // stays two relaxed atomics per chunk.
+                    let clock = minskew_obs::Stopwatch::start();
+                    let mut contended: u64 = 0;
+                    let mut prev_ci: Option<usize> = None;
                     let mut state = init();
                     let mut done: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
@@ -176,6 +189,12 @@ where
                         if ci >= n_chunks {
                             break;
                         }
+                        // A gap in this worker's claim sequence means another
+                        // worker claimed in between: the queue was contended.
+                        if prev_ci.is_some_and(|p| ci != p + 1) {
+                            contended += 1;
+                        }
+                        prev_ci = Some(ci);
                         let lo = ci * chunk_size;
                         let hi = (lo + chunk_size).min(items.len());
                         done.push((
@@ -185,6 +204,15 @@ where
                                 .map(|item| f(&mut state, item))
                                 .collect(),
                         ));
+                    }
+                    if minskew_obs::enabled() {
+                        let registry = minskew_obs::Registry::global();
+                        registry
+                            .histogram("par.worker.busy_ns")
+                            .record(clock.total());
+                        registry
+                            .counter("par.queue.contended_claims")
+                            .add(contended);
                     }
                     done
                 })
@@ -353,6 +381,33 @@ mod tests {
                 }
             }
             assert_eq!(merged, serial);
+        }
+    }
+
+    #[test]
+    fn queued_map_publishes_worker_metrics() {
+        let registry = minskew_obs::Registry::global();
+        let read = |snap: &minskew_obs::RegistrySnapshot, name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        let before = registry.snapshot();
+        let busy_before = registry.histogram("par.worker.busy_ns").count();
+        let items: Vec<usize> = (0..640).collect();
+        let out = map_chunks_queued_with(4, 64, &items, || (), |(), x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let after = registry.snapshot();
+        if minskew_obs::enabled() {
+            // The global registry is shared across concurrently running
+            // tests, so assert deltas as lower bounds.
+            assert!(read(&after, "par.queued.calls") > read(&before, "par.queued.calls"));
+            assert!(read(&after, "par.queued.chunks") >= read(&before, "par.queued.chunks") + 10);
+            assert!(read(&after, "par.queued.workers") >= read(&before, "par.queued.workers") + 4);
+            assert!(registry.histogram("par.worker.busy_ns").count() >= busy_before + 4);
+        } else {
+            assert!(after.counters.is_empty() || after.counters.iter().all(|&(_, v)| v == 0));
         }
     }
 

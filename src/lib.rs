@@ -49,6 +49,7 @@ pub use minskew_data as data;
 pub use minskew_datagen as datagen;
 pub use minskew_engine as engine;
 pub use minskew_geom as geom;
+pub use minskew_obs as obs;
 pub use minskew_par as par;
 pub use minskew_rtree as rtree;
 pub use minskew_viz as viz;
@@ -61,12 +62,13 @@ pub mod prelude {
         build_rtree_partitioning_default, build_uniform, try_build_equi_area, try_build_equi_count,
         try_build_grid, try_build_optimal_bsp, try_build_rtree_partitioning, try_build_uniform,
         Bucket, BucketIndex, BuildError, EstimateError, ExtensionRule, FractalEstimator,
-        IndexScratch, MinSkewBuilder, RTreeBuildMethod, SamplingEstimator, SpatialEstimator,
-        SpatialHistogram, SplitStrategy,
+        IndexScratch, MinSkewBuildTrace, MinSkewBuilder, RTreeBuildMethod, SamplingEstimator,
+        SpatialEstimator, SpatialHistogram, SplitEvent, SplitStrategy,
     };
     pub use minskew_data::{CsvRectSource, Dataset, DensityGrid, RectSource};
     pub use minskew_engine::{
-        AnalyzeOptions, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique, TableOptions,
+        AccuracyReport, AnalyzeOptions, SpatialTable, StatsDiagnostics, StatsFallback,
+        StatsTechnique, TableOptions,
     };
     pub use minskew_geom::{Point, Rect};
     pub use minskew_workload::{

@@ -1,0 +1,139 @@
+//! Golden pin of the `minskew-obs/v1` metrics-export schema, plus the
+//! order-independence property of counter merges under the parallel runtime.
+//!
+//! The JSON exporter is hand-written (no serialization crate), so nothing
+//! but this byte-for-byte pin stops field names, ordering, indentation, or
+//! the inlined histogram bucket bounds from drifting between releases.
+//! External consumers (dashboards, `minskew stats --json` scrapers) parse
+//! this document; treat any change here as a schema version bump.
+
+use minskew_obs::{bucket_bounds, Registry, HISTOGRAM_BUCKETS};
+
+/// A handcrafted registry covering every value shape the exporter handles:
+/// zero and large counters, finite / negative / non-finite gauges, and a
+/// histogram spanning the first bucket, a middle bucket, and the overflow
+/// bucket.
+fn handcrafted() -> Registry {
+    let r = Registry::new();
+    r.counter("engine.query.calls").add(12);
+    r.counter("zero.counter");
+    r.gauge("accuracy.err").set(0.25);
+    r.gauge("drift.nan").set(f64::NAN);
+    r.gauge("temp.neg").set(-2.5);
+    let h = r.histogram("lat.ns");
+    h.record(0); // first bucket: [0, 2)
+    h.record(1); // first bucket again
+    h.record(1_000); // middle bucket: [512, 1024)
+    h.record(u64::MAX); // last bucket: [2^63, u64::MAX]
+    r
+}
+
+/// The pinned export. Every byte matters: schema tag, two-level
+/// indentation, sorted names within each section, `null` for non-finite
+/// gauges, and `[lo, hi)` bounds inlined per non-empty histogram bucket.
+/// Note `"sum": 1000`: the histogram sum is a wrapping u64 (1001 plus the
+/// deliberate `u64::MAX` record wraps) — harmless for nanosecond latencies
+/// (a wrap needs ~584 years of recorded time) and pinned here so the
+/// behaviour is documented rather than accidental.
+const GOLDEN_JSON: &str = r#"{
+  "schema": "minskew-obs/v1",
+  "counters": {
+    "engine.query.calls": 12,
+    "zero.counter": 0
+  },
+  "gauges": {
+    "accuracy.err": 0.25,
+    "drift.nan": null,
+    "temp.neg": -2.5
+  },
+  "histograms": {
+    "lat.ns": {"count": 4, "sum": 1000, "buckets": [{"lo": 0, "hi": 2, "count": 2}, {"lo": 512, "hi": 1024, "count": 1}, {"lo": 9223372036854775808, "hi": 18446744073709551615, "count": 1}]}
+  }
+}
+"#;
+
+#[test]
+fn metrics_json_schema_is_pinned() {
+    if !minskew_obs::enabled() {
+        // Under the `noop` feature every recorded value is dropped; the
+        // schema skeleton still holds but the pinned values do not.
+        return;
+    }
+    let got = handcrafted().to_json();
+    assert_eq!(
+        got, GOLDEN_JSON,
+        "minskew-obs/v1 JSON drifted; if intentional, bump the schema tag \
+         and re-pin"
+    );
+}
+
+#[test]
+fn histogram_bucket_bounds_partition_u64() {
+    // The inlined bounds must tile [0, u64::MAX] with no gaps or overlaps:
+    // consumers reconstruct distributions from them.
+    let mut expected_lo = 0u64;
+    for i in 0..HISTOGRAM_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(lo, expected_lo, "bucket {i} leaves a gap");
+        assert!(hi > lo, "bucket {i} is empty");
+        expected_lo = hi;
+    }
+    assert_eq!(bucket_bounds(HISTOGRAM_BUCKETS - 1).1, u64::MAX);
+}
+
+#[test]
+fn overflowing_sum_stays_a_valid_json_number() {
+    if !minskew_obs::enabled() {
+        return;
+    }
+    let r = Registry::new();
+    let h = r.histogram("wrap");
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    // The wrapping sum must still export as a plain JSON number alongside
+    // the exact count.
+    let json = r.to_json();
+    assert!(json.contains("\"count\": 2"), "{json}");
+    assert!(json.contains("\"sum\": 18446744073709551614"), "{json}");
+}
+
+/// Counter merges across minskew-par workers are order-independent: the
+/// same multiset of `add`s lands on the same totals no matter how the
+/// scheduler interleaves workers. This is what makes `par.*` metrics
+/// trustworthy under the deterministic-parallelism contract.
+#[cfg(feature = "proptest")]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_counter_merges_are_order_independent(
+            increments in proptest::collection::vec(0u64..1_000, 1..64),
+            threads in 1usize..8,
+            chunk in 1usize..16,
+        ) {
+            if !minskew_obs::enabled() {
+                return Ok(());
+            }
+            let serial: u64 = increments.iter().sum();
+            // Fan the same increments across parallel workers; every
+            // interleaving must merge to the serial total.
+            let r = Registry::new();
+            let c = r.counter("prop.total");
+            minskew_par::map_chunks_queued(threads, chunk, &increments, |&v| {
+                c.add(v);
+                v
+            });
+            prop_assert_eq!(c.get(), serial, "threads={} chunk={}", threads, chunk);
+            // And a second pass accumulates on top, still exactly.
+            minskew_par::map_chunks_queued(threads.max(2), chunk, &increments, |&v| {
+                c.add(v);
+                v
+            });
+            prop_assert_eq!(c.get(), 2 * serial);
+        }
+    }
+}

@@ -21,10 +21,14 @@
 #      prove the compiled-out configuration serves the same bytes,
 #   9. a focused clippy pass over minskew-obs denying `unwrap()` even in
 #      the presence of poisoned-lock recovery paths,
-#  10. smoke runs of the parallel-speedup, serving-throughput, and
-#      obs-overhead benches, which re-check the differential contracts
-#      inline and must leave BENCH_parallel.json / BENCH_estimate.json /
-#      BENCH_obs.json behind at the workspace root.
+#  10. the snapshot recovery differential suite, exhaustive fault-kind ×
+#      technique matrix on, single test thread (filesystem quarantine
+#      paths must not interleave),
+#  11. smoke runs of the parallel-speedup, serving-throughput,
+#      obs-overhead, and snapshot-persistence benches, which re-check the
+#      differential contracts inline and must leave BENCH_parallel.json /
+#      BENCH_estimate.json / BENCH_obs.json / BENCH_snapshot.json behind
+#      at the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -48,6 +52,9 @@ RUST_TEST_THREADS=1 cargo test -q --test serving_differential --features serving
 
 echo "==> observability differential suite (exhaustive, single test thread)"
 RUST_TEST_THREADS=1 cargo test -q --test obs_differential --features obs
+
+echo "==> snapshot recovery differential suite (exhaustive, single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test snapshot_recovery --features snapshot
 
 echo "==> observability suites with minskew-obs compiled to no-ops"
 cargo test -q --test obs_differential --test golden_metrics --features minskew-obs/noop
@@ -87,5 +94,14 @@ if [[ ! -f BENCH_obs.json ]]; then
     exit 1
 fi
 git checkout -- BENCH_obs.json 2>/dev/null || true
+
+echo "==> snapshot persistence bench smoke (MINSKEW_QUICK=1)"
+rm -f BENCH_snapshot.json
+MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench snapshot_persistence >/dev/null
+if [[ ! -f BENCH_snapshot.json ]]; then
+    echo "ERROR: bench did not write BENCH_snapshot.json" >&2
+    exit 1
+fi
+git checkout -- BENCH_snapshot.json 2>/dev/null || true
 
 echo "CI OK"

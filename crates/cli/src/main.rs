@@ -19,6 +19,10 @@
 //!                  --out out.svg
 //! minskew stats    --input data.csv [--buckets B] [--queries N]
 //!                  [--qsize F] [--seed S] [--json]
+//! minskew snapshot save --input data.csv [--technique <t>] [--buckets B]
+//!                  --out stats.snap   (or --stats legacy.bin to migrate)
+//! minskew snapshot verify --snapshot stats.snap
+//! minskew snapshot load --snapshot stats.snap [--input data.csv]
 //! ```
 //!
 //! `build --trace` prints the Min-Skew per-split audit trail; `estimate
@@ -38,8 +42,13 @@
 //! | 2 | usage error (bad flags, unknown subcommand) |
 //! | 3 | I/O error (missing/unwritable file) |
 //! | 4 | malformed dataset (CSV parse error) |
-//! | 5 | corrupt statistics file (codec rejected it) |
+//! | 5 | corrupt statistics file (codec or snapshot container rejected it) |
 //! | 6 | statistics construction failed (empty data, bad budget, …) |
+//!
+//! `snapshot verify` maps every container-integrity failure (bad magic,
+//! checksum mismatch, truncation, malformed payload) to exit code 5, so
+//! health checks can distinguish "the snapshot is damaged" from plain I/O
+//! trouble (exit 3).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -51,6 +60,8 @@ use minskew_core::{
     BuildError, FractalEstimator, IndexScratch, MinSkewBuildTrace, MinSkewBuilder,
     SamplingEstimator, SpatialEstimator, SpatialHistogram,
 };
+use minskew_core::{FormatVersion, SnapshotInfo};
+use minskew_data::atomic::write_atomic;
 use minskew_data::{read_rects_csv, write_rects_csv, CsvError, Dataset};
 use minskew_datagen::{
     charminar_with, clustered_points, uniform_rects, ClusteredPointSpec, RoadNetworkSpec,
@@ -137,6 +148,16 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::usage("missing subcommand"));
     };
+    if cmd == "snapshot" {
+        // `snapshot` takes an action word before its flags.
+        let Some((action, rest)) = rest.split_first() else {
+            return Err(CliError::usage(
+                "snapshot needs an action: save, load, or verify",
+            ));
+        };
+        let opts = parse_flags(rest)?;
+        return snapshot_cmd(action, &opts);
+    }
     let opts = parse_flags(rest)?;
     match cmd.as_str() {
         "generate" => generate(&opts),
@@ -172,6 +193,15 @@ minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
   minskew stats    --input data.csv [--buckets B] [--queries N] [--qsize F] [--seed S] [--json]
                    (drives a serving workload through the query engine, audits live
                     accuracy against exact counts, and dumps the metrics registry)
+  minskew snapshot save   --input data.csv [--technique T] [--buckets B] --out stats.snap
+  minskew snapshot save   --stats legacy.bin --out stats.snap   (migrate a legacy file)
+                   (builds or migrates statistics and installs them as a checksummed
+                    snapshot via the crash-safe temp+fsync+rename protocol)
+  minskew snapshot verify --snapshot stats.snap
+                   (integrity check only: exit 0 and a summary, or exit 5 on corruption)
+  minskew snapshot load   --snapshot stats.snap [--input data.csv]
+                   (strict load by default: corruption is exit 5; with --input, runs the
+                    engine's graceful recovery — quarantine + rebuild from the data)
 
 exit codes: 0 ok, 2 usage, 3 I/O, 4 malformed dataset, 5 corrupt stats, 6 build failure
 ";
@@ -539,6 +569,117 @@ fn tune(opts: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+fn snapshot_cmd(action: &str, opts: &Flags) -> Result<(), CliError> {
+    match action {
+        "save" => snapshot_save(opts),
+        "verify" => snapshot_verify(opts),
+        "load" => snapshot_load(opts),
+        other => Err(CliError::usage(format!(
+            "unknown snapshot action {other:?} (expected save, load, or verify)"
+        ))),
+    }
+}
+
+fn describe_snapshot(info: &SnapshotInfo) -> String {
+    format!(
+        "{} snapshot: {} ({} buckets, N = {}, {} section(s), {} bytes)",
+        match info.version {
+            FormatVersion::Container => "v1",
+            FormatVersion::Legacy => "legacy",
+        },
+        info.technique,
+        info.buckets,
+        info.input_len,
+        info.sections,
+        info.total_bytes,
+    )
+}
+
+/// `snapshot save`: build statistics from a dataset (or re-seal an existing
+/// statistics file, migrating legacy bytes to the container format) and
+/// install them at `--out` through the crash-safe atomic write protocol.
+fn snapshot_save(opts: &Flags) -> Result<(), CliError> {
+    let out = req(opts, "out")?;
+    let hist = if let Some(stats_path) = opts.get("stats") {
+        // Migration path: accept container or legacy bytes.
+        let bytes = std::fs::read(stats_path)
+            .map_err(|e| CliError::new(ErrorKind::Io, format!("reading {stats_path}: {e}")))?;
+        let (hist, info) = SpatialHistogram::from_snapshot_bytes(&bytes).map_err(|e| {
+            CliError::new(
+                ErrorKind::CorruptStats,
+                format!("decoding {stats_path}: {e}"),
+            )
+        })?;
+        if info.version == FormatVersion::Legacy {
+            println!("migrating legacy statistics file {stats_path} to the snapshot container");
+        }
+        hist
+    } else {
+        let data = load(opts)?;
+        let technique = opts.get("technique").map_or("min-skew", String::as_str);
+        build_technique(&data, technique, opts)?
+    };
+    let bytes = hist.to_snapshot_bytes();
+    write_atomic(std::path::Path::new(out), &bytes)
+        .map_err(|e| CliError::new(ErrorKind::Io, format!("writing {out}: {e}")))?;
+    let info = minskew_core::verify_snapshot(&bytes)
+        .map_err(|e| CliError::new(ErrorKind::CorruptStats, format!("self-check: {e}")))?;
+    println!("saved {} -> {out}", describe_snapshot(&info));
+    Ok(())
+}
+
+/// `snapshot verify`: run the full container integrity check without
+/// installing anything. Corruption of any kind is exit code 5.
+fn snapshot_verify(opts: &Flags) -> Result<(), CliError> {
+    let path = req(opts, "snapshot")?;
+    let bytes = std::fs::read(path)
+        .map_err(|e| CliError::new(ErrorKind::Io, format!("reading {path}: {e}")))?;
+    let info = minskew_core::verify_snapshot(&bytes)
+        .map_err(|e| CliError::new(ErrorKind::CorruptStats, format!("{path}: {e}")))?;
+    println!("ok: {}", describe_snapshot(&info));
+    Ok(())
+}
+
+/// `snapshot load`: strict decode by default (corruption is exit code 5);
+/// with `--input`, demonstrates the engine's graceful recovery instead —
+/// the corrupt file is quarantined and statistics are rebuilt from data.
+fn snapshot_load(opts: &Flags) -> Result<(), CliError> {
+    let path = req(opts, "snapshot")?;
+    if !opts.contains_key("input") {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CliError::new(ErrorKind::Io, format!("reading {path}: {e}")))?;
+        let (_, info) = SpatialHistogram::from_snapshot_bytes(&bytes)
+            .map_err(|e| CliError::new(ErrorKind::CorruptStats, format!("decoding {path}: {e}")))?;
+        println!("loaded {}", describe_snapshot(&info));
+        return Ok(());
+    }
+    let data = load(opts)?;
+    let mut table = SpatialTable::try_new(TableOptions {
+        analyze: AnalyzeOptions {
+            buckets: num(opts, "buckets", 100usize)?,
+            ..AnalyzeOptions::default()
+        },
+        ..TableOptions::default()
+    })?;
+    for r in data.rects() {
+        table.insert(*r);
+    }
+    let report = table.load_snapshot(std::path::Path::new(path));
+    if report.installed {
+        let info = report
+            .info
+            .as_ref()
+            .map_or_else(|| "snapshot".to_owned(), describe_snapshot);
+        println!("loaded {info}");
+    } else {
+        println!("recovered: {}", report.diagnostics);
+        if let Some(q) = &report.quarantined {
+            println!("quarantined corrupt snapshot at {}", q.display());
+        }
+    }
+    Ok(())
+}
+
 fn render(opts: &Flags) -> Result<(), CliError> {
     let data = load(opts)?;
     let technique = req(opts, "technique")?;
@@ -893,6 +1034,158 @@ mod tests {
         let mut json = base;
         json.push("--json".into());
         run(json).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_subcommand_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("minskew-cli-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let snap = dir.join("s.snap");
+        run(vec![
+            "generate".into(),
+            "--kind".into(),
+            "charminar".into(),
+            "--n".into(),
+            "1500".into(),
+            "--out".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+        // save -> verify -> load (strict) all succeed.
+        run(vec![
+            "snapshot".into(),
+            "save".into(),
+            "--input".into(),
+            csv.display().to_string(),
+            "--buckets".into(),
+            "20".into(),
+            "--regions".into(),
+            "400".into(),
+            "--out".into(),
+            snap.display().to_string(),
+        ])
+        .unwrap();
+        run(vec![
+            "snapshot".into(),
+            "verify".into(),
+            "--snapshot".into(),
+            snap.display().to_string(),
+        ])
+        .unwrap();
+        run(vec![
+            "snapshot".into(),
+            "load".into(),
+            "--snapshot".into(),
+            snap.display().to_string(),
+        ])
+        .unwrap();
+        // Corrupt the file: verify and strict load report exit class 5.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap, &bytes).unwrap();
+        for action in ["verify", "load"] {
+            let e = run(vec![
+                "snapshot".into(),
+                action.into(),
+                "--snapshot".into(),
+                snap.display().to_string(),
+            ])
+            .unwrap_err();
+            assert_eq!(e.kind, ErrorKind::CorruptStats, "{action}");
+        }
+        // Graceful load with --input recovers (exit 0) and quarantines.
+        run(vec![
+            "snapshot".into(),
+            "load".into(),
+            "--snapshot".into(),
+            snap.display().to_string(),
+            "--input".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+        assert!(!snap.exists(), "corrupt snapshot must be quarantined");
+        assert!(
+            dir.join("s.snap.corrupt-1").exists(),
+            "quarantine file must be preserved"
+        );
+        // Missing file is I/O (3), not corruption (5).
+        let e = run(vec![
+            "snapshot".into(),
+            "verify".into(),
+            "--snapshot".into(),
+            dir.join("absent.snap").display().to_string(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Io);
+        // Usage errors.
+        assert_eq!(
+            run(vec!["snapshot".into()]).unwrap_err().kind,
+            ErrorKind::Usage
+        );
+        assert_eq!(
+            run(vec!["snapshot".into(), "frob".into()])
+                .unwrap_err()
+                .kind,
+            ErrorKind::Usage
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_save_migrates_legacy_stats() {
+        let dir = std::env::temp_dir().join(format!("minskew-cli-mig-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let legacy = dir.join("legacy.bin");
+        let snap = dir.join("migrated.snap");
+        run(vec![
+            "generate".into(),
+            "--kind".into(),
+            "uniform".into(),
+            "--n".into(),
+            "600".into(),
+            "--out".into(),
+            csv.display().to_string(),
+        ])
+        .unwrap();
+        // `build` writes the legacy bare-codec format.
+        run(vec![
+            "build".into(),
+            "--input".into(),
+            csv.display().to_string(),
+            "--technique".into(),
+            "equi-count".into(),
+            "--buckets".into(),
+            "8".into(),
+            "--out".into(),
+            legacy.display().to_string(),
+        ])
+        .unwrap();
+        run(vec![
+            "snapshot".into(),
+            "save".into(),
+            "--stats".into(),
+            legacy.display().to_string(),
+            "--out".into(),
+            snap.display().to_string(),
+        ])
+        .unwrap();
+        run(vec![
+            "snapshot".into(),
+            "verify".into(),
+            "--snapshot".into(),
+            snap.display().to_string(),
+        ])
+        .unwrap();
+        // The migrated container carries the same statistics payload.
+        let legacy_bytes = std::fs::read(&legacy).unwrap();
+        let container = std::fs::read(&snap).unwrap();
+        let (hist, info) = SpatialHistogram::from_snapshot_bytes(&container).unwrap();
+        assert_eq!(info.version, FormatVersion::Container);
+        assert_eq!(hist.to_bytes(), legacy_bytes);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -154,6 +154,15 @@ impl SpatialHistogram {
             .to_owned();
         let input_len = cur.u64_le()? as usize;
         let n_buckets = cur.u32_le()? as usize;
+        // Sanity bound before anything is trusted: no legitimate summary
+        // is near 2^24 buckets, so an absurd count is corruption (or a
+        // hostile header) and must be rejected before allocation.
+        if n_buckets > crate::snapshot::MAX_SNAPSHOT_BUCKETS {
+            return Err(CodecError::Invalid(format!(
+                "bucket count {n_buckets} exceeds the sanity bound {}",
+                crate::snapshot::MAX_SNAPSHOT_BUCKETS
+            )));
+        }
         // Overflow-proof payload check: a hostile header cannot make us
         // allocate or read past the buffer.
         let payload = n_buckets
@@ -273,11 +282,27 @@ mod tests {
 
     #[test]
     fn hostile_bucket_count_rejected_without_allocation() {
-        // Header declaring usize::MAX-ish buckets must fail cleanly.
+        // Header declaring usize::MAX-ish buckets must fail cleanly, on
+        // the sanity bound — before any allocation is attempted.
         let h = SpatialHistogram::from_parts("x", vec![], 0, ExtensionRule::None);
         let mut bytes = h.to_bytes();
         let n_off = bytes.len() - 4;
         bytes[n_off..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            SpatialHistogram::from_bytes(&bytes),
+            Err(CodecError::Invalid(msg)) if msg.contains("sanity bound")
+        ));
+        // Counts just past the bound are rejected too; counts inside the
+        // bound still fall through to the (truncation) payload check.
+        let mut bytes = h.to_bytes();
+        let over = (crate::snapshot::MAX_SNAPSHOT_BUCKETS as u32 + 1).to_le_bytes();
+        bytes[n_off..].copy_from_slice(&over);
+        assert!(matches!(
+            SpatialHistogram::from_bytes(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
+        let mut bytes = h.to_bytes();
+        bytes[n_off..].copy_from_slice(&1000u32.to_le_bytes());
         assert_eq!(
             SpatialHistogram::from_bytes(&bytes),
             Err(CodecError::Truncated)

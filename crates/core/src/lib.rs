@@ -60,6 +60,7 @@ mod minskew;
 mod optimal;
 mod rtree_part;
 mod sampling;
+pub mod snapshot;
 mod uniform;
 
 pub use bucket::{Bucket, ExtensionRule};
@@ -78,6 +79,9 @@ pub use rtree_part::{
     try_build_rtree_partitioning_default, RTreeBuildMethod, RTreePartitioningOptions,
 };
 pub use sampling::SamplingEstimator;
+pub use snapshot::{
+    verify_snapshot, FormatVersion, SnapshotError, SnapshotInfo, MAX_SNAPSHOT_BUCKETS,
+};
 pub use uniform::{build_uniform, try_build_uniform};
 
 use minskew_geom::Rect;

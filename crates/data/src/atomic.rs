@@ -1,0 +1,483 @@
+//! Crash-safe atomic file installation.
+//!
+//! The snapshot subsystem's durability contract is that a reader never
+//! observes a half-written file: after a crash at *any* point, the
+//! destination path holds either the complete previous content or the
+//! complete new content. This module implements the classic protocol that
+//! guarantees it on POSIX filesystems:
+//!
+//! 1. write the payload to a fresh temp file **in the destination
+//!    directory** (same filesystem, so the rename below is atomic),
+//! 2. `fsync` the temp file (data hits the medium before the name does),
+//! 3. `rename` it over the destination (the atomic commit point),
+//! 4. `fsync` the directory (the new name itself is durable).
+//!
+//! Transient I/O errors (`Interrupted`, `WouldBlock`, `TimedOut`) are
+//! retried with bounded exponential backoff; each retry restarts the whole
+//! protocol from a fresh temp file so no attempt ever builds on a
+//! half-written one. Every failure path removes its temp file and reports a
+//! typed [`AtomicWriteError`] naming the protocol stage that failed.
+//!
+//! The protocol's filesystem operations run through the [`AtomicFile`]
+//! seam so the fault-injection suite can make any stage fail
+//! deterministically ([`write_atomic_chaos`]) and prove both the bounded
+//! retry and the no-torn-destination guarantee.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::fault::{FaultInjector, FaultKind};
+
+/// Stage of the atomic-write protocol, for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStage {
+    /// Creating or writing the temp file.
+    WriteTemp,
+    /// Flushing the temp file to the medium (`fsync`).
+    SyncTemp,
+    /// Renaming the temp file over the destination.
+    Rename,
+    /// Flushing the directory entry (`fsync` on the parent directory).
+    SyncDir,
+}
+
+impl std::fmt::Display for WriteStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WriteStage::WriteTemp => "write-temp",
+            WriteStage::SyncTemp => "sync-temp",
+            WriteStage::Rename => "rename",
+            WriteStage::SyncDir => "sync-dir",
+        })
+    }
+}
+
+/// A failed atomic write: which stage failed, after how many attempts.
+#[derive(Debug)]
+pub struct AtomicWriteError {
+    /// Protocol stage that failed on the last attempt.
+    pub stage: WriteStage,
+    /// Attempts made (1 = no retry happened).
+    pub attempts: u32,
+    /// The underlying I/O error from the last attempt.
+    pub source: io::Error,
+}
+
+impl std::fmt::Display for AtomicWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "atomic write failed at {} after {} attempt(s): {}",
+            self.stage, self.attempts, self.source
+        )
+    }
+}
+
+impl std::error::Error for AtomicWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Retry policy for transient I/O errors.
+#[derive(Debug, Clone, Copy)]
+pub struct AtomicWriteOptions {
+    /// Maximum protocol attempts (1 = no retry). Default 4.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry. Default 1 ms.
+    pub initial_backoff: Duration,
+}
+
+impl Default for AtomicWriteOptions {
+    fn default() -> AtomicWriteOptions {
+        AtomicWriteOptions {
+            max_attempts: 4,
+            initial_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Returns `true` for error kinds worth retrying: the operation may succeed
+/// on a fresh attempt without anything else changing.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// The filesystem seam the protocol runs through. The default
+/// implementation is the real filesystem; the chaos implementation makes
+/// chosen stages fail deterministically.
+pub trait AtomicFile {
+    /// Creates `tmp` and writes `bytes` into it completely.
+    fn write_temp(&mut self, tmp: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes `tmp`'s data to the medium.
+    fn sync_temp(&mut self, tmp: &Path) -> io::Result<()>;
+    /// Atomically renames `tmp` over `dst`.
+    fn rename(&mut self, tmp: &Path, dst: &Path) -> io::Result<()>;
+    /// Flushes the directory entry for `dir`.
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default)]
+pub struct RealFile;
+
+impl AtomicFile for RealFile {
+    fn write_temp(&mut self, tmp: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(tmp)?;
+        f.write_all(bytes)?;
+        f.flush()
+    }
+
+    fn sync_temp(&mut self, tmp: &Path) -> io::Result<()> {
+        fs::File::open(tmp)?.sync_all()
+    }
+
+    fn rename(&mut self, tmp: &Path, dst: &Path) -> io::Result<()> {
+        fs::rename(tmp, dst)
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        // Directories cannot be opened for sync on every platform; treat
+        // "cannot open the directory" as best-effort there, but a failed
+        // sync on an open handle is a real error.
+        match fs::File::open(dir) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+/// Process-unique temp-name counter: concurrent writers in one process must
+/// never collide on a temp path.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path_for(dst: &Path) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = dst.file_name().unwrap_or_default().to_string_lossy();
+    dst.with_file_name(format!(".{name}.tmp-{}-{seq}", std::process::id()))
+}
+
+/// Atomically installs `bytes` at `path` with the default retry policy.
+///
+/// See the module docs for the protocol and its guarantees.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), AtomicWriteError> {
+    write_atomic_with(path, bytes, &AtomicWriteOptions::default())
+}
+
+/// Atomically installs `bytes` at `path` with an explicit retry policy.
+pub fn write_atomic_with(
+    path: &Path,
+    bytes: &[u8],
+    options: &AtomicWriteOptions,
+) -> Result<(), AtomicWriteError> {
+    write_atomic_via(&mut RealFile, path, bytes, options)
+}
+
+/// The protocol itself, over any [`AtomicFile`] implementation.
+pub fn write_atomic_via(
+    fs_ops: &mut dyn AtomicFile,
+    path: &Path,
+    bytes: &[u8],
+    options: &AtomicWriteOptions,
+) -> Result<(), AtomicWriteError> {
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+    let max_attempts = options.max_attempts.max(1);
+    let mut backoff = options.initial_backoff;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let tmp = temp_path_for(path);
+        let result = run_protocol(fs_ops, &tmp, path, &dir, bytes);
+        match result {
+            Ok(()) => return Ok(()),
+            Err((stage, e)) => {
+                // Whatever happened, the temp file must not leak. After a
+                // successful rename the temp name no longer exists, so this
+                // only ever removes an orphan.
+                fs::remove_file(&tmp).ok();
+                if attempt < max_attempts && is_transient(&e) {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                    continue;
+                }
+                return Err(AtomicWriteError {
+                    stage,
+                    attempts: attempt,
+                    source: e,
+                });
+            }
+        }
+    }
+}
+
+/// One full pass of the four-stage protocol.
+fn run_protocol(
+    fs_ops: &mut dyn AtomicFile,
+    tmp: &Path,
+    dst: &Path,
+    dir: &Path,
+    bytes: &[u8],
+) -> Result<(), (WriteStage, io::Error)> {
+    fs_ops
+        .write_temp(tmp, bytes)
+        .map_err(|e| (WriteStage::WriteTemp, e))?;
+    fs_ops
+        .sync_temp(tmp)
+        .map_err(|e| (WriteStage::SyncTemp, e))?;
+    fs_ops
+        .rename(tmp, dst)
+        .map_err(|e| (WriteStage::Rename, e))?;
+    fs_ops.sync_dir(dir).map_err(|e| (WriteStage::SyncDir, e))
+}
+
+/// A chaos [`AtomicFile`]: the real filesystem with one deterministic fault
+/// kind armed. Used by the recovery differential suite to prove that
+/// mid-protocol failures never tear the destination and that the bounded
+/// retry heals transient ones.
+pub struct ChaosFile {
+    inner: RealFile,
+    kind: FaultKind,
+    injector: FaultInjector,
+    /// How many more times the armed stage fails before healing. Lets one
+    /// run prove "fails then succeeds on retry" and another prove "fails
+    /// past the retry budget".
+    failures_left: u32,
+    /// Whether injected failures look transient (retryable) or permanent.
+    transient: bool,
+}
+
+impl ChaosFile {
+    /// Arms `kind` to fail `failures` times (deterministic in `seed`).
+    ///
+    /// `transient` controls the injected [`io::ErrorKind`]: transient
+    /// errors engage the caller's retry loop, permanent ones abort it.
+    pub fn new(kind: FaultKind, seed: u64, failures: u32, transient: bool) -> ChaosFile {
+        ChaosFile {
+            inner: RealFile,
+            kind,
+            injector: FaultInjector::new(seed),
+            failures_left: failures,
+            transient,
+        }
+    }
+
+    fn fail(&mut self, what: &str) -> io::Error {
+        let kind = if self.transient {
+            io::ErrorKind::Interrupted
+        } else {
+            io::ErrorKind::Other
+        };
+        io::Error::new(kind, format!("injected fault: {what}"))
+    }
+
+    fn take_failure(&mut self) -> bool {
+        if self.failures_left > 0 {
+            self.failures_left -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl AtomicFile for ChaosFile {
+    fn write_temp(&mut self, tmp: &Path, bytes: &[u8]) -> io::Result<()> {
+        if self.kind == FaultKind::TornWrite && self.take_failure() {
+            // The torn write *happens* (a prefix lands on disk), and the
+            // writer is told about it — as a crashed process's successor
+            // would find it.
+            let keep = if bytes.is_empty() {
+                0
+            } else {
+                self.injector.below(bytes.len())
+            };
+            self.inner.write_temp(tmp, &bytes[..keep])?;
+            return Err(self.fail("torn write to temp file"));
+        }
+        if matches!(
+            self.kind,
+            FaultKind::ShortReadThenError | FaultKind::EarlyEof | FaultKind::Truncate
+        ) && self.take_failure()
+        {
+            return Err(self.fail("write failed mid-stream"));
+        }
+        self.inner.write_temp(tmp, bytes)
+    }
+
+    fn sync_temp(&mut self, tmp: &Path) -> io::Result<()> {
+        if self.kind == FaultKind::BitFlip && self.take_failure() {
+            return Err(self.fail("fsync reported failure"));
+        }
+        self.inner.sync_temp(tmp)
+    }
+
+    fn rename(&mut self, tmp: &Path, dst: &Path) -> io::Result<()> {
+        if self.kind == FaultKind::RenameFail && self.take_failure() {
+            return Err(self.fail("rename refused by filesystem"));
+        }
+        self.inner.rename(tmp, dst)
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        self.inner.sync_dir(dir)
+    }
+}
+
+/// Atomically installs `bytes` at `path` through a [`ChaosFile`] armed with
+/// `kind`. Convenience wrapper for the fault-injection suites.
+pub fn write_atomic_chaos(
+    path: &Path,
+    bytes: &[u8],
+    options: &AtomicWriteOptions,
+    kind: FaultKind,
+    seed: u64,
+    failures: u32,
+    transient: bool,
+) -> Result<(), AtomicWriteError> {
+    let mut chaos = ChaosFile::new(kind, seed, failures, transient);
+    write_atomic_via(&mut chaos, path, bytes, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("minskew-atomic-{}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn no_temp_orphans(dir: &Path) -> bool {
+        fs::read_dir(dir)
+            .expect("readable")
+            .filter_map(Result::ok)
+            .all(|e| !e.file_name().to_string_lossy().contains(".tmp-"))
+    }
+
+    #[test]
+    fn plain_write_installs_bytes() {
+        let dir = tmp_dir("plain");
+        let dst = dir.join("out.bin");
+        write_atomic(&dst, b"hello snapshot").expect("atomic write");
+        assert_eq!(fs::read(&dst).expect("readable"), b"hello snapshot");
+        assert!(no_temp_orphans(&dir));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrite_replaces_completely() {
+        let dir = tmp_dir("overwrite");
+        let dst = dir.join("out.bin");
+        write_atomic(&dst, &[0xAA; 1024]).expect("first");
+        write_atomic(&dst, b"short new content").expect("second");
+        assert_eq!(fs::read(&dst).expect("readable"), b"short new content");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_rename_failure_is_retried_to_success() {
+        let dir = tmp_dir("retry");
+        let dst = dir.join("out.bin");
+        fs::write(&dst, b"old content").expect("seed dst");
+        let opts = AtomicWriteOptions {
+            max_attempts: 4,
+            initial_backoff: Duration::from_micros(10),
+        };
+        write_atomic_chaos(
+            &dst,
+            b"new content",
+            &opts,
+            FaultKind::RenameFail,
+            1,
+            2,
+            true,
+        )
+        .expect("2 transient failures < 4 attempts");
+        assert_eq!(fs::read(&dst).expect("readable"), b"new content");
+        assert!(no_temp_orphans(&dir));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_retries_keep_old_content_and_report_stage() {
+        let dir = tmp_dir("exhaust");
+        let dst = dir.join("out.bin");
+        fs::write(&dst, b"old content").expect("seed dst");
+        let opts = AtomicWriteOptions {
+            max_attempts: 3,
+            initial_backoff: Duration::from_micros(10),
+        };
+        let err = write_atomic_chaos(
+            &dst,
+            b"new content",
+            &opts,
+            FaultKind::RenameFail,
+            1,
+            99,
+            true,
+        )
+        .expect_err("failures outlast the budget");
+        assert_eq!(err.stage, WriteStage::Rename);
+        assert_eq!(err.attempts, 3);
+        // The commit point was never reached: old content fully intact.
+        assert_eq!(fs::read(&dst).expect("readable"), b"old content");
+        assert!(no_temp_orphans(&dir), "failed attempts must clean up");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn permanent_errors_abort_without_retry() {
+        let dir = tmp_dir("permanent");
+        let dst = dir.join("out.bin");
+        let opts = AtomicWriteOptions::default();
+        let err = write_atomic_chaos(&dst, b"x", &opts, FaultKind::RenameFail, 1, 99, false)
+            .expect_err("permanent failure");
+        assert_eq!(err.attempts, 1, "permanent errors must not be retried");
+        assert!(!dst.exists(), "destination never appeared");
+        assert!(no_temp_orphans(&dir));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_temp_write_never_reaches_destination() {
+        let dir = tmp_dir("torn");
+        let dst = dir.join("out.bin");
+        fs::write(&dst, b"old content").expect("seed dst");
+        let opts = AtomicWriteOptions {
+            max_attempts: 2,
+            initial_backoff: Duration::from_micros(10),
+        };
+        for seed in 0..20 {
+            let _ = write_atomic_chaos(
+                &dst,
+                &[0x5A; 4096],
+                &opts,
+                FaultKind::TornWrite,
+                seed,
+                99,
+                false,
+            );
+            // Whether the write errored or not, the destination is never
+            // the torn image: it holds old content or (on no failure) new.
+            let now = fs::read(&dst).expect("readable");
+            assert_eq!(now, b"old content", "seed {seed}: destination torn");
+        }
+        assert!(no_temp_orphans(&dir));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_reported() {
+        let err = write_atomic(&PathBuf::from("/definitely/not/a/dir/out.bin"), b"x")
+            .expect_err("unwritable path");
+        assert_eq!(err.stage, WriteStage::WriteTemp);
+    }
+}

@@ -40,16 +40,44 @@ pub enum FaultKind {
     InvertedCornerRow,
     /// End the stream early, mid-row, as a dying disk or socket would.
     EarlyEof,
+    /// A torn write: bytes up to a pseudo-random offset are intact, the
+    /// tail is zeroed — the length is preserved, exactly what a
+    /// partially-flushed page leaves behind.
+    TornWrite,
+    /// The stream yields some bytes, then fails with an I/O error (a
+    /// dying disk mid-read, as opposed to [`FaultKind::EarlyEof`]'s clean
+    /// end). The byte-buffer form truncates.
+    ShortReadThenError,
+    /// The atomic-install `rename` fails (transiently, from the retry
+    /// loop's point of view). Has no byte-buffer representation —
+    /// [`FaultInjector::corrupt`] returns the data unchanged; the kind is
+    /// consumed by [`crate::write_atomic_chaos`].
+    RenameFail,
 }
 
 impl FaultKind {
     /// Every fault kind, for exhaustive sweeps in tests.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::Truncate,
         FaultKind::BitFlip,
         FaultKind::NonFiniteRow,
         FaultKind::InvertedCornerRow,
         FaultKind::EarlyEof,
+        FaultKind::TornWrite,
+        FaultKind::ShortReadThenError,
+        FaultKind::RenameFail,
+    ];
+
+    /// The kinds relevant to persisted-snapshot recovery: every way a
+    /// snapshot file on disk can be damaged (plus [`FaultKind::RenameFail`]
+    /// for the write path).
+    pub const SNAPSHOT: [FaultKind; 6] = [
+        FaultKind::Truncate,
+        FaultKind::BitFlip,
+        FaultKind::EarlyEof,
+        FaultKind::TornWrite,
+        FaultKind::ShortReadThenError,
+        FaultKind::RenameFail,
     ];
 }
 
@@ -76,7 +104,7 @@ impl FaultInjector {
     }
 
     /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
-    fn below(&mut self, bound: usize) -> usize {
+    pub(crate) fn below(&mut self, bound: usize) -> usize {
         (self.next_u64() % bound as u64) as usize
     }
 
@@ -88,12 +116,24 @@ impl FaultInjector {
     /// kinds corrupt the raw buffer.
     pub fn corrupt(&mut self, data: &[u8], kind: FaultKind) -> Vec<u8> {
         match kind {
-            FaultKind::Truncate | FaultKind::EarlyEof => {
+            FaultKind::Truncate | FaultKind::EarlyEof | FaultKind::ShortReadThenError => {
                 if data.is_empty() {
                     return Vec::new();
                 }
                 data[..self.below(data.len())].to_vec()
             }
+            FaultKind::TornWrite => {
+                let mut out = data.to_vec();
+                if out.is_empty() {
+                    return out;
+                }
+                let tear = self.below(out.len());
+                for b in &mut out[tear..] {
+                    *b = 0;
+                }
+                out
+            }
+            FaultKind::RenameFail => data.to_vec(),
             FaultKind::BitFlip => {
                 let mut out = data.to_vec();
                 if out.is_empty() {
@@ -209,6 +249,9 @@ impl<R: Read> Read for ChaosReader<R> {
             self.injected = true;
             match self.kind {
                 FaultKind::Truncate | FaultKind::EarlyEof => return Ok(0),
+                FaultKind::ShortReadThenError => {
+                    return Err(io::Error::other("injected fault: medium failed mid-read"))
+                }
                 FaultKind::NonFiniteRow | FaultKind::InvertedCornerRow => {
                     // Break the current line, then poison the next one: the
                     // newline keeps the corruption row-aligned.
@@ -223,15 +266,29 @@ impl<R: Read> Read for ChaosReader<R> {
                     self.pending_pos = n;
                     return Ok(n);
                 }
-                FaultKind::BitFlip => {} // handled on the fall-through path
+                // Handled on the fall-through path (BitFlip / TornWrite
+                // corrupt bytes as they stream; RenameFail has no stream
+                // representation and passes through).
+                FaultKind::BitFlip | FaultKind::TornWrite | FaultKind::RenameFail => {}
             }
         }
         let n = self.inner.read(buf)?;
-        if self.injected && self.kind == FaultKind::BitFlip && n > 0 {
-            for chunk in buf[..n].chunks_mut(64) {
-                let pos = self.injector.below(chunk.len());
-                let bit = self.injector.below(8);
-                chunk[pos] ^= 1 << bit;
+        if self.injected && n > 0 {
+            match self.kind {
+                FaultKind::BitFlip => {
+                    for chunk in buf[..n].chunks_mut(64) {
+                        let pos = self.injector.below(chunk.len());
+                        let bit = self.injector.below(8);
+                        chunk[pos] ^= 1 << bit;
+                    }
+                }
+                FaultKind::TornWrite => {
+                    // Past the tear point the medium returns zeroed pages.
+                    for b in &mut buf[..n] {
+                        *b = 0;
+                    }
+                }
+                _ => {}
             }
         }
         self.offset += n as u64;
@@ -262,10 +319,23 @@ impl<S: RectSource + ?Sized> RectSource for FaultSource<'_, S> {
         let mut injector = FaultInjector::new(self.seed);
         let n = self.inner.stats().n;
         match self.kind {
-            FaultKind::Truncate | FaultKind::EarlyEof => {
+            FaultKind::Truncate | FaultKind::EarlyEof | FaultKind::ShortReadThenError => {
                 let keep = if n == 0 { 0 } else { injector.below(n) };
                 Box::new(self.inner.scan().take(keep))
             }
+            FaultKind::TornWrite => {
+                // Torn in-memory image: rows past the tear read back as
+                // all-zero records (length preserved, content gone).
+                let tear = if n == 0 { 0 } else { injector.below(n) };
+                Box::new(self.inner.scan().enumerate().map(move |(i, r)| {
+                    if i >= tear {
+                        Rect::new(0.0, 0.0, 0.0, 0.0)
+                    } else {
+                        r
+                    }
+                }))
+            }
+            FaultKind::RenameFail => Box::new(self.inner.scan()),
             FaultKind::BitFlip => {
                 // In-memory analogue of a flipped sign/exponent bit: one
                 // rectangle's coordinate is perturbed to a hostile value.
@@ -405,7 +475,7 @@ mod tests {
             assert_eq!(src.stats().n, 30, "stats must pass through");
             let swept: Vec<Rect> = src.scan().collect();
             match kind {
-                FaultKind::Truncate | FaultKind::EarlyEof => {
+                FaultKind::Truncate | FaultKind::EarlyEof | FaultKind::ShortReadThenError => {
                     assert!(swept.len() < 30, "{kind:?} must drop rows")
                 }
                 FaultKind::NonFiniteRow => {
@@ -419,6 +489,13 @@ mod tests {
                 FaultKind::BitFlip => {
                     assert_eq!(swept.len(), 30);
                     assert!(swept.iter().zip(ds.rects()).any(|(a, b)| a != b));
+                }
+                FaultKind::TornWrite => {
+                    assert_eq!(swept.len(), 30, "torn image preserves length");
+                    assert!(swept.iter().any(|r| r.area() == 0.0));
+                }
+                FaultKind::RenameFail => {
+                    assert_eq!(swept, ds.rects(), "no sweep representation");
                 }
             }
         }

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod atomic;
 mod dataset;
 pub mod fault;
 mod grid;
@@ -29,6 +30,10 @@ mod io;
 mod prefix;
 mod source;
 
+pub use atomic::{
+    write_atomic, write_atomic_chaos, write_atomic_with, AtomicWriteError, AtomicWriteOptions,
+    WriteStage,
+};
 pub use dataset::{Dataset, DatasetStats};
 pub use fault::{ChaosReader, FaultInjector, FaultKind, FaultSource};
 pub use grid::{CellBlock, DensityGrid};

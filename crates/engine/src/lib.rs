@@ -53,10 +53,12 @@
 
 mod cache;
 mod monitor;
+mod persist;
 mod planner;
 mod table;
 
 pub use monitor::AccuracyReport;
+pub use persist::{SnapshotIoError, SnapshotLoadReport};
 pub use planner::{CostModel, Explain, Plan};
 pub use table::{
     AnalyzeOptions, RowId, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique,

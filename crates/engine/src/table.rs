@@ -328,15 +328,15 @@ impl TableMetrics {
 /// A spatial table: rows of rectangles with a stable id, an R\*-tree index,
 /// and optimizer statistics.
 pub struct SpatialTable {
-    options: TableOptions,
+    pub(crate) options: TableOptions,
     rows: Vec<Option<Rect>>, // slot per RowId; None = deleted
     live: usize,
     index: RStarTree<u64>,
     stats: Option<SpatialHistogram>,
-    diagnostics: StatsDiagnostics,
+    pub(crate) diagnostics: StatsDiagnostics,
     serving: Mutex<ServingState>,
     /// Per-table metrics registry (see [`SpatialTable::metrics`]).
-    registry: Registry,
+    pub(crate) registry: Registry,
     metrics: TableMetrics,
 }
 
@@ -476,7 +476,7 @@ impl SpatialTable {
     /// Installs `hist` and records how it was obtained. New statistics mean
     /// new estimates, so the query cache is flushed here — this covers
     /// `analyze`, `try_analyze`, `load_stats`, and auto-`ANALYZE` alike.
-    fn install_stats(&mut self, hist: SpatialHistogram, mut diag: StatsDiagnostics) {
+    pub(crate) fn install_stats(&mut self, hist: SpatialHistogram, mut diag: StatsDiagnostics) {
         diag.requested_buckets = self.options.analyze.buckets;
         diag.achieved_buckets = hist.buckets().len();
         if self.options.metrics && minskew_obs::enabled() {

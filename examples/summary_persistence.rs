@@ -1,7 +1,9 @@
 //! Persisting histograms the way a DBMS catalog would: build once at
-//! ANALYZE time, serialise into the catalog, deserialise at plan time.
+//! ANALYZE time, seal into the durable snapshot container, install
+//! crash-safely, deserialise at plan time.
 //!
 //! Run with `cargo run --release --example summary_persistence`.
+//! Regenerates the committed golden file `charminar.stats`.
 
 use minskew::prelude::*;
 
@@ -16,19 +18,28 @@ fn main() -> std::io::Result<()> {
         data.len()
     );
 
-    // Store in the "catalog" (a file here; a system table in a DBMS).
-    let bytes = hist.to_bytes();
-    std::fs::write("charminar.stats", &bytes)?;
+    // Store in the "catalog" (a file here; a system table in a DBMS). The
+    // snapshot container wraps the codec payload in a section table with
+    // per-section and whole-file checksums; the atomic write protocol
+    // (temp + fsync + rename + dir fsync) guarantees a crash at any point
+    // leaves either the old complete file or the new complete file.
+    let bytes = hist.to_snapshot_bytes();
+    let path = std::path::Path::new("charminar.stats");
+    write_atomic(path, &bytes).map_err(std::io::Error::other)?;
     println!(
-        "serialised to charminar.stats: {} bytes ({} per bucket incl. header)",
+        "installed snapshot at charminar.stats: {} bytes ({} payload + container)",
         bytes.len(),
-        bytes.len() / hist.num_buckets()
+        hist.to_bytes().len()
     );
 
-    // Plan time, possibly in another process: load and estimate. The codec
-    // validates magic, version, and field sanity.
-    let loaded = SpatialHistogram::from_bytes(&std::fs::read("charminar.stats")?)
-        .expect("catalog entry is valid");
+    // Plan time, possibly in another process: verify, load, estimate.
+    let info = verify_snapshot(&std::fs::read(path)?).expect("snapshot is intact");
+    println!(
+        "verified: {} snapshot, {} buckets, {} section(s)",
+        info.technique, info.buckets, info.sections
+    );
+    let (loaded, _) =
+        SpatialHistogram::from_snapshot_bytes(&std::fs::read(path)?).expect("snapshot decodes");
     let q = Rect::new(8_000.0, 8_000.0, 10_000.0, 10_000.0);
     println!(
         "loaded histogram estimates {:.0} rows for {} (exact: {})",
@@ -38,12 +49,20 @@ fn main() -> std::io::Result<()> {
     );
     assert_eq!(loaded.estimate_count(&q), hist.estimate_count(&q));
 
-    // Corruption is detected, not silently mis-estimated.
+    // Corruption is detected, not silently mis-estimated: flip one bit
+    // anywhere and the whole-file checksum rejects the snapshot.
     let mut corrupt = bytes.to_vec();
-    corrupt[0] = b'X';
-    match SpatialHistogram::from_bytes(&corrupt) {
+    corrupt[bytes.len() / 2] ^= 0x01;
+    match SpatialHistogram::from_snapshot_bytes(&corrupt) {
         Err(e) => println!("corrupt catalog entry rejected: {e}"),
         Ok(_) => unreachable!("corruption must be detected"),
     }
+
+    // Pre-container catalogs (bare codec bytes) still decode, flagged as
+    // the legacy format so operators know to re-seal them.
+    let (_, legacy_info) =
+        SpatialHistogram::from_snapshot_bytes(&hist.to_bytes()).expect("legacy shim decodes");
+    assert_eq!(legacy_info.version, FormatVersion::Legacy);
+    println!("legacy bare-codec bytes decode via the compatibility shim");
     Ok(())
 }

@@ -61,14 +61,17 @@ pub mod prelude {
         build_equi_area, build_equi_count, build_grid, build_optimal_bsp, build_rtree_partitioning,
         build_rtree_partitioning_default, build_uniform, try_build_equi_area, try_build_equi_count,
         try_build_grid, try_build_optimal_bsp, try_build_rtree_partitioning, try_build_uniform,
-        Bucket, BucketIndex, BuildError, EstimateError, ExtensionRule, FractalEstimator,
-        IndexScratch, MinSkewBuildTrace, MinSkewBuilder, RTreeBuildMethod, SamplingEstimator,
-        SpatialEstimator, SpatialHistogram, SplitEvent, SplitStrategy,
+        verify_snapshot, Bucket, BucketIndex, BuildError, EstimateError, ExtensionRule,
+        FormatVersion, FractalEstimator, IndexScratch, MinSkewBuildTrace, MinSkewBuilder,
+        RTreeBuildMethod, SamplingEstimator, SnapshotError, SnapshotInfo, SpatialEstimator,
+        SpatialHistogram, SplitEvent, SplitStrategy,
     };
-    pub use minskew_data::{CsvRectSource, Dataset, DensityGrid, RectSource};
+    pub use minskew_data::{
+        write_atomic, CsvRectSource, Dataset, DensityGrid, FaultInjector, FaultKind, RectSource,
+    };
     pub use minskew_engine::{
-        AccuracyReport, AnalyzeOptions, SpatialTable, StatsDiagnostics, StatsFallback,
-        StatsTechnique, TableOptions,
+        AccuracyReport, AnalyzeOptions, SnapshotIoError, SnapshotLoadReport, SpatialTable,
+        StatsDiagnostics, StatsFallback, StatsTechnique, TableOptions,
     };
     pub use minskew_geom::{Point, Rect};
     pub use minskew_workload::{

@@ -24,11 +24,21 @@
 #  10. the snapshot recovery differential suite, exhaustive fault-kind ×
 #      technique matrix on, single test thread (filesystem quarantine
 #      paths must not interleave),
-#  11. smoke runs of the parallel-speedup, serving-throughput,
-#      obs-overhead, and snapshot-persistence benches, which re-check the
-#      differential contracts inline and must leave BENCH_parallel.json /
-#      BENCH_estimate.json / BENCH_obs.json / BENCH_snapshot.json behind
-#      at the workspace root.
+#  11. the sharded-vs-unsharded differential suite, exhaustive shard-count
+#      × technique × extension-rule matrix on, single test thread,
+#  12. the lock-free serving stress suite (readers racing ≥1000 statistics
+#      installs, every observed estimate bitwise old-or-new) and the wire
+#      protocol golden suite, both pinned to one test thread so the stress
+#      owns its thread budget,
+#  13. a CLI serve smoke: start `minskew serve` on an ephemeral port, run
+#      a catalog-client round trip against it, shut it down over the wire,
+#      and require a clean exit plus an emitted metrics dump,
+#  14. smoke runs of the parallel-speedup, serving-throughput,
+#      obs-overhead, snapshot-persistence, and serve-loadgen benches,
+#      which re-check the differential contracts inline and must leave
+#      BENCH_parallel.json / BENCH_estimate.json / BENCH_obs.json /
+#      BENCH_snapshot.json / BENCH_serve.json behind at the workspace
+#      root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -56,6 +66,15 @@ RUST_TEST_THREADS=1 cargo test -q --test obs_differential --features obs
 echo "==> snapshot recovery differential suite (exhaustive, single test thread)"
 RUST_TEST_THREADS=1 cargo test -q --test snapshot_recovery --features snapshot
 
+echo "==> sharded differential suite (exhaustive, single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test sharded_differential --features sharded
+
+echo "==> lock-free serving stress suite (single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test serve_stress
+
+echo "==> wire protocol golden suite (single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test serve_protocol
+
 echo "==> observability suites with minskew-obs compiled to no-ops"
 cargo test -q --test obs_differential --test golden_metrics --features minskew-obs/noop
 
@@ -65,6 +84,41 @@ cargo clippy -p minskew-obs --all-targets -- -D warnings -D clippy::unwrap_used
 echo "==> clippy (serving crates, allocation lints denied)"
 cargo clippy -p minskew-core -p minskew-engine --all-targets -- \
     -D warnings -D clippy::needless_collect -D clippy::redundant_clone
+
+echo "==> CLI serve smoke (ephemeral port, wire shutdown, metrics dump)"
+cargo build -q -p minskew-cli
+SERVE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SERVE_TMP"' EXIT
+./target/debug/minskew generate --kind charminar --n 2000 --out "$SERVE_TMP/data.csv" >/dev/null
+./target/debug/minskew serve --addr 127.0.0.1:0 --port-file "$SERVE_TMP/port" \
+    --input "$SERVE_TMP/data.csv" --table roads --buckets 50 --shards 4 \
+    > "$SERVE_TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 100); do [[ -s "$SERVE_TMP/port" ]] && break; sleep 0.1; done
+if [[ ! -s "$SERVE_TMP/port" ]]; then
+    echo "ERROR: serve did not write its port file" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+SERVE_ADDR="$(tr -d '\n' < "$SERVE_TMP/port")"
+./target/debug/minskew catalog ping --addr "$SERVE_ADDR" >/dev/null
+./target/debug/minskew catalog estimate --addr "$SERVE_ADDR" --name roads \
+    --query 60,25,65,30 >/dev/null
+# An unknown table must surface the server's usage error as exit code 2.
+if ./target/debug/minskew catalog estimate --addr "$SERVE_ADDR" --name ghost \
+    --query 0,0,1,1 2>/dev/null; then
+    echo "ERROR: catalog client did not fail on an unknown table" >&2
+    exit 1
+fi
+./target/debug/minskew catalog shutdown --addr "$SERVE_ADDR" >/dev/null
+if ! wait "$SERVE_PID"; then
+    echo "ERROR: serve did not exit cleanly after wire shutdown" >&2
+    exit 1
+fi
+if ! grep -q "serve.requests" "$SERVE_TMP/serve.log"; then
+    echo "ERROR: serve did not emit its metrics registry on shutdown" >&2
+    exit 1
+fi
 
 echo "==> parallel speedup bench smoke (MINSKEW_QUICK=1)"
 rm -f BENCH_parallel.json
@@ -103,5 +157,14 @@ if [[ ! -f BENCH_snapshot.json ]]; then
     exit 1
 fi
 git checkout -- BENCH_snapshot.json 2>/dev/null || true
+
+echo "==> serve loadgen bench smoke (MINSKEW_QUICK=1)"
+rm -f BENCH_serve.json
+MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench serve_loadgen >/dev/null
+if [[ ! -f BENCH_serve.json ]]; then
+    echo "ERROR: bench did not write BENCH_serve.json" >&2
+    exit 1
+fi
+git checkout -- BENCH_serve.json 2>/dev/null || true
 
 echo "CI OK"

@@ -23,6 +23,9 @@
 //!                  --out stats.snap   (or --stats legacy.bin to migrate)
 //! minskew snapshot verify --snapshot stats.snap
 //! minskew snapshot load --snapshot stats.snap [--input data.csv]
+//! minskew serve    [--addr A] [--port-file F] [--input data.csv]
+//!                  [--table NAME] [--buckets B] [--shards S] [--technique T]
+//! minskew catalog  <action> --addr HOST:PORT [action flags]
 //! ```
 //!
 //! `build --trace` prints the Min-Skew per-split audit trail; `estimate
@@ -51,6 +54,8 @@
 //! trouble (exit 3).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod serve;
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -158,6 +163,17 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         let opts = parse_flags(rest)?;
         return snapshot_cmd(action, &opts);
     }
+    if cmd == "catalog" {
+        // `catalog` also takes an action word before its flags.
+        let Some((action, rest)) = rest.split_first() else {
+            return Err(CliError::usage(
+                "catalog needs an action: ping, list, create, drop, insert, delete, \
+                 analyze, estimate, stats, snapshot, or shutdown",
+            ));
+        };
+        let opts = parse_flags(rest)?;
+        return serve::catalog_cmd(action, &opts);
+    }
     let opts = parse_flags(rest)?;
     match cmd.as_str() {
         "generate" => generate(&opts),
@@ -167,6 +183,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "tune" => tune(&opts),
         "render" => render(&opts),
         "stats" => stats_cmd(&opts),
+        "serve" => serve::serve_cmd(&opts),
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
             Ok(())
@@ -202,6 +219,19 @@ minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
   minskew snapshot load   --snapshot stats.snap [--input data.csv]
                    (strict load by default: corruption is exit 5; with --input, runs the
                     engine's graceful recovery — quarantine + rebuild from the data)
+  minskew serve    [--addr HOST:PORT] [--port-file F] [--input data.csv] [--table NAME] \\
+                   [--buckets B] [--shards S] [--technique T] [--max-batch N]
+                   (hosts a table catalog over the line protocol; --input preloads and
+                    ANALYZEs one table; blocks until a client sends SHUTDOWN, then dumps
+                    the server's metrics registry)
+  minskew catalog  <action> --addr HOST:PORT [flags]
+                   actions: ping | list | shutdown | stats [--name T]
+                            create --name T [--buckets B] [--shards S] [--technique T]
+                            drop --name T | analyze --name T
+                            insert --name T --rect x1,y1,x2,y2 | delete --name T --id N
+                            estimate --name T --query x1,y1,x2,y2
+                            snapshot --name T --op save|load --path P
+                   (one-shot client; server ERR codes become the matching exit code)
 
 exit codes: 0 ok, 2 usage, 3 I/O, 4 malformed dataset, 5 corrupt stats, 6 build failure
 ";

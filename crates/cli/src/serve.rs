@@ -1,0 +1,238 @@
+//! `minskew serve` — the TCP serving front-end — and `minskew catalog`,
+//! its line-protocol client.
+//!
+//! `serve` hosts a [`SpatialCatalog`] behind the engine's zero-dependency
+//! line protocol (see `minskew_engine::serve`); `catalog` is a one-shot
+//! client that sends a single request and maps `ERR <code>` replies onto
+//! the CLI's exit-code taxonomy, so scripts talk to a running server with
+//! the same failure classes as the offline subcommands.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use minskew_data::atomic::write_atomic;
+use minskew_data::read_rects_csv;
+use minskew_engine::{serve, ServeOptions, SpatialCatalog, StatsTechnique, TableOptions};
+
+use crate::{num, req, CliError, ErrorKind, Flags};
+
+fn parse_technique(value: &str) -> Result<StatsTechnique, CliError> {
+    match value {
+        "min-skew" | "minskew" => Ok(StatsTechnique::MinSkew),
+        "equi-area" => Ok(StatsTechnique::EquiArea),
+        "equi-count" => Ok(StatsTechnique::EquiCount),
+        "uniform" => Ok(StatsTechnique::Uniform),
+        other => Err(CliError::usage(format!(
+            "unknown technique {other:?} (want min-skew|equi-area|equi-count|uniform)"
+        ))),
+    }
+}
+
+fn table_options(opts: &Flags) -> Result<TableOptions, CliError> {
+    let mut options = TableOptions::default();
+    options.analyze.buckets = num(opts, "buckets", options.analyze.buckets)?;
+    options.shards = num(opts, "shards", 1usize)?;
+    if let Some(t) = opts.get("technique") {
+        options.analyze.technique = parse_technique(t)?;
+    }
+    Ok(options)
+}
+
+/// `minskew serve [--addr A] [--port-file F] [--input data.csv]
+/// [--table NAME] [--buckets B] [--shards S] [--technique T]`.
+///
+/// Blocks until a client sends `SHUTDOWN`, then dumps the server's metrics
+/// registry to stdout.
+pub(crate) fn serve_cmd(opts: &Flags) -> Result<(), CliError> {
+    let addr = opts.get("addr").map_or("127.0.0.1:0", String::as_str);
+    let options = table_options(opts)?;
+    let catalog = Arc::new(SpatialCatalog::new());
+    if let Some(path) = opts.get("input") {
+        let name = opts.get("table").map_or("main", String::as_str);
+        let data =
+            read_rects_csv(path).map_err(|e| CliError::from_csv(&format!("reading {path}"), e))?;
+        let entry = catalog
+            .create(name, options)
+            .map_err(|e| CliError::usage(e.to_string()))?;
+        let mut table = entry.table();
+        for r in data.rects() {
+            table.insert(*r);
+        }
+        table.analyze();
+        println!(
+            "table {name:?}: {} rects, {} buckets, {} shard(s)",
+            data.len(),
+            table.stats_diagnostics().achieved_buckets,
+            table.current_snapshot().num_shards(),
+        );
+    }
+    let handle = serve(
+        catalog,
+        ServeOptions {
+            addr: addr.to_string(),
+            table_options: options,
+            max_batch: num(opts, "max-batch", 4096usize)?,
+        },
+    )
+    .map_err(|e| CliError::new(ErrorKind::Io, format!("binding {addr}: {e}")))?;
+    let bound = handle.addr();
+    println!("listening on {bound}");
+    if let Some(port_file) = opts.get("port-file") {
+        write_atomic(Path::new(port_file), format!("{bound}\n").as_bytes())
+            .map_err(|e| CliError::new(ErrorKind::Io, format!("writing {port_file}: {e}")))?;
+    }
+    let metrics = handle.join();
+    print!("{}", metrics.to_text());
+    Ok(())
+}
+
+/// Sends one request line and reads one reply line.
+fn round_trip(addr: &str, request: &str) -> Result<String, CliError> {
+    let io_err =
+        |what: &str, e: std::io::Error| CliError::new(ErrorKind::Io, format!("{what} {addr}: {e}"));
+    let mut stream = TcpStream::connect(addr).map_err(|e| io_err("connecting to", e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| io_err("configuring", e))?;
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .map_err(|e| io_err("writing to", e))?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| io_err("reading from", e))?;
+    if reply.is_empty() {
+        return Err(CliError::new(
+            ErrorKind::Io,
+            format!("server at {addr} closed the connection without replying"),
+        ));
+    }
+    Ok(reply.trim_end_matches(['\n', '\r']).to_string())
+}
+
+/// Maps a protocol reply onto the exit-code taxonomy: `OK`'s payload goes
+/// to stdout; `ERR <code> <msg>` becomes a [`CliError`] of the matching
+/// kind, so the process exits with the server's error code.
+fn report(reply: &str) -> Result<(), CliError> {
+    if let Some(payload) = reply.strip_prefix("OK") {
+        println!("{}", payload.trim_start());
+        return Ok(());
+    }
+    let Some(rest) = reply.strip_prefix("ERR ") else {
+        return Err(CliError::new(
+            ErrorKind::Io,
+            format!("malformed server reply {reply:?}"),
+        ));
+    };
+    let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+    let kind = match code {
+        "3" => ErrorKind::Io,
+        "4" => ErrorKind::Parse,
+        "5" => ErrorKind::CorruptStats,
+        "6" => ErrorKind::Build,
+        _ => ErrorKind::Usage,
+    };
+    Err(CliError::new(kind, format!("server: {message}")))
+}
+
+/// Turns a `x1,y1,x2,y2` flag value into four protocol tokens.
+fn rect_tokens(s: &str) -> Result<String, CliError> {
+    let parts: Vec<&str> = s.split(',').map(str::trim).collect();
+    if parts.len() != 4 {
+        return Err(CliError::usage(format!("expected x1,y1,x2,y2, got {s:?}")));
+    }
+    for p in &parts {
+        p.parse::<f64>()
+            .map_err(|e| CliError::usage(format!("bad coordinate {p:?}: {e}")))?;
+    }
+    Ok(parts.join(" "))
+}
+
+/// `minskew catalog <action> --addr HOST:PORT ...` — one-shot client.
+pub(crate) fn catalog_cmd(action: &str, opts: &Flags) -> Result<(), CliError> {
+    let addr = req(opts, "addr")?;
+    let request = match action {
+        "ping" => String::from("PING"),
+        "list" => String::from("TABLES"),
+        "shutdown" => String::from("SHUTDOWN"),
+        "create" => {
+            let mut request = format!("CREATE {}", req(opts, "name")?);
+            for key in ["buckets", "shards", "technique"] {
+                if let Some(value) = opts.get(key) {
+                    request.push_str(&format!(" {key}={value}"));
+                }
+            }
+            request
+        }
+        "drop" => format!("DROP {}", req(opts, "name")?),
+        "insert" => format!(
+            "INSERT {} {}",
+            req(opts, "name")?,
+            rect_tokens(req(opts, "rect")?)?
+        ),
+        "delete" => format!("DELETE {} {}", req(opts, "name")?, req(opts, "id")?),
+        "analyze" => format!("ANALYZE {}", req(opts, "name")?),
+        "estimate" => format!(
+            "ESTIMATE {} {}",
+            req(opts, "name")?,
+            rect_tokens(req(opts, "query")?)?
+        ),
+        "stats" => match opts.get("name") {
+            Some(name) => format!("STATS {name}"),
+            None => String::from("STATS"),
+        },
+        "snapshot" => {
+            let op = req(opts, "op")?;
+            if !op.eq_ignore_ascii_case("save") && !op.eq_ignore_ascii_case("load") {
+                return Err(CliError::usage(format!(
+                    "--op must be save or load, got {op:?}"
+                )));
+            }
+            format!(
+                "SNAPSHOT {} {} {}",
+                req(opts, "name")?,
+                op.to_ascii_uppercase(),
+                req(opts, "path")?
+            )
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown catalog action {other:?} (want ping|list|create|drop|insert|delete|\
+                 analyze|estimate|stats|snapshot|shutdown)"
+            )))
+        }
+    };
+    report(&round_trip(addr, &request)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_maps_error_codes_to_exit_kinds() {
+        for (reply, kind) in [
+            ("ERR 2 usage: nope", ErrorKind::Usage),
+            ("ERR 3 io: gone", ErrorKind::Io),
+            ("ERR 4 parse", ErrorKind::Parse),
+            ("ERR 5 corrupt", ErrorKind::CorruptStats),
+            ("ERR 6 build", ErrorKind::Build),
+            ("ERR 99 weird", ErrorKind::Usage),
+        ] {
+            let e = report(reply).expect_err(reply);
+            assert_eq!(e.kind, kind, "{reply}");
+        }
+        assert!(report("OK pong").is_ok());
+        assert!(report("garbage").is_err());
+    }
+
+    #[test]
+    fn rect_tokens_round_trip() {
+        assert_eq!(rect_tokens("0, 1 ,2.5,3").expect("valid"), "0 1 2.5 3");
+        assert!(rect_tokens("0,1,2").is_err());
+        assert!(rect_tokens("a,b,c,d").is_err());
+    }
+}

@@ -86,7 +86,8 @@ impl SpatialHistogram {
     }
 
     /// Per-bucket extension amounts under the active rule, computed once.
-    fn ext_amounts(&self) -> &[(f64, f64)] {
+    /// Crate-visible so the shard router folds with the exact same amounts.
+    pub(crate) fn ext_amounts(&self) -> &[(f64, f64)] {
         self.ext.get_or_init(|| {
             self.buckets
                 .iter()

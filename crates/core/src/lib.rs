@@ -60,6 +60,7 @@ mod minskew;
 mod optimal;
 mod rtree_part;
 mod sampling;
+mod shard;
 pub mod snapshot;
 mod uniform;
 
@@ -79,6 +80,7 @@ pub use rtree_part::{
     try_build_rtree_partitioning_default, RTreeBuildMethod, RTreePartitioningOptions,
 };
 pub use sampling::SamplingEstimator;
+pub use shard::{ShardInfo, ShardScratch, ShardedHistogram, MAX_SHARDS};
 pub use snapshot::{
     verify_snapshot, FormatVersion, SnapshotError, SnapshotInfo, MAX_SNAPSHOT_BUCKETS,
 };

@@ -1,0 +1,524 @@
+//! Spatial sharding of a histogram into per-partition sub-histograms behind
+//! a partition router, with estimates **bit-identical** to the unsharded
+//! linear scan.
+//!
+//! # The partitioning scheme
+//!
+//! Following the partitioning playbook of Aji et al. (*Effective Spatial
+//! Data Partitioning for Scalable Query Processing*), the bucket set is
+//! split by a **skew-aware weighted BSP** over bucket centres: each
+//! recursion step sorts the working set along its wider centre axis and
+//! cuts at the *weighted* (bucket-count) median, so dense regions receive
+//! proportionally more shards than sparse ones. Boundary objects — buckets
+//! whose rectangles straddle a cut — are assigned to exactly **one owner
+//! shard** (the side their centre falls on), and the per-shard count
+//! corrections are exact: every bucket's count is tallied in precisely one
+//! [`ShardInfo::count`], so the shard counts sum to the histogram total.
+//!
+//! # The routing contract (why sharded == unsharded, bit for bit)
+//!
+//! The linear reference ([`crate::SpatialHistogram::estimate_count`]) folds
+//! `Bucket::estimate_with_extension` over every bucket in index order,
+//! starting from Rust's fold identity `-0.0`. The sharded path must
+//! reproduce that fold exactly despite skipping whole shards, which it does
+//! with the same three-part argument as the serving index (DESIGN.md §9):
+//!
+//! 1. **Shard pruning has no false negatives.** Each shard stores the union
+//!    MBR of its owned non-empty buckets and the *maximum* per-bucket
+//!    extension amounts among them. The router extends the query once per
+//!    shard through the exact same [`minskew_geom::Rect::expanded`] code
+//!    path the per-bucket estimate uses; IEEE-754 monotonicity puts every
+//!    member's computed extended query inside the shard's computed extended
+//!    query, so a shard that fails the routing test contributes only terms
+//!    that are exactly `+0.0`.
+//! 2. **The fold is global, not per-shard.** Instead of summing per-shard
+//!    partials (which would reorder the floating-point fold), evaluation
+//!    walks **all** bucket indices in ascending order and computes a term
+//!    only when the bucket's owner shard was routed. The surviving terms
+//!    are therefore added in exactly the order the linear scan adds them.
+//! 3. **The `+0.0` correction.** Skipping exact-`+0.0` terms is bitwise
+//!    invisible except when *every* surviving term is zero too: the linear
+//!    fold over `B >= 1` all-zero terms ends at `+0.0` (`-0.0 + 0.0`)
+//!    while the pruned fold may end at `-0.0`. Re-adding a single `+0.0`
+//!    (one of the skipped terms) applies exactly that correction, as in
+//!    [`crate::SpatialHistogram::estimate_count_indexed`].
+//!
+//! When every shard routes, the evaluation short-circuits to the plain
+//! linear scan — trivially identical. The whole scheme is enforced by
+//! `tests/sharded_differential.rs` across shard counts × techniques ×
+//! extension rules, with `.to_bits()` equality.
+
+use minskew_geom::Rect;
+
+use crate::{SpatialEstimator, SpatialHistogram};
+
+/// Upper bound on the shard count; keeps the `u16` owner table honest and
+/// the router's per-query scan trivially cheap.
+pub const MAX_SHARDS: usize = 4096;
+
+/// Reusable routing scratch for [`ShardedHistogram::estimate_count_sharded`]
+/// (one flag per shard), so the hot path is allocation-free once warm.
+#[derive(Debug, Clone, Default)]
+pub struct ShardScratch {
+    routed: Vec<bool>,
+}
+
+impl ShardScratch {
+    /// Creates an empty scratch; the routing table grows on first use.
+    pub fn new() -> ShardScratch {
+        ShardScratch::default()
+    }
+
+    /// The routing decisions of the most recent
+    /// [`ShardedHistogram::estimate_count_sharded`] call: `routed()[s]` is
+    /// `true` when shard `s` participated in the fold.
+    pub fn routed(&self) -> &[bool] {
+        &self.routed
+    }
+}
+
+/// Summary of one spatial shard: which buckets it owns and the routing
+/// metadata the partition router prunes with.
+#[derive(Debug, Clone)]
+pub struct ShardInfo {
+    /// Owned global bucket ids, ascending.
+    ids: Vec<u32>,
+    /// Union MBR of the owned **non-empty** buckets (`None` when the shard
+    /// owns no non-empty bucket; such a shard never routes).
+    mbr: Option<Rect>,
+    /// Maximum per-bucket query-extension amounts among the owned non-empty
+    /// buckets, under the histogram's active extension rule.
+    max_ex: f64,
+    max_ey: f64,
+    /// Sum of the owned buckets' counts. Each bucket is owned exactly once,
+    /// so these sum to [`SpatialHistogram::total_count`] across shards.
+    count: f64,
+}
+
+impl ShardInfo {
+    /// Owned global bucket ids, ascending.
+    pub fn bucket_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Union MBR of the owned non-empty buckets, if any.
+    pub fn mbr(&self) -> Option<Rect> {
+        self.mbr
+    }
+
+    /// Sum of the owned buckets' counts.
+    pub fn count(&self) -> f64 {
+        self.count
+    }
+
+    /// Number of owned buckets (including empty ones).
+    pub fn num_buckets(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// A [`SpatialHistogram`] spatially partitioned into owner shards, served
+/// through a partition router whose estimates are bit-identical to the
+/// unsharded linear scan. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct ShardedHistogram {
+    hist: SpatialHistogram,
+    /// Owner shard per global bucket id.
+    owner: Vec<u16>,
+    shards: Vec<ShardInfo>,
+}
+
+impl ShardedHistogram {
+    /// Partitions `hist` into `shards` spatial shards (clamped to
+    /// `1..=`[`MAX_SHARDS`]). Deterministic: the same histogram and shard
+    /// count always produce the same partitioning.
+    pub fn build(hist: SpatialHistogram, shards: usize) -> ShardedHistogram {
+        let num_shards = shards.clamp(1, MAX_SHARDS);
+        let buckets = hist.buckets();
+        let mut owner = vec![0u16; buckets.len()];
+        let mut ids: Vec<u32> = (0..buckets.len() as u32).collect();
+        assign(&hist, &mut ids, 0, num_shards, &mut owner);
+
+        let ext = hist.ext_amounts();
+        let mut infos: Vec<ShardInfo> = (0..num_shards)
+            .map(|_| ShardInfo {
+                ids: Vec::new(),
+                mbr: None,
+                max_ex: 0.0,
+                max_ey: 0.0,
+                count: 0.0,
+            })
+            .collect();
+        for (i, bucket) in buckets.iter().enumerate() {
+            let info = &mut infos[owner[i] as usize];
+            info.ids.push(i as u32);
+            info.count += bucket.count;
+            if bucket.count != 0.0 {
+                // Empty buckets estimate to exactly 0.0 unconditionally, so
+                // they are invisible to routing (mirrors BucketIndex).
+                let (ex, ey) = ext[i];
+                info.max_ex = info.max_ex.max(ex);
+                info.max_ey = info.max_ey.max(ey);
+                info.mbr = Some(match info.mbr {
+                    Some(m) => m.union(&bucket.mbr),
+                    None => bucket.mbr,
+                });
+            }
+        }
+        ShardedHistogram {
+            hist,
+            owner,
+            shards: infos,
+        }
+    }
+
+    /// The underlying (unsharded) histogram.
+    pub fn histogram(&self) -> &SpatialHistogram {
+        &self.hist
+    }
+
+    /// Number of shards (some may be empty).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard summaries.
+    pub fn shards(&self) -> &[ShardInfo] {
+        &self.shards
+    }
+
+    /// The owner shard of global bucket `bucket`.
+    pub fn owner_of(&self, bucket: usize) -> usize {
+        self.owner[bucket] as usize
+    }
+
+    /// Estimated result size through the partition router: routes the query
+    /// to the shards whose extended MBR it can touch, then folds the routed
+    /// shards' bucket terms **in ascending global bucket order**. Always
+    /// bit-identical to [`SpatialHistogram::estimate_count`]; see the
+    /// module docs for the proof.
+    pub fn estimate_count_sharded(&self, query: &Rect, scratch: &mut ShardScratch) -> f64 {
+        let buckets = self.hist.buckets();
+        scratch.routed.clear();
+        scratch.routed.resize(self.shards.len(), false);
+        let mut routed_any = false;
+        let mut routed_all = true;
+        for (s, info) in self.shards.iter().enumerate() {
+            // The same Rect::expanded code path the per-bucket estimate
+            // uses, with the shard-wide maximum amounts (no false
+            // negatives by IEEE-754 monotonicity).
+            let hit = match &info.mbr {
+                Some(mbr) => query.expanded(info.max_ex, info.max_ey).intersects(mbr),
+                None => false,
+            };
+            scratch.routed[s] = hit;
+            routed_any |= hit;
+            routed_all &= hit;
+        }
+        if routed_all || buckets.is_empty() {
+            // Every shard participates (or there is nothing to prune): the
+            // global fold degenerates to the linear scan itself.
+            return self.hist.estimate_count(query);
+        }
+        if !routed_any {
+            // Every bucket's term is exactly +0.0; the linear fold over
+            // B >= 1 such terms ends at +0.0.
+            return 0.0;
+        }
+        let ext = self.hist.ext_amounts();
+        let mut acc = -0.0f64;
+        for (i, bucket) in buckets.iter().enumerate() {
+            if scratch.routed[self.owner[i] as usize] {
+                let (ex, ey) = ext[i];
+                acc += bucket.estimate_with_extension(query, ex, ey);
+            }
+        }
+        // Identical correction to estimate_count_indexed: one of the
+        // skipped exact-+0.0 terms, re-added.
+        acc + 0.0
+    }
+
+    /// One shard's contribution to the linear fold, computed in isolation
+    /// (its owned buckets in ascending order, from the `-0.0` identity,
+    /// with the `+0.0` tail). Diagnostic: the serving path never sums these
+    /// — it threads one accumulator through the global order instead, which
+    /// is what makes it bit-identical.
+    pub fn estimate_shard(&self, shard: usize, query: &Rect) -> f64 {
+        let buckets = self.hist.buckets();
+        let ext = self.hist.ext_amounts();
+        let mut acc = -0.0f64;
+        for &i in &self.shards[shard].ids {
+            let (ex, ey) = ext[i as usize];
+            acc += buckets[i as usize].estimate_with_extension(query, ex, ey);
+        }
+        acc + 0.0
+    }
+
+    /// One shard as a standalone [`SpatialHistogram`] (its owned buckets,
+    /// the parent's extension rule, an input length proportional to its
+    /// count) — the per-partition sub-histogram a distributed deployment
+    /// would ship to the shard's node.
+    pub fn sub_histogram(&self, shard: usize) -> SpatialHistogram {
+        let info = &self.shards[shard];
+        let buckets = info
+            .ids
+            .iter()
+            .map(|&i| self.hist.buckets()[i as usize])
+            .collect();
+        SpatialHistogram::from_parts(
+            format!("{}[shard {shard}]", self.hist.name()),
+            buckets,
+            info.count.round().max(0.0) as usize,
+            self.hist.extension_rule(),
+        )
+    }
+
+    /// Reassembles the unsharded histogram from the shard pieces: every
+    /// bucket is placed back at its global id, so the result compares equal
+    /// to (and encodes byte-identically with) the original. This is the
+    /// merge direction of the shard/merge round trip.
+    pub fn merge(&self) -> SpatialHistogram {
+        let buckets = self.hist.buckets();
+        let mut merged = vec![None; buckets.len()];
+        for info in &self.shards {
+            for &i in &info.ids {
+                merged[i as usize] = Some(buckets[i as usize]);
+            }
+        }
+        SpatialHistogram::from_parts(
+            self.hist.name().to_string(),
+            merged.into_iter().flatten().collect(),
+            self.hist.input_len(),
+            self.hist.extension_rule(),
+        )
+    }
+}
+
+/// Recursive skew-aware weighted BSP: assigns every id in `ids` an owner in
+/// `base .. base + shards`. Splits the working set along the wider centre
+/// axis at the weighted (bucket-count) median, so shard data volumes stay
+/// balanced under skew; ties and zero-weight sets fall back to even splits
+/// by position. Deterministic by construction (total order on centre, id).
+fn assign(hist: &SpatialHistogram, ids: &mut [u32], base: u16, shards: usize, owner: &mut [u16]) {
+    if shards <= 1 || ids.len() <= 1 {
+        for &i in ids.iter() {
+            owner[i as usize] = base;
+        }
+        return;
+    }
+    let buckets = hist.buckets();
+    let left_shards = shards / 2;
+    let right_shards = shards - left_shards;
+
+    // Wider centre-extent axis.
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &i in ids.iter() {
+        let c = buckets[i as usize].mbr.center();
+        min_x = min_x.min(c.x);
+        max_x = max_x.max(c.x);
+        min_y = min_y.min(c.y);
+        max_y = max_y.max(c.y);
+    }
+    let split_x = (max_x - min_x) >= (max_y - min_y);
+    ids.sort_unstable_by(|&a, &b| {
+        let ca = buckets[a as usize].mbr.center();
+        let cb = buckets[b as usize].mbr.center();
+        let (ka, kb) = if split_x { (ca.x, cb.x) } else { (ca.y, cb.y) };
+        ka.partial_cmp(&kb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    // Weighted median cut: the left side receives its proportional share of
+    // the bucket-count mass, not of the area — that is the skew-awareness.
+    let total: f64 = ids.iter().map(|&i| buckets[i as usize].count).sum();
+    let split = if total > 0.0 {
+        let target = total * left_shards as f64 / shards as f64;
+        let mut acc = 0.0;
+        let mut at = ids.len();
+        for (k, &i) in ids.iter().enumerate() {
+            acc += buckets[i as usize].count;
+            if acc >= target {
+                at = k + 1;
+                break;
+            }
+        }
+        at.clamp(1, ids.len() - 1)
+    } else {
+        (ids.len() * left_shards / shards).clamp(1, ids.len() - 1)
+    };
+    let (left, right) = ids.split_at_mut(split);
+    assign(hist, left, base, left_shards, owner);
+    assign(hist, right, base + left_shards as u16, right_shards, owner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bucket, ExtensionRule};
+
+    fn grid_hist(side: usize) -> SpatialHistogram {
+        let mut buckets = Vec::new();
+        for iy in 0..side {
+            for ix in 0..side {
+                let (x, y) = (ix as f64 * 10.0, iy as f64 * 10.0);
+                buckets.push(Bucket {
+                    mbr: Rect::new(x, y, x + 10.0, y + 10.0),
+                    count: (1 + (ix + iy) % 7) as f64,
+                    avg_width: 1.5,
+                    avg_height: 2.5,
+                });
+            }
+        }
+        let total = buckets.iter().map(|b| b.count).sum::<f64>() as usize;
+        SpatialHistogram::from_parts("grid", buckets, total, ExtensionRule::Minkowski)
+    }
+
+    fn probe_queries(side: usize) -> Vec<Rect> {
+        let span = side as f64 * 10.0;
+        vec![
+            Rect::new(0.0, 0.0, span, span),
+            Rect::new(3.0, 3.0, 17.0, 29.0),
+            Rect::from_point(minskew_geom::Point::new(25.0, 25.0)),
+            Rect::new(12.0, 0.0, 12.0, span),    // degenerate line
+            Rect::new(-50.0, -50.0, -1.0, -1.0), // disjoint
+            Rect::new(span * 0.4, span * 0.4, span * 0.6, span * 0.6),
+        ]
+    }
+
+    #[test]
+    fn every_bucket_owned_exactly_once_and_counts_sum() {
+        let hist = grid_hist(8);
+        for shards in [1, 2, 4, 9, 64, 1000] {
+            let sharded = ShardedHistogram::build(hist.clone(), shards);
+            assert_eq!(sharded.num_shards(), shards.min(MAX_SHARDS));
+            let mut seen = vec![false; hist.num_buckets()];
+            for info in sharded.shards() {
+                for &i in info.bucket_ids() {
+                    assert!(!seen[i as usize], "bucket {i} owned twice");
+                    seen[i as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every bucket must be owned");
+            let sum: f64 = sharded.shards().iter().map(|s| s.count()).sum();
+            assert!(
+                (sum - hist.total_count()).abs() <= 1e-9 * hist.total_count().max(1.0),
+                "shard counts must sum to the total ({sum} vs {})",
+                hist.total_count()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_estimates_match_linear_bits() {
+        let hist = grid_hist(8);
+        let mut scratch = ShardScratch::new();
+        for shards in [1, 2, 4, 9, 17] {
+            let sharded = ShardedHistogram::build(hist.clone(), shards);
+            for q in probe_queries(8) {
+                assert_eq!(
+                    hist.estimate_count(&q).to_bits(),
+                    sharded.estimate_count_sharded(&q, &mut scratch).to_bits(),
+                    "shards={shards} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selective_queries_actually_prune_shards() {
+        let sharded = ShardedHistogram::build(grid_hist(8), 9);
+        let mut scratch = ShardScratch::new();
+        let q = Rect::new(3.0, 3.0, 8.0, 8.0); // one corner cell
+        let est = sharded.estimate_count_sharded(&q, &mut scratch);
+        assert!(est > 0.0);
+        let routed = scratch.routed().iter().filter(|&&r| r).count();
+        assert!(
+            routed < sharded.num_shards(),
+            "a corner query must not route to every shard ({routed}/9)"
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_histograms() {
+        let empty = SpatialHistogram::from_parts("e", vec![], 0, ExtensionRule::Minkowski);
+        let sharded = ShardedHistogram::build(empty.clone(), 4);
+        let mut scratch = ShardScratch::new();
+        let q = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(
+            empty.estimate_count(&q).to_bits(),
+            sharded.estimate_count_sharded(&q, &mut scratch).to_bits()
+        );
+        // One bucket, nine shards: eight shards are empty and never route.
+        let one = SpatialHistogram::from_parts(
+            "one",
+            vec![Bucket {
+                mbr: Rect::new(0.0, 0.0, 10.0, 10.0),
+                count: 5.0,
+                avg_width: 0.0,
+                avg_height: 0.0,
+            }],
+            5,
+            ExtensionRule::Minkowski,
+        );
+        let sharded = ShardedHistogram::build(one.clone(), 9);
+        for q in [q, Rect::new(50.0, 50.0, 60.0, 60.0)] {
+            assert_eq!(
+                one.estimate_count(&q).to_bits(),
+                sharded.estimate_count_sharded(&q, &mut scratch).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_reconstructs_the_original() {
+        let hist = grid_hist(6);
+        for shards in [2, 4, 9] {
+            let sharded = ShardedHistogram::build(hist.clone(), shards);
+            let merged = sharded.merge();
+            assert_eq!(merged, hist);
+            assert_eq!(merged.to_bytes(), hist.to_bytes());
+        }
+    }
+
+    #[test]
+    fn sub_histograms_cover_the_buckets() {
+        let hist = grid_hist(6);
+        let sharded = ShardedHistogram::build(hist.clone(), 4);
+        let total_buckets: usize = (0..4).map(|s| sharded.sub_histogram(s).num_buckets()).sum();
+        assert_eq!(total_buckets, hist.num_buckets());
+        // Per-shard partials are non-negative and bounded by the total.
+        let q = Rect::new(0.0, 0.0, 60.0, 60.0);
+        for s in 0..4 {
+            let part = sharded.estimate_shard(s, &q);
+            assert!(part >= 0.0 && part <= hist.total_count());
+        }
+    }
+
+    #[test]
+    fn skew_aware_sizing_balances_counts() {
+        // All mass piled into one corner bucket row: the weighted split must
+        // not leave one shard with ~everything.
+        let mut buckets = Vec::new();
+        for i in 0..32 {
+            buckets.push(Bucket {
+                mbr: Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0),
+                count: if i < 4 { 1000.0 } else { 1.0 },
+                avg_width: 0.1,
+                avg_height: 0.1,
+            });
+        }
+        let hist = SpatialHistogram::from_parts("skew", buckets, 4028, ExtensionRule::Minkowski);
+        let sharded = ShardedHistogram::build(hist, 4);
+        let max_count = sharded
+            .shards()
+            .iter()
+            .map(|s| s.count())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_count < 0.75 * 4028.0,
+            "skew-aware sizing must spread the dense corner ({max_count})"
+        );
+    }
+}

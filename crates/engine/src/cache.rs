@@ -70,6 +70,11 @@ impl QueryCache {
         }
     }
 
+    /// Configured capacity in entries (`0` = caching disabled).
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Looks up a cached estimate, refreshing its recency on a hit.
     pub(crate) fn get(&mut self, key: &[u64; 4]) -> Option<f64> {
         match self.map.get(key).copied() {

@@ -52,14 +52,22 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod cache;
+mod catalog;
 mod monitor;
 mod persist;
 mod planner;
+mod publish;
+mod reader;
+mod server;
 mod table;
 
+pub use catalog::{CatalogEntry, CatalogError, SpatialCatalog, MAX_TABLE_NAME};
 pub use monitor::AccuracyReport;
 pub use persist::{SnapshotIoError, SnapshotLoadReport};
 pub use planner::{CostModel, Explain, Plan};
+pub use publish::{EstimateScratch, SnapshotCell, TableSnapshot};
+pub use reader::SpatialReader;
+pub use server::{serve, ServeOptions, ServerHandle};
 pub use table::{
     AnalyzeOptions, RowId, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique,
     TableOptions,

@@ -1,0 +1,269 @@
+//! Lock-free statistics publication: an epoch/two-slot cell that installs
+//! immutable `Arc`-published table snapshots, so readers never block on a
+//! writer and never observe a half-installed histogram.
+//!
+//! # The publication protocol
+//!
+//! [`SnapshotCell`] is a hand-rolled arc-swap (no external crates, no
+//! `unsafe`): an atomic epoch plus two slots, each a `Mutex<Arc<T>>`.
+//!
+//! * **Readers** load the epoch with `Acquire`, lock the *current* slot
+//!   (`epoch & 1`), clone the `Arc`, and drop the lock — a few nanoseconds,
+//!   and never a lock the writer is holding for the current epoch.
+//! * **The writer** (serialized by its own mutex) writes the new `Arc` into
+//!   the *inactive* slot, then flips the epoch with `Release`. Readers that
+//!   loaded the old epoch finish against the complete old snapshot; readers
+//!   that load the new epoch see the complete new one. There is no state in
+//!   between: the only shared mutation is an `Arc` pointer swap performed
+//!   under the slot's mutex, so an estimate is always computed against
+//!   exactly one fully-built [`TableSnapshot`].
+//!
+//! A reader can contend with the writer only if it stalls between the epoch
+//! load and the slot lock for a *full* publication cycle — and even then it
+//! merely waits for a pointer store, never for statistics construction
+//! (histograms are built before `store` is called).
+//!
+//! # What a snapshot carries
+//!
+//! [`TableSnapshot`] is everything the serving path needs: the live row
+//! count (for clamping), the fallback MBR (for never-analyzed tables), the
+//! sharded statistics, and two monotonic counters — `generation` (bumped by
+//! every publication; readers key their query caches on it, which makes
+//! cache flush atomic with publication *by construction*) and `stats_era`
+//! (bumped only by statistics installs; the accuracy reservoir is keyed on
+//! it so row churn does not discard the sample).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use minskew_core::{IndexScratch, ShardScratch, ShardedHistogram};
+use minskew_geom::Rect;
+
+/// Reusable serving scratch: the bucket-index scratch plus the shard
+/// router's scratch, so every estimate entry point is allocation-free once
+/// warm regardless of which path the statistics take.
+#[derive(Debug, Clone, Default)]
+pub struct EstimateScratch {
+    pub(crate) index: IndexScratch,
+    pub(crate) shard: ShardScratch,
+    /// `true` when the most recent estimate went through the shard router
+    /// (so [`EstimateScratch::shard`]'s routing table is meaningful).
+    pub(crate) used_router: bool,
+}
+
+impl EstimateScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> EstimateScratch {
+        EstimateScratch::default()
+    }
+
+    /// The shard-routing decisions of the most recent estimate, when it
+    /// went through the partition router (`None` for unsharded statistics,
+    /// the no-stats fallback, or before any estimate).
+    pub fn routed_shards(&self) -> Option<&[bool]> {
+        self.used_router.then(|| self.shard.routed())
+    }
+}
+
+/// An immutable, fully-built view of a table's serving state, published
+/// atomically via [`SnapshotCell`]. See the module docs.
+#[derive(Debug)]
+pub struct TableSnapshot {
+    generation: u64,
+    stats_era: u64,
+    live: usize,
+    /// Index MBR at publication time (`None` when the table was empty);
+    /// used only by the never-analyzed fallback estimate.
+    mbr: Option<Rect>,
+    stats: Option<Arc<ShardedHistogram>>,
+}
+
+impl TableSnapshot {
+    pub(crate) fn new(
+        generation: u64,
+        stats_era: u64,
+        live: usize,
+        mbr: Option<Rect>,
+        stats: Option<Arc<ShardedHistogram>>,
+    ) -> TableSnapshot {
+        TableSnapshot {
+            generation,
+            stats_era,
+            live,
+            mbr,
+            stats,
+        }
+    }
+
+    /// Monotonic publication counter (every mutation publishes).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Monotonic statistics-install counter (only `ANALYZE`/loads bump it).
+    pub fn stats_era(&self) -> u64 {
+        self.stats_era
+    }
+
+    /// Live rows at publication time.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// The published sharded statistics, if `ANALYZE` has run.
+    pub fn stats(&self) -> Option<&ShardedHistogram> {
+        self.stats.as_deref()
+    }
+
+    /// Shard count of the published statistics (1 when unsharded or when
+    /// no statistics are installed).
+    pub fn num_shards(&self) -> usize {
+        self.stats.as_ref().map_or(1, |s| s.num_shards())
+    }
+
+    /// The raw (unclamped) estimate against this snapshot. All serving
+    /// entry points — the table's locked path, every lock-free reader, the
+    /// network front-end — funnel here, so they agree bit for bit.
+    pub(crate) fn estimate_raw(&self, query: &Rect, scratch: &mut EstimateScratch) -> f64 {
+        match &self.stats {
+            Some(stats) if stats.num_shards() > 1 => {
+                scratch.used_router = true;
+                stats.estimate_count_sharded(query, &mut scratch.shard)
+            }
+            Some(stats) => {
+                scratch.used_router = false;
+                stats
+                    .histogram()
+                    .estimate_count_indexed(query, &mut scratch.index)
+            }
+            None => {
+                scratch.used_router = false;
+                // Planner fallback: treat the whole table as one bucket
+                // covering the index MBR (a DBMS guesses without stats too).
+                let (live, Some(mbr)) = (self.live, self.mbr) else {
+                    return 0.0;
+                };
+                if live == 0 {
+                    return 0.0;
+                }
+                let frac = if mbr.area() > 0.0 {
+                    query.intersection_area(&mbr) / mbr.area()
+                } else if query.intersects(&mbr) {
+                    1.0
+                } else {
+                    0.0
+                };
+                live as f64 * frac
+            }
+        }
+    }
+
+    /// The clamped estimate for a query already validated finite: raw
+    /// estimate, then clamp to `[0, N]` against this snapshot's row count.
+    pub fn estimate(&self, query: &Rect, scratch: &mut EstimateScratch) -> f64 {
+        let raw = self.estimate_raw(query, scratch);
+        if raw.is_finite() {
+            raw.clamp(0.0, self.live as f64)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The epoch/two-slot publication cell. See the module docs for the
+/// protocol and its torn-read-freedom argument.
+#[derive(Debug)]
+pub struct SnapshotCell<T> {
+    epoch: AtomicU64,
+    /// Serializes writers so concurrent `store`s cannot race the epoch
+    /// flip. Readers never touch this lock.
+    writer: Mutex<()>,
+    slots: [Mutex<Arc<T>>; 2],
+}
+
+impl<T> SnapshotCell<T> {
+    /// Creates a cell publishing `initial`.
+    pub fn new(initial: Arc<T>) -> SnapshotCell<T> {
+        SnapshotCell {
+            epoch: AtomicU64::new(0),
+            writer: Mutex::new(()),
+            slots: [Mutex::new(initial.clone()), Mutex::new(initial)],
+        }
+    }
+
+    /// The currently published value. Never blocks on a writer installing
+    /// the next value (the writer works in the other slot), and always
+    /// returns a complete, fully-built `T`.
+    pub fn load(&self) -> Arc<T> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        self.slots[(epoch & 1) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publishes `value`: writes it into the inactive slot, then flips the
+    /// epoch. Readers observe either the previous value or `value`, never
+    /// a mixture.
+    pub fn store(&self, value: Arc<T>) {
+        let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        *self.slots[((epoch + 1) & 1) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = value;
+        self.epoch.store(epoch + 1, Ordering::Release);
+    }
+
+    /// Number of publications so far (the current epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_latest_store() {
+        let cell = SnapshotCell::new(Arc::new(0u64));
+        assert_eq!(*cell.load(), 0);
+        for i in 1..10 {
+            cell.store(Arc::new(i));
+            assert_eq!(*cell.load(), i);
+            assert_eq!(cell.epoch(), i);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_only_see_complete_values() {
+        // Publish (k, k * 3) pairs; a torn read would pair mismatched
+        // halves. Readers assert the invariant while the writer spins.
+        let cell = Arc::new(SnapshotCell::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = cell.load();
+                        assert_eq!(v.1, v.0 * 3, "torn snapshot observed");
+                        assert!(v.0 >= last, "publication went backwards");
+                        last = v.0;
+                    }
+                })
+            })
+            .collect();
+        for k in 1..=2_000u64 {
+            cell.store(Arc::new((k, k * 3)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        assert_eq!(cell.epoch(), 2_000);
+    }
+}

@@ -1,0 +1,112 @@
+//! Lock-free reader handles over a table's published snapshots.
+
+use std::sync::Arc;
+
+use minskew_core::EstimateError;
+use minskew_geom::Rect;
+
+use crate::cache::{cache_key, QueryCache};
+use crate::publish::{EstimateScratch, SnapshotCell, TableSnapshot};
+
+/// A lock-free serving handle for one table, obtained via
+/// [`crate::SpatialTable::reader`].
+///
+/// A reader never takes the table's serving lock and never blocks on a
+/// writer: each estimate loads the currently published [`TableSnapshot`]
+/// from the table's [`SnapshotCell`] (a few nanoseconds; see the
+/// publication protocol in [`crate::publish`]) and computes against that
+/// immutable view. Every value it returns is therefore **exactly** the
+/// value [`crate::SpatialTable::estimate`] would return against the same
+/// publication — old snapshot or new, never a mixture.
+///
+/// Readers carry their own scratch buffers and their own query-result
+/// cache. The cache is keyed on the snapshot generation: when a load
+/// observes a new generation, the cache is flushed *before* any probe, so
+/// a cache hit can never serve an estimate computed under superseded
+/// statistics. That makes cache invalidation atomic with snapshot
+/// publication by construction.
+#[derive(Debug)]
+pub struct SpatialReader {
+    cell: Arc<SnapshotCell<TableSnapshot>>,
+    scratch: EstimateScratch,
+    cache: QueryCache,
+    /// Generation the cache's entries were filled under.
+    generation: u64,
+}
+
+impl SpatialReader {
+    /// Creates a reader over `cell` with a query cache of
+    /// `cache_capacity` entries (`0` disables caching).
+    pub fn new(cell: Arc<SnapshotCell<TableSnapshot>>, cache_capacity: usize) -> SpatialReader {
+        SpatialReader {
+            cell,
+            scratch: EstimateScratch::new(),
+            cache: QueryCache::new(cache_capacity),
+            generation: 0,
+        }
+    }
+
+    /// Estimated result size for `query` against the latest published
+    /// snapshot (`0.0` for non-finite queries, like
+    /// [`crate::SpatialTable::estimate`]).
+    pub fn estimate(&mut self, query: &Rect) -> f64 {
+        self.try_estimate(query).unwrap_or(0.0)
+    }
+
+    /// Estimated result size for `query`, rejecting non-finite queries.
+    pub fn try_estimate(&mut self, query: &Rect) -> Result<f64, EstimateError> {
+        if !query.is_finite() {
+            return Err(EstimateError::NonFiniteQuery);
+        }
+        let snapshot = self.cell.load();
+        if snapshot.generation() != self.generation {
+            // New publication: every cached value is potentially stale.
+            // Flushing here — on the load that first observes the new
+            // generation, before any probe — is what makes the flush
+            // atomic with publication.
+            self.cache.invalidate();
+            self.generation = snapshot.generation();
+        }
+        self.scratch.used_router = false;
+        let key = cache_key(query);
+        if let Some(cached) = self.cache.get(&key) {
+            return Ok(cached);
+        }
+        let value = snapshot.estimate(query, &mut self.scratch);
+        self.cache.insert(key, value);
+        Ok(value)
+    }
+
+    /// The latest published snapshot (what the next estimate will serve
+    /// against).
+    pub fn snapshot(&self) -> Arc<TableSnapshot> {
+        self.cell.load()
+    }
+
+    /// Generation of the snapshot the most recent estimate ran against
+    /// (`0` before any estimate).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Shard-routing decisions of the most recent estimate, when it was
+    /// computed through the partition router (`None` after a cache hit,
+    /// for unsharded statistics, or for the no-stats fallback).
+    pub fn routed_shards(&self) -> Option<&[bool]> {
+        self.scratch.routed_shards()
+    }
+
+    /// `(hits, misses)` of this reader's private query cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+}
+
+impl Clone for SpatialReader {
+    /// Clones the subscription, not the state: the clone shares the
+    /// publication cell but starts with fresh scratch and an empty cache
+    /// (sized like the original), so clones can be handed to other threads.
+    fn clone(&self) -> SpatialReader {
+        SpatialReader::new(self.cell.clone(), self.cache.capacity())
+    }
+}

@@ -1,0 +1,716 @@
+//! A zero-dependency TCP front-end serving a [`SpatialCatalog`] over a
+//! line-based protocol (`std::net` only — no external crates).
+//!
+//! # Protocol
+//!
+//! Requests and responses are single UTF-8 lines terminated by `\n`.
+//! Responses are `OK <payload>` or `ERR <code> <message>`, where `<code>`
+//! is the CLI's exit-code taxonomy (DESIGN.md §7): `2` usage, `3` I/O,
+//! `4` malformed data, `5` corrupt statistics, `6` build failure.
+//!
+//! | Request | Response |
+//! |---|---|
+//! | `PING` | `OK pong` |
+//! | `TABLES` | `OK <n> <name>...` |
+//! | `CREATE <t> [buckets=N] [shards=S] [technique=T]` | `OK created <t>` |
+//! | `DROP <t>` | `OK dropped <t>` |
+//! | `INSERT <t> <x1> <y1> <x2> <y2>` | `OK <rowid>` |
+//! | `DELETE <t> <rowid>` | `OK deleted <rowid>` |
+//! | `ANALYZE <t>` | `OK analyzed <t> buckets=<B> fallback=<F> shards=<S>` |
+//! | `ESTIMATE <t> <x1> <y1> <x2> <y2>` | `OK <estimate>` |
+//! | `BATCH <t> <n> <x1> <y1> <x2> <y2> ...` | `OK <e1> <e2> ...` |
+//! | `STATS [<t>]` | `OK {...}` (single-line JSON) |
+//! | `SNAPSHOT <t> SAVE\|LOAD <path>` | `OK saved/loaded ...` |
+//! | `SHUTDOWN` | `OK bye` (server stops accepting and drains) |
+//!
+//! Estimates are formatted with Rust's shortest-round-trip `f64` display,
+//! so `parse::<f64>()` on the client recovers the exact bits — the wire
+//! preserves the bitwise differential contract.
+//!
+//! Malformed input yields a typed `ERR` reply and the connection keeps
+//! serving; the only lines that close a connection are transport-level
+//! (EOF, an over-long line, an unwritable socket). A request can never
+//! panic the server: handlers touch only total functions and typed errors.
+//!
+//! # Concurrency
+//!
+//! Thread per connection. `ESTIMATE`/`BATCH` go through per-connection
+//! [`SpatialReader`]s — the lock-free snapshot path — so estimate traffic
+//! on one table proceeds concurrently across connections even while a
+//! writer runs `ANALYZE`. Mutating verbs lock only their target table.
+//!
+//! Per-connection and per-verb counters, request latency, and per-shard
+//! routing counters flow into the server's [`Registry`]
+//! ([`ServerHandle::metrics`]).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use minskew_geom::Rect;
+use minskew_obs::{Registry, Stopwatch};
+
+use crate::catalog::{CatalogEntry, CatalogError, SpatialCatalog};
+use crate::persist::SnapshotIoError;
+use crate::reader::SpatialReader;
+use crate::table::{RowId, StatsTechnique, TableOptions};
+
+/// Hard cap on one request line (transport protection; a longer line
+/// closes the connection after a typed error).
+const MAX_LINE: usize = 1 << 20;
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Options for tables created via the `CREATE` verb (bucket budget,
+    /// shard count, and technique are overridable per request).
+    pub table_options: TableOptions,
+    /// Maximum query count accepted by one `BATCH` request.
+    pub max_batch: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: String::from("127.0.0.1:0"),
+            table_options: TableOptions::default(),
+            max_batch: 4096,
+        }
+    }
+}
+
+/// Shared server context.
+#[derive(Debug)]
+struct ServerCtx {
+    catalog: Arc<SpatialCatalog>,
+    options: ServeOptions,
+    registry: Registry,
+    shutdown: AtomicBool,
+    active: AtomicU64,
+}
+
+impl ServerCtx {
+    fn bump(&self, name: &str) {
+        if minskew_obs::enabled() {
+            self.registry.counter(name).inc();
+        }
+    }
+}
+
+/// Handle to a running server. Dropping the handle does **not** stop the
+/// server; call [`ServerHandle::shutdown`] (or send the `SHUTDOWN` verb).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to stop. Existing connections drain (each
+    /// notices the flag within its read-poll interval).
+    pub fn request_shutdown(&self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once shutdown has been requested (by this handle or by a
+    /// `SHUTDOWN` request over the wire).
+    pub fn shutdown_requested(&self) -> bool {
+        self.ctx.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the accept loop and every connection thread exit.
+    pub fn join(mut self) -> minskew_obs::RegistrySnapshot {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.ctx.registry.snapshot()
+    }
+
+    /// Requests shutdown and waits for a clean drain; returns the final
+    /// metrics snapshot.
+    pub fn shutdown(self) -> minskew_obs::RegistrySnapshot {
+        self.request_shutdown();
+        self.join()
+    }
+
+    /// A point-in-time snapshot of the server's metrics registry
+    /// (`serve.*` counters, gauges, latency histograms).
+    pub fn metrics(&self) -> minskew_obs::RegistrySnapshot {
+        self.ctx.registry.snapshot()
+    }
+}
+
+/// Starts serving `catalog` per `options`; returns once the listener is
+/// bound. See the module docs for the protocol.
+pub fn serve(catalog: Arc<SpatialCatalog>, options: ServeOptions) -> std::io::Result<ServerHandle> {
+    let addrs: Vec<SocketAddr> = options.addr.to_socket_addrs()?.collect();
+    let listener = TcpListener::bind(&addrs[..])?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let ctx = Arc::new(ServerCtx {
+        catalog,
+        options,
+        registry: Registry::new(),
+        shutdown: AtomicBool::new(false),
+        active: AtomicU64::new(0),
+    });
+    let accept_ctx = Arc::clone(&ctx);
+    let accept = std::thread::spawn(move || accept_loop(listener, accept_ctx));
+    Ok(ServerHandle {
+        addr,
+        ctx,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                ctx.bump("serve.connections");
+                let conn_ctx = Arc::clone(&ctx);
+                conns.push(std::thread::spawn(move || {
+                    handle_connection(stream, conn_ctx)
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                // Reap finished connection threads opportunistically.
+                conns.retain(|c| !c.is_finished());
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    drop(listener);
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+/// Per-connection state: cached lock-free readers (one per table touched)
+/// and their resolved per-shard routing counters.
+struct ConnState {
+    readers: std::collections::HashMap<String, TableReader>,
+}
+
+struct TableReader {
+    reader: SpatialReader,
+    /// `serve.table.<t>.shard.<s>.routed`, resolved lazily per shard.
+    shard_counters: Vec<Arc<minskew_obs::Counter>>,
+}
+
+fn handle_connection(stream: TcpStream, ctx: Arc<ServerCtx>) {
+    let _ = stream.set_nodelay(true);
+    // Poll the shutdown flag between reads so drains are prompt.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    ctx.active.fetch_add(1, Ordering::SeqCst);
+    if minskew_obs::enabled() {
+        ctx.registry
+            .gauge("serve.active_connections")
+            .set(ctx.active.load(Ordering::SeqCst) as f64);
+    }
+    serve_requests(stream, &ctx);
+    let now = ctx.active.fetch_sub(1, Ordering::SeqCst) - 1;
+    if minskew_obs::enabled() {
+        ctx.registry
+            .gauge("serve.active_connections")
+            .set(now as f64);
+    }
+}
+
+fn serve_requests(mut stream: TcpStream, ctx: &Arc<ServerCtx>) {
+    let mut conn = ConnState {
+        readers: std::collections::HashMap::new(),
+    };
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let reply = handle_request(ctx, &mut conn, line.trim_end_matches(['\n', '\r']));
+            let quit = matches!(reply, Reply::Quit(_));
+            let text = match reply {
+                Reply::Line(s) | Reply::Quit(s) => s,
+            };
+            if stream.write_all(text.as_bytes()).is_err()
+                || stream.write_all(b"\n").is_err()
+                || stream.flush().is_err()
+            {
+                return;
+            }
+            if quit {
+                return;
+            }
+        }
+        if buf.len() > MAX_LINE {
+            // Transport protection: an unbounded line would buffer forever.
+            let _ = stream.write_all(b"ERR 2 usage: request line exceeds 1 MiB\n");
+            return;
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+enum Reply {
+    Line(String),
+    /// Write the line, then stop the whole server (the `SHUTDOWN` verb).
+    Quit(String),
+}
+
+fn ok(payload: impl std::fmt::Display) -> Reply {
+    Reply::Line(format!("OK {payload}"))
+}
+
+fn err(code: u8, message: impl std::fmt::Display) -> Reply {
+    Reply::Line(format!("ERR {code} {message}"))
+}
+
+fn catalog_err(e: CatalogError) -> Reply {
+    match e {
+        CatalogError::Build(inner) => err(6, format!("build: {inner}")),
+        other => err(2, format!("usage: {other}")),
+    }
+}
+
+fn snapshot_err(e: SnapshotIoError) -> Reply {
+    match e {
+        SnapshotIoError::NoStats => err(2, format!("usage: {e}")),
+        SnapshotIoError::Io(_) | SnapshotIoError::Write(_) => err(3, format!("io: {e}")),
+        SnapshotIoError::Corrupt(_) => err(5, format!("corrupt: {e}")),
+    }
+}
+
+/// Dispatches one request line. Total: every input maps to exactly one
+/// reply, and nothing here can panic on malformed input.
+fn handle_request(ctx: &Arc<ServerCtx>, conn: &mut ConnState, line: &str) -> Reply {
+    let mut clock = Stopwatch::start();
+    ctx.bump("serve.requests");
+    let reply = dispatch(ctx, conn, line);
+    if minskew_obs::enabled() {
+        ctx.registry
+            .histogram("serve.request_ns")
+            .record(clock.lap());
+        if matches!(&reply, Reply::Line(s) if s.starts_with("ERR")) {
+            ctx.bump("serve.errors");
+        }
+    }
+    reply
+}
+
+fn dispatch(ctx: &Arc<ServerCtx>, conn: &mut ConnState, line: &str) -> Reply {
+    let mut tokens = line.split_ascii_whitespace();
+    let Some(verb) = tokens.next() else {
+        return err(2, "usage: empty request");
+    };
+    let args: Vec<&str> = tokens.collect();
+    let verb_upper = verb.to_ascii_uppercase();
+    if minskew_obs::enabled() {
+        ctx.bump(&format!(
+            "serve.verb.{}",
+            minskew_obs::name_component(&verb_upper)
+        ));
+    }
+    match verb_upper.as_str() {
+        "PING" => ok("pong"),
+        "TABLES" => {
+            let names = ctx.catalog.list();
+            let mut payload = names.len().to_string();
+            for name in names {
+                payload.push(' ');
+                payload.push_str(&name);
+            }
+            ok(payload)
+        }
+        "CREATE" => cmd_create(ctx, &args),
+        "DROP" => match args[..] {
+            [name] => match ctx.catalog.drop_table(name) {
+                Ok(()) => ok(format_args!("dropped {name}")),
+                Err(e) => catalog_err(e),
+            },
+            _ => err(2, "usage: DROP <table>"),
+        },
+        "INSERT" => cmd_insert(ctx, &args),
+        "DELETE" => cmd_delete(ctx, &args),
+        "ANALYZE" => cmd_analyze(ctx, &args),
+        "ESTIMATE" => cmd_estimate(ctx, conn, &args),
+        "BATCH" => cmd_batch(ctx, conn, &args),
+        "STATS" => cmd_stats(ctx, &args),
+        "SNAPSHOT" => cmd_snapshot(ctx, &args),
+        "SHUTDOWN" => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Reply::Quit(String::from("OK bye"))
+        }
+        other => err(2, format_args!("usage: unknown verb {other:?}")),
+    }
+}
+
+fn cmd_create(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
+    let [name, opts @ ..] = args else {
+        return err(
+            2,
+            "usage: CREATE <table> [buckets=N] [shards=S] [technique=T]",
+        );
+    };
+    let mut options = ctx.options.table_options;
+    for opt in opts {
+        let Some((key, value)) = opt.split_once('=') else {
+            return err(
+                2,
+                format_args!("usage: bad option {opt:?} (want key=value)"),
+            );
+        };
+        match key {
+            "buckets" => match value.parse::<usize>() {
+                Ok(v) => options.analyze.buckets = v,
+                Err(_) => return err(2, format_args!("usage: bad buckets {value:?}")),
+            },
+            "shards" => match value.parse::<usize>() {
+                Ok(v) => options.shards = v,
+                Err(_) => return err(2, format_args!("usage: bad shards {value:?}")),
+            },
+            "technique" => {
+                options.analyze.technique = match value {
+                    "min-skew" | "minskew" => StatsTechnique::MinSkew,
+                    "equi-area" => StatsTechnique::EquiArea,
+                    "equi-count" => StatsTechnique::EquiCount,
+                    "uniform" => StatsTechnique::Uniform,
+                    _ => return err(2, format_args!("usage: unknown technique {value:?}")),
+                }
+            }
+            _ => return err(2, format_args!("usage: unknown option {key:?}")),
+        }
+    }
+    match ctx.catalog.create(name, options) {
+        Ok(_) => ok(format_args!("created {name}")),
+        Err(e) => catalog_err(e),
+    }
+}
+
+fn lookup(ctx: &Arc<ServerCtx>, name: &str) -> Result<Arc<CatalogEntry>, Reply> {
+    ctx.catalog
+        .get(name)
+        .ok_or_else(|| err(2, format_args!("usage: unknown table {name:?}")))
+}
+
+/// Parses four tokens into a rectangle. `code` distinguishes query usage
+/// errors (2) from malformed data (4), per the exit-code taxonomy.
+fn parse_rect(tokens: &[&str], code: u8) -> Result<Rect, Reply> {
+    let [x1, y1, x2, y2] = tokens else {
+        return Err(err(code, "expected <x1> <y1> <x2> <y2>"));
+    };
+    let parse = |t: &str| -> Result<f64, Reply> {
+        match t.parse::<f64>() {
+            Ok(v) => Ok(v),
+            Err(_) => Err(err(code, format!("bad coordinate {t:?}"))),
+        }
+    };
+    let rect = Rect::try_new(parse(x1)?, parse(y1)?, parse(x2)?, parse(y2)?)
+        .map_err(|e| err(code, e.to_string()))?;
+    Ok(rect)
+}
+
+fn cmd_insert(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
+    let [name, coords @ ..] = args else {
+        return err(2, "usage: INSERT <table> <x1> <y1> <x2> <y2>");
+    };
+    let rect = match parse_rect(coords, 4) {
+        Ok(r) => r,
+        Err(reply) => return reply,
+    };
+    match lookup(ctx, name) {
+        Ok(entry) => {
+            let id = entry.table().insert(rect);
+            ok(id.raw())
+        }
+        Err(reply) => reply,
+    }
+}
+
+fn cmd_delete(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
+    let [name, id] = args else {
+        return err(2, "usage: DELETE <table> <rowid>");
+    };
+    let Ok(row) = id.parse::<u64>() else {
+        return err(2, format_args!("usage: bad rowid {id:?}"));
+    };
+    match lookup(ctx, name) {
+        Ok(entry) => {
+            if entry.table().delete(RowId::from_raw(row)) {
+                ok(format_args!("deleted {row}"))
+            } else {
+                err(2, format_args!("usage: unknown rowid {row}"))
+            }
+        }
+        Err(reply) => reply,
+    }
+}
+
+fn cmd_analyze(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
+    let [name] = args else {
+        return err(2, "usage: ANALYZE <table>");
+    };
+    match lookup(ctx, name) {
+        Ok(entry) => {
+            let mut table = entry.table();
+            table.analyze();
+            let diag = table.stats_diagnostics();
+            let shards = table.current_snapshot().num_shards();
+            ok(format_args!(
+                "analyzed {name} buckets={} fallback={} shards={shards}",
+                diag.achieved_buckets, diag.fallback
+            ))
+        }
+        Err(reply) => reply,
+    }
+}
+
+/// Per-connection reader for `name`, minted lock-free on first use.
+fn conn_reader<'a>(
+    ctx: &Arc<ServerCtx>,
+    conn: &'a mut ConnState,
+    name: &str,
+) -> Result<&'a mut TableReader, Reply> {
+    if !conn.readers.contains_key(name) {
+        let entry = lookup(ctx, name)?;
+        conn.readers.insert(
+            name.to_string(),
+            TableReader {
+                reader: entry.reader(),
+                shard_counters: Vec::new(),
+            },
+        );
+    }
+    Ok(conn
+        .readers
+        .get_mut(name)
+        .expect("reader inserted just above"))
+}
+
+/// Counts routed shards into `serve.table.<t>.shard.<s>.routed`.
+fn note_routing(ctx: &Arc<ServerCtx>, name: &str, tr: &mut TableReader) {
+    if !minskew_obs::enabled() {
+        return;
+    }
+    let Some(routed) = tr.reader.routed_shards() else {
+        return;
+    };
+    if tr.shard_counters.len() < routed.len() {
+        let table = minskew_obs::name_component(name);
+        for s in tr.shard_counters.len()..routed.len() {
+            tr.shard_counters.push(
+                ctx.registry
+                    .counter(&format!("serve.table.{table}.shard.{s}.routed")),
+            );
+        }
+    }
+    for (s, &hit) in routed.iter().enumerate() {
+        if hit {
+            tr.shard_counters[s].inc();
+        }
+    }
+}
+
+fn cmd_estimate(ctx: &Arc<ServerCtx>, conn: &mut ConnState, args: &[&str]) -> Reply {
+    let [name, coords @ ..] = args else {
+        return err(2, "usage: ESTIMATE <table> <x1> <y1> <x2> <y2>");
+    };
+    let rect = match parse_rect(coords, 2) {
+        Ok(r) => r,
+        Err(reply) => return reply,
+    };
+    let tr = match conn_reader(ctx, conn, name) {
+        Ok(tr) => tr,
+        Err(reply) => return reply,
+    };
+    match tr.reader.try_estimate(&rect) {
+        Ok(value) => {
+            note_routing(ctx, name, tr);
+            ctx.bump("serve.estimates");
+            ok(value)
+        }
+        Err(e) => err(2, format_args!("usage: {e}")),
+    }
+}
+
+fn cmd_batch(ctx: &Arc<ServerCtx>, conn: &mut ConnState, args: &[&str]) -> Reply {
+    let [name, count, coords @ ..] = args else {
+        return err(2, "usage: BATCH <table> <n> <x1> <y1> <x2> <y2> ...");
+    };
+    let Ok(n) = count.parse::<usize>() else {
+        return err(2, format_args!("usage: bad count {count:?}"));
+    };
+    if n > ctx.options.max_batch {
+        return err(
+            2,
+            format_args!(
+                "usage: batch of {n} exceeds the limit of {}",
+                ctx.options.max_batch
+            ),
+        );
+    }
+    if coords.len() != 4 * n {
+        return err(
+            2,
+            format_args!(
+                "usage: expected {} coordinates, got {}",
+                4 * n,
+                coords.len()
+            ),
+        );
+    }
+    let mut queries = Vec::with_capacity(n);
+    for quad in coords.chunks_exact(4) {
+        match parse_rect(quad, 2) {
+            Ok(rect) => queries.push(rect),
+            Err(reply) => return reply,
+        }
+    }
+    let tr = match conn_reader(ctx, conn, name) {
+        Ok(tr) => tr,
+        Err(reply) => return reply,
+    };
+    let mut payload = String::with_capacity(queries.len() * 8);
+    for (i, q) in queries.iter().enumerate() {
+        let value = match tr.reader.try_estimate(q) {
+            Ok(v) => v,
+            Err(e) => return err(2, format_args!("usage: query {i}: {e}")),
+        };
+        note_routing(ctx, name, tr);
+        if i > 0 {
+            payload.push(' ');
+        }
+        payload.push_str(&value.to_string());
+    }
+    if minskew_obs::enabled() {
+        ctx.registry
+            .counter("serve.estimates")
+            .add(queries.len() as u64);
+    }
+    ok(payload)
+}
+
+fn cmd_stats(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
+    match args {
+        [] => ok(format_args!(
+            "{{\"tables\":{},\"active_connections\":{}}}",
+            ctx.catalog.len(),
+            ctx.active.load(Ordering::SeqCst)
+        )),
+        [name] => match lookup(ctx, name) {
+            Ok(entry) => {
+                let table = entry.table();
+                let snapshot = table.current_snapshot();
+                let diag = table.stats_diagnostics();
+                let buckets = snapshot.stats().map_or(0, |s| s.histogram().num_buckets());
+                ok(format_args!(
+                    "{{\"table\":\"{name}\",\"rows\":{},\"buckets\":{buckets},\"shards\":{},\
+                     \"generation\":{},\"fallback\":\"{}\"}}",
+                    table.len(),
+                    snapshot.num_shards(),
+                    snapshot.generation(),
+                    diag.fallback
+                ))
+            }
+            Err(reply) => reply,
+        },
+        _ => err(2, "usage: STATS [<table>]"),
+    }
+}
+
+fn cmd_snapshot(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
+    let [name, action, path] = args else {
+        return err(2, "usage: SNAPSHOT <table> SAVE|LOAD <path>");
+    };
+    let entry = match lookup(ctx, name) {
+        Ok(entry) => entry,
+        Err(reply) => return reply,
+    };
+    match action.to_ascii_uppercase().as_str() {
+        "SAVE" => match entry.table().save_snapshot(std::path::Path::new(path)) {
+            Ok(info) => ok(format_args!("saved {name} buckets={}", info.buckets)),
+            Err(e) => snapshot_err(e),
+        },
+        "LOAD" => match entry.table().try_load_snapshot(std::path::Path::new(path)) {
+            Ok(info) => ok(format_args!("loaded {name} buckets={}", info.buckets)),
+            Err(e) => snapshot_err(e),
+        },
+        other => err(2, format_args!("usage: unknown snapshot action {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rect_accepts_finite_and_rejects_everything_else() {
+        assert!(parse_rect(&["0", "0", "1.5", "2"], 2).is_ok());
+        for bad in [
+            ["nan", "0", "1", "1"],
+            ["inf", "0", "1", "1"],
+            ["-inf", "0", "1", "1"],
+            ["x", "0", "1", "1"],
+            ["", "0", "1", "1"],
+        ] {
+            assert!(parse_rect(&bad, 2).is_err(), "{bad:?} must be rejected");
+        }
+        assert!(parse_rect(&["0", "0", "1"], 2).is_err(), "arity");
+    }
+
+    #[test]
+    fn dispatch_maps_errors_to_the_exit_code_taxonomy() {
+        let ctx = Arc::new(ServerCtx {
+            catalog: Arc::new(SpatialCatalog::new()),
+            options: ServeOptions::default(),
+            registry: Registry::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+        });
+        let mut conn = ConnState {
+            readers: std::collections::HashMap::new(),
+        };
+        let line = |ctx: &Arc<ServerCtx>, conn: &mut ConnState, req: &str| -> String {
+            match handle_request(ctx, conn, req) {
+                Reply::Line(s) | Reply::Quit(s) => s,
+            }
+        };
+        assert_eq!(line(&ctx, &mut conn, "PING"), "OK pong");
+        assert_eq!(line(&ctx, &mut conn, "TABLES"), "OK 0");
+        assert!(line(&ctx, &mut conn, "").starts_with("ERR 2 "));
+        assert!(line(&ctx, &mut conn, "NOPE x").starts_with("ERR 2 "));
+        assert!(line(&ctx, &mut conn, "ESTIMATE ghost 0 0 1 1").starts_with("ERR 2 "));
+        assert_eq!(line(&ctx, &mut conn, "CREATE t"), "OK created t");
+        assert!(line(&ctx, &mut conn, "INSERT t a b c d").starts_with("ERR 4 "));
+        assert_eq!(line(&ctx, &mut conn, "INSERT t 0 0 1 1"), "OK 0");
+        assert!(line(&ctx, &mut conn, "ESTIMATE t nan 0 1 1").starts_with("ERR 2 "));
+        assert!(
+            line(&ctx, &mut conn, "SNAPSHOT t SAVE /tmp/x").starts_with("ERR 2 "),
+            "NoStats is usage"
+        );
+        assert_eq!(line(&ctx, &mut conn, "SHUTDOWN"), "OK bye");
+        assert!(ctx.shutdown.load(Ordering::SeqCst));
+    }
+}

@@ -4,20 +4,36 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use minskew_core::{
     build_uniform, try_build_equi_area, try_build_equi_count, try_build_uniform, BuildError,
-    EstimateError, IndexScratch, MinSkewBuilder, SpatialEstimator, SpatialHistogram,
+    EstimateError, MinSkewBuilder, ShardedHistogram, SpatialEstimator, SpatialHistogram,
+    MAX_SHARDS,
 };
 use minskew_data::Dataset;
 use minskew_geom::Rect;
-use minskew_obs::{Histogram, Registry, Stopwatch};
+use minskew_obs::{Gauge, Histogram, Registry, Stopwatch};
 use minskew_rtree::{RStarTree, RTreeConfig};
 
 use crate::cache::{cache_key, QueryCache};
 use crate::monitor::{AccuracyReport, Reservoir};
+use crate::publish::{EstimateScratch, SnapshotCell, TableSnapshot};
+use crate::reader::SpatialReader;
 use crate::{CostModel, Explain, Plan};
 
 /// Stable identifier of a row in a [`SpatialTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowId(u64);
+
+impl RowId {
+    /// The raw id value, for wire protocols and diagnostics.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a [`RowId`] from [`RowId::raw`]. An id that never came
+    /// from an insert is harmless: `get`/`delete` treat it as unknown.
+    pub fn from_raw(raw: u64) -> RowId {
+        RowId(raw)
+    }
+}
 
 /// Which statistics technique `ANALYZE` builds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,6 +127,11 @@ pub struct TableOptions {
     /// which [`SpatialTable::audit_accuracy`] reports drift and recommends
     /// re-`ANALYZE`. Defaults to 0.5.
     pub accuracy_drift_threshold: f64,
+    /// Number of spatial shards the published statistics are partitioned
+    /// into (see [`minskew_core::ShardedHistogram`]). `1` (the default)
+    /// serves unsharded. Sharding is a concurrency/locality knob only:
+    /// every estimate is **bit-identical** at every shard count.
+    pub shards: usize,
 }
 
 impl Default for TableOptions {
@@ -127,6 +148,7 @@ impl Default for TableOptions {
             metrics_sampling: 256,
             accuracy_reservoir: 256,
             accuracy_drift_threshold: 0.5,
+            shards: 1,
         }
     }
 }
@@ -251,7 +273,15 @@ impl std::fmt::Display for StatsDiagnostics {
 #[derive(Debug)]
 struct ServingState {
     cache: QueryCache,
-    scratch: IndexScratch,
+    scratch: EstimateScratch,
+    /// Publication generation the cache's entries were filled under; a
+    /// mismatch with the table's current generation flushes before any
+    /// probe, making cache invalidation atomic with snapshot publication
+    /// by construction (not by remembering to call a flush).
+    seen_generation: u64,
+    /// Statistics era the reservoir's sample was drawn under (row churn
+    /// bumps the generation but not the era, so the sample survives it).
+    seen_era: u64,
     /// Single-query estimates served (cached or computed).
     calls: u64,
     /// Of `calls`, how many took the sampled stage-timing path.
@@ -277,7 +307,9 @@ impl ServingState {
             } else {
                 0
             }),
-            scratch: IndexScratch::new(),
+            scratch: EstimateScratch::new(),
+            seen_generation: 0,
+            seen_era: 0,
             calls: 0,
             sampled: 0,
             batch_calls: 0,
@@ -313,6 +345,9 @@ struct TableMetrics {
     cache_probe_ns: Arc<Histogram>,
     index_scan_ns: Arc<Histogram>,
     clamp_ns: Arc<Histogram>,
+    /// Current publication generation, resolved once so the per-mutation
+    /// publish path avoids a registry lookup.
+    generation: Arc<Gauge>,
 }
 
 impl TableMetrics {
@@ -321,6 +356,7 @@ impl TableMetrics {
             cache_probe_ns: registry.histogram("engine.query.cache_probe_ns"),
             index_scan_ns: registry.histogram("engine.query.index_scan_ns"),
             clamp_ns: registry.histogram("engine.query.clamp_ns"),
+            generation: registry.gauge("engine.stats.generation"),
         }
     }
 }
@@ -328,6 +364,8 @@ impl TableMetrics {
 /// A spatial table: rows of rectangles with a stable id, an R\*-tree index,
 /// and optimizer statistics.
 pub struct SpatialTable {
+    // (Debug is implemented manually below: the index and serving state
+    // are large and uninformative to dump.)
     pub(crate) options: TableOptions,
     rows: Vec<Option<Rect>>, // slot per RowId; None = deleted
     live: usize,
@@ -338,6 +376,29 @@ pub struct SpatialTable {
     /// Per-table metrics registry (see [`SpatialTable::metrics`]).
     pub(crate) registry: Registry,
     metrics: TableMetrics,
+    /// Monotonic publication counter; bumped by every mutation.
+    generation: u64,
+    /// Monotonic statistics-install counter; bumped by installs only.
+    stats_era: u64,
+    /// The latest published snapshot (the same `Arc` the cell holds); the
+    /// table's own serving path estimates against it so locked and
+    /// lock-free readers agree structurally, not by parallel maintenance.
+    current: Arc<TableSnapshot>,
+    /// The publication cell lock-free readers subscribe to.
+    cell: Arc<SnapshotCell<TableSnapshot>>,
+}
+
+impl std::fmt::Debug for SpatialTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpatialTable")
+            .field("live", &self.live)
+            .field("rows", &self.rows.len())
+            .field("has_stats", &self.stats.is_some())
+            .field("generation", &self.generation)
+            .field("stats_era", &self.stats_era)
+            .field("shards", &self.options.shards)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SpatialTable {
@@ -363,8 +424,16 @@ impl SpatialTable {
         if options.analyze.buckets == 0 {
             return Err(BuildError::ZeroBucketBudget);
         }
+        if options.shards == 0 || options.shards > MAX_SHARDS {
+            return Err(BuildError::InvalidConfig(format!(
+                "shards must be in 1..={MAX_SHARDS}, got {}",
+                options.shards
+            )));
+        }
         let registry = Registry::new();
         let metrics = TableMetrics::new(&registry);
+        let current = Arc::new(TableSnapshot::new(0, 0, 0, None, None));
+        let cell = Arc::new(SnapshotCell::new(current.clone()));
         Ok(SpatialTable {
             rows: Vec::new(),
             live: 0,
@@ -374,8 +443,71 @@ impl SpatialTable {
             serving: Mutex::new(ServingState::new(&options)),
             registry,
             metrics,
+            generation: 0,
+            stats_era: 0,
+            current,
+            cell,
             options,
         })
+    }
+
+    /// Publishes the table's current serving state as an immutable
+    /// snapshot: readers obtained via [`SpatialTable::reader`] observe it
+    /// atomically (the whole snapshot or the previous one, never a mix).
+    /// Called by every path that changes what an estimate could return.
+    fn publish(&mut self) {
+        self.generation += 1;
+        let stats = self
+            .stats
+            .as_ref()
+            .map(|h| Arc::new(ShardedHistogram::build(h.clone(), self.options.shards)));
+        let mbr = (self.live > 0).then(|| self.index.mbr());
+        let snapshot = Arc::new(TableSnapshot::new(
+            self.generation,
+            self.stats_era,
+            self.live,
+            mbr,
+            stats,
+        ));
+        self.current = snapshot.clone();
+        self.cell.store(snapshot);
+        if self.options.metrics && minskew_obs::enabled() {
+            self.metrics.generation.set(self.generation as f64);
+        }
+    }
+
+    /// A lock-free reader handle over this table's published snapshots:
+    /// `estimate` on the handle never takes the table's serving lock and
+    /// never blocks on `ANALYZE`/mutations, yet is bit-identical to
+    /// [`SpatialTable::estimate`] against the same publication. Readers
+    /// carry their own scratch and their own generation-keyed query cache;
+    /// any number may run concurrently with each other and with a writer.
+    pub fn reader(&self) -> SpatialReader {
+        SpatialReader::new(
+            self.cell.clone(),
+            if self.options.query_cache {
+                self.options.query_cache_capacity
+            } else {
+                0
+            },
+        )
+    }
+
+    /// The publication cell behind [`SpatialTable::reader`], for callers
+    /// that need to hand out readers without holding the table (e.g. the
+    /// catalog's connection handlers).
+    pub fn snapshot_cell(&self) -> Arc<SnapshotCell<TableSnapshot>> {
+        self.cell.clone()
+    }
+
+    /// The most recently published snapshot.
+    pub fn current_snapshot(&self) -> Arc<TableSnapshot> {
+        self.current.clone()
+    }
+
+    /// Current publication generation (bumped by every mutation).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Drops every cached estimate. Called by every path that changes what
@@ -418,6 +550,7 @@ impl SpatialTable {
             stats.note_insert(&rect);
         }
         self.invalidate_cache();
+        self.publish();
         RowId(id)
     }
 
@@ -437,6 +570,7 @@ impl SpatialTable {
             stats.note_delete(&rect);
         }
         self.invalidate_cache();
+        self.publish();
         true
     }
 
@@ -497,6 +631,12 @@ impl SpatialTable {
         }
         self.stats = Some(hist);
         self.diagnostics = diag;
+        // A statistics install starts a new era: flush the query cache and
+        // clear the accuracy reservoir *before* publishing, so no path —
+        // locked or lock-free — can pair the new statistics with state
+        // from the old ones. The era/generation stamps in the published
+        // snapshot enforce the same discipline on every reader cache.
+        self.stats_era += 1;
         self.invalidate_cache();
         // New statistics start a new accuracy era: the reservoir's sample
         // must not mix queries served by the previous statistics.
@@ -505,6 +645,7 @@ impl SpatialTable {
             .unwrap_or_else(PoisonError::into_inner)
             .reservoir
             .clear();
+        self.publish();
     }
 
     /// Records one completed `ANALYZE` in the registry: a run counter plus a
@@ -703,6 +844,20 @@ impl SpatialTable {
         }
         let mut guard = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
         let serving = &mut *guard;
+        // Sync with the published snapshot before any cache probe: a stale
+        // generation flushes the cache, a stale era clears the reservoir.
+        // Mutations also flush eagerly (they hold `&mut self`), so this is
+        // normally a no-op — it exists so cache coherence is a property of
+        // publication itself rather than of every mutation path
+        // remembering to flush.
+        if serving.seen_generation != self.generation {
+            serving.cache.invalidate();
+            serving.seen_generation = self.generation;
+        }
+        if serving.seen_era != self.stats_era {
+            serving.reservoir.clear();
+            serving.seen_era = self.stats_era;
+        }
         serving.calls += 1;
         if !self.options.metrics || !minskew_obs::enabled() {
             // Metrics off: the original serving path, untouched. The counter
@@ -786,32 +941,17 @@ impl SpatialTable {
     /// The uncached estimator core for a query already validated finite.
     /// All serving entry points (single-query, batch, planner) funnel here,
     /// so they agree bit for bit.
-    fn estimate_finite(&self, query: &Rect, scratch: &mut IndexScratch) -> f64 {
+    fn estimate_finite(&self, query: &Rect, scratch: &mut EstimateScratch) -> f64 {
         self.clamp_estimate(self.estimate_raw(query, scratch))
     }
 
-    /// The raw (unclamped) estimate: histogram probe, or the single-bucket
-    /// planner fallback when the table was never analyzed.
-    fn estimate_raw(&self, query: &Rect, scratch: &mut IndexScratch) -> f64 {
-        match &self.stats {
-            Some(stats) => stats.estimate_count_indexed(query, scratch),
-            None => {
-                // Planner fallback: treat the whole table as one bucket
-                // covering the index MBR (a DBMS guesses without stats too).
-                if self.live == 0 {
-                    return 0.0;
-                }
-                let mbr = self.index.mbr();
-                let frac = if mbr.area() > 0.0 {
-                    query.intersection_area(&mbr) / mbr.area()
-                } else if query.intersects(&mbr) {
-                    1.0
-                } else {
-                    0.0
-                };
-                self.live as f64 * frac
-            }
-        }
+    /// The raw (unclamped) estimate, computed against the current published
+    /// [`TableSnapshot`] — the same object lock-free readers load — so the
+    /// locked and lock-free serving paths agree by construction. Routes
+    /// through the shard router when [`TableOptions::shards`] > 1, the
+    /// bucket index otherwise; both are bit-identical to the linear scan.
+    fn estimate_raw(&self, query: &Rect, scratch: &mut EstimateScratch) -> f64 {
+        self.current.estimate_raw(query, scratch)
     }
 
     /// Clamp to `[0, N]`: degraded or stale statistics may over- or
@@ -852,7 +992,7 @@ impl SpatialTable {
             self.options.threads,
             64,
             queries,
-            IndexScratch::new,
+            EstimateScratch::new,
             |scratch, q| {
                 if q.is_finite() {
                     self.estimate_finite(q, scratch)
@@ -878,7 +1018,7 @@ impl SpatialTable {
             self.options.threads,
             64,
             queries,
-            IndexScratch::new,
+            EstimateScratch::new,
             |scratch, q| self.estimate_finite(q, scratch),
         ))
     }
@@ -992,7 +1132,7 @@ impl SpatialTable {
         if samples.is_empty() {
             return None;
         }
-        let mut scratch = IndexScratch::new();
+        let mut scratch = EstimateScratch::new();
         let mut num = 0.0;
         let mut den = 0.0;
         for query in &samples {

@@ -63,15 +63,18 @@ pub mod prelude {
         try_build_grid, try_build_optimal_bsp, try_build_rtree_partitioning, try_build_uniform,
         verify_snapshot, Bucket, BucketIndex, BuildError, EstimateError, ExtensionRule,
         FormatVersion, FractalEstimator, IndexScratch, MinSkewBuildTrace, MinSkewBuilder,
-        RTreeBuildMethod, SamplingEstimator, SnapshotError, SnapshotInfo, SpatialEstimator,
-        SpatialHistogram, SplitEvent, SplitStrategy,
+        RTreeBuildMethod, SamplingEstimator, ShardInfo, ShardScratch, ShardedHistogram,
+        SnapshotError, SnapshotInfo, SpatialEstimator, SpatialHistogram, SplitEvent, SplitStrategy,
+        MAX_SHARDS,
     };
     pub use minskew_data::{
         write_atomic, CsvRectSource, Dataset, DensityGrid, FaultInjector, FaultKind, RectSource,
     };
     pub use minskew_engine::{
-        AccuracyReport, AnalyzeOptions, SnapshotIoError, SnapshotLoadReport, SpatialTable,
-        StatsDiagnostics, StatsFallback, StatsTechnique, TableOptions,
+        serve, AccuracyReport, AnalyzeOptions, CatalogEntry, CatalogError, EstimateScratch,
+        ServeOptions, ServerHandle, SnapshotCell, SnapshotIoError, SnapshotLoadReport,
+        SpatialCatalog, SpatialReader, SpatialTable, StatsDiagnostics, StatsFallback,
+        StatsTechnique, TableOptions, TableSnapshot, MAX_TABLE_NAME,
     };
     pub use minskew_geom::{Point, Rect};
     pub use minskew_workload::{

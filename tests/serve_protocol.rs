@@ -1,0 +1,291 @@
+//! Golden tests for the serving wire protocol: pinned request/response
+//! byte transcripts for every verb, error replies mapped onto the CLI's
+//! exit-code taxonomy (2 usage, 3 I/O, 4 malformed data, 5 corrupt stats,
+//! 6 build failure), and a malformed-input fuzz pass proving that junk
+//! always yields a typed `ERR` reply — the server never panics, never
+//! wedges a connection, and keeps serving afterwards.
+//!
+//! The fixture data is chosen so estimates are trivially exact (`OK 4`),
+//! making the estimate replies themselves part of the golden transcript.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use minskew::prelude::*;
+
+/// One live connection speaking the line protocol.
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Sends raw bytes (caller includes the newline) and reads one reply.
+    fn send_raw(&mut self, bytes: &[u8]) -> String {
+        self.reader
+            .get_mut()
+            .write_all(bytes)
+            .expect("write request");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        reply.trim_end_matches('\n').to_string()
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.send_raw(format!("{line}\n").as_bytes())
+    }
+}
+
+fn start_server() -> ServerHandle {
+    serve(Arc::new(SpatialCatalog::new()), ServeOptions::default()).expect("bind server")
+}
+
+#[test]
+fn golden_transcript_for_every_verb() {
+    let handle = start_server();
+    let mut c = Client::connect(handle.addr());
+    let dir = std::env::temp_dir().join(format!("minskew-proto-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let snap = dir.join("t.snap").display().to_string();
+
+    // Structural verbs, pinned byte for byte.
+    assert_eq!(c.send("PING"), "OK pong");
+    assert_eq!(c.send("TABLES"), "OK 0");
+    assert_eq!(c.send("CREATE t buckets=4 shards=2"), "OK created t");
+    assert_eq!(
+        c.send("CREATE t"),
+        "ERR 2 usage: table \"t\" already exists"
+    );
+    assert_eq!(c.send("TABLES"), "OK 1 t");
+
+    // Four identical rects: every estimate below is exact, so the numeric
+    // replies are part of the golden transcript.
+    for id in 0..4 {
+        assert_eq!(c.send("INSERT t 0 0 10 10"), format!("OK {id}"));
+    }
+    assert_eq!(c.send("ESTIMATE t 0 0 10 10"), "OK 4", "no-stats fallback");
+    assert_eq!(c.send("ESTIMATE t 20 20 30 30"), "OK 0");
+    assert_eq!(
+        c.send("ANALYZE t"),
+        "OK analyzed t buckets=1 fallback=none shards=2"
+    );
+    assert_eq!(c.send("ESTIMATE t 0 0 10 10"), "OK 4", "histogram estimate");
+    assert_eq!(c.send("BATCH t 2 0 0 10 10 20 20 30 30"), "OK 4 0");
+    assert_eq!(
+        c.send("STATS"),
+        "OK {\"tables\":1,\"active_connections\":1}"
+    );
+    assert_eq!(
+        c.send("STATS t"),
+        "OK {\"table\":\"t\",\"rows\":4,\"buckets\":1,\"shards\":2,\
+         \"generation\":5,\"fallback\":\"none\"}"
+    );
+    assert_eq!(
+        c.send(&format!("SNAPSHOT t SAVE {snap}")),
+        "OK saved t buckets=1"
+    );
+    assert_eq!(
+        c.send(&format!("SNAPSHOT t LOAD {snap}")),
+        "OK loaded t buckets=1"
+    );
+    assert_eq!(c.send("DELETE t 3"), "OK deleted 3");
+    assert_eq!(c.send("DELETE t 9"), "ERR 2 usage: unknown rowid 9");
+    assert_eq!(c.send("DROP t"), "OK dropped t");
+    assert_eq!(c.send("TABLES"), "OK 0");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    handle.shutdown();
+}
+
+#[test]
+fn error_replies_cover_the_exit_code_taxonomy() {
+    let handle = start_server();
+    let mut c = Client::connect(handle.addr());
+    let dir = std::env::temp_dir().join(format!("minskew-proto-err-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    assert_eq!(c.send("CREATE t"), "OK created t");
+    assert_eq!(c.send("INSERT t 0 0 10 10"), "OK 0");
+
+    // 2 — usage: unknown verbs/tables, malformed queries, empty requests,
+    // and SAVE with no statistics installed.
+    assert_eq!(c.send("FROB"), "ERR 2 usage: unknown verb \"FROB\"");
+    assert_eq!(c.send(""), "ERR 2 usage: empty request");
+    assert_eq!(
+        c.send("ESTIMATE ghost 0 0 1 1"),
+        "ERR 2 usage: unknown table \"ghost\""
+    );
+    assert_eq!(
+        c.send("ESTIMATE t nan 0 1 1"),
+        "ERR 2 rectangle corner coordinates must be finite"
+    );
+    assert_eq!(
+        c.send("ESTIMATE t 1e400 0 1 1"),
+        "ERR 2 rectangle corner coordinates must be finite",
+        "overflow to infinity is rejected, not folded"
+    );
+    let save_no_stats = c.send(&format!("SNAPSHOT t SAVE {}", dir.join("x").display()));
+    assert!(save_no_stats.starts_with("ERR 2 "), "{save_no_stats}");
+
+    // 3 — I/O: loading a snapshot that does not exist.
+    let missing = c.send(&format!(
+        "SNAPSHOT t LOAD {}",
+        dir.join("missing").display()
+    ));
+    assert!(missing.starts_with("ERR 3 "), "{missing}");
+
+    // 4 — malformed data: unparsable row payloads.
+    assert_eq!(c.send("INSERT t a b c d"), "ERR 4 bad coordinate \"a\"");
+
+    // 5 — corrupt statistics: a snapshot file full of garbage.
+    let garbage = dir.join("garbage.snap");
+    std::fs::write(&garbage, b"this is not a snapshot container").expect("write");
+    let corrupt = c.send(&format!("SNAPSHOT t LOAD {}", garbage.display()));
+    assert!(corrupt.starts_with("ERR 5 "), "{corrupt}");
+
+    // 6 — build failure: table options the engine rejects.
+    let build = c.send("CREATE bad buckets=0");
+    assert!(build.starts_with("ERR 6 "), "{build}");
+
+    // The connection survived every error class.
+    assert_eq!(c.send("PING"), "OK pong");
+    let _ = std::fs::remove_dir_all(&dir);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_input_fuzz_yields_typed_errors_and_never_wedges() {
+    let handle = start_server();
+    let mut c = Client::connect(handle.addr());
+    assert_eq!(c.send("CREATE t"), "OK created t");
+
+    let fuzz: Vec<Vec<u8>> = vec![
+        b"\x00\x01\x02\xff\xfe binary junk".to_vec(),
+        b"\xc3\x28 invalid utf8".to_vec(), // overlong/invalid UTF-8 sequence
+        b"ESTIMATE".to_vec(),
+        b"ESTIMATE t".to_vec(),
+        b"ESTIMATE t 1 2 3".to_vec(),
+        b"ESTIMATE t 1 2 3 4 5".to_vec(),
+        b"BATCH t -1".to_vec(),
+        b"BATCH t 999999 0 0 1 1".to_vec(),
+        b"BATCH t 2 0 0 1 1".to_vec(), // count/coordinate mismatch
+        b"INSERT t 1e99999 0 1 1".to_vec(),
+        b"DELETE t not-a-number".to_vec(),
+        b"SNAPSHOT t TWIST /tmp/x".to_vec(),
+        b"CREATE x buckets=huge".to_vec(),
+        b"CREATE x frobnicate=1".to_vec(),
+        b"create-with-trailing-space ".to_vec(),
+        " \t ".as_bytes().to_vec(),
+        vec![b'A'; 4096], // one long unknown verb
+    ];
+    for (i, case) in fuzz.iter().enumerate() {
+        let mut request = case.clone();
+        request.push(b'\n');
+        let reply = c.send_raw(&request);
+        assert!(
+            reply.starts_with("ERR "),
+            "fuzz case {i} must yield a typed error, got {reply:?}"
+        );
+        // The connection still serves normal traffic: no wedge, no panic.
+        assert_eq!(
+            c.send("PING"),
+            "OK pong",
+            "fuzz case {i} wedged the connection"
+        );
+    }
+
+    // A second connection is unaffected by the first one's abuse.
+    let mut c2 = Client::connect(handle.addr());
+    assert_eq!(c2.send("TABLES"), "OK 1 t");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_verb_stops_the_server_cleanly() {
+    let handle = start_server();
+    let mut c = Client::connect(handle.addr());
+    assert_eq!(c.send("CREATE t shards=3"), "OK created t");
+    assert_eq!(c.send("INSERT t 0 0 5 5"), "OK 0");
+    assert_eq!(c.send("SHUTDOWN"), "OK bye");
+    assert!(handle.shutdown_requested());
+    // join() drains the accept loop and every connection thread, then
+    // returns the final metrics: the request counters must have seen us
+    // (unless minskew-obs is compiled to no-ops, where nothing records).
+    let metrics = handle.join();
+    let text = metrics.to_text();
+    if minskew_obs::enabled() {
+        assert!(text.contains("serve.requests"), "{text}");
+        assert!(text.contains("serve.verb.shutdown"), "{text}");
+    }
+    // New connections are refused or go unanswered after shutdown.
+    assert!(
+        TcpStream::connect_timeout(
+            &"127.0.0.1:1".parse().expect("addr"),
+            std::time::Duration::from_millis(10),
+        )
+        .is_err(),
+        "sanity: connecting to a dead port errors"
+    );
+}
+
+#[test]
+fn estimates_over_the_wire_are_bit_identical_to_the_library() {
+    // The wire uses shortest-round-trip f64 formatting, so parsing the
+    // reply must recover exactly the bits the engine computed.
+    let data = minskew_datagen::charminar_with(1_500, 61);
+    let catalog = Arc::new(SpatialCatalog::new());
+    let entry = catalog
+        .create(
+            "roads",
+            TableOptions {
+                shards: 4,
+                ..TableOptions::default()
+            },
+        )
+        .expect("create");
+    {
+        let mut table = entry.table();
+        for r in data.rects() {
+            table.insert(*r);
+        }
+        table.analyze();
+    }
+    let handle = serve(catalog, ServeOptions::default()).expect("bind");
+    let mut c = Client::connect(handle.addr());
+    let mbr = data.stats().mbr;
+    let (w, h) = (mbr.width(), mbr.height());
+    let table = entry.table();
+    for i in 0..25 {
+        let f = i as f64 / 25.0;
+        let q = Rect::new(
+            mbr.lo.x + f * w * 0.8,
+            mbr.lo.y + (1.0 - f) * h * 0.8,
+            mbr.lo.x + f * w * 0.8 + 0.1 * w,
+            mbr.lo.y + (1.0 - f) * h * 0.8 + 0.1 * h,
+        );
+        let expected = table.estimate(&q);
+        let reply = c.send(&format!(
+            "ESTIMATE roads {} {} {} {}",
+            q.lo.x, q.lo.y, q.hi.x, q.hi.y
+        ));
+        let value: f64 = reply
+            .strip_prefix("OK ")
+            .expect("estimate reply")
+            .parse()
+            .expect("parse estimate");
+        assert_eq!(
+            expected.to_bits(),
+            value.to_bits(),
+            "wire round trip changed the bits: query {i}, reply {reply:?}"
+        );
+    }
+    drop(table);
+    handle.shutdown();
+}

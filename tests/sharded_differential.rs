@@ -1,0 +1,407 @@
+//! Differential suite for the spatial sharding layer: a histogram
+//! partitioned into per-shard sub-histograms behind the partition router
+//! (`ShardedHistogram::estimate_count_sharded`) must be **bit-identical**
+//! to the unsharded linear reference (`SpatialEstimator::estimate_count`)
+//! at every shard count — sharding is a concurrency/locality layout, never
+//! a semantic change.
+//!
+//! The same contract is pinned end to end through the engine: a
+//! [`SpatialTable`] configured with `shards = s` must serve every estimate
+//! with exactly the bits of an identically-built `shards = 1` table, both
+//! through the locked table path and through lock-free [`SpatialReader`]s,
+//! including after insert/delete churn and after a re-`ANALYZE`.
+//!
+//! The base matrix below always runs (tier 1). The `sharded` feature turns
+//! on the exhaustive cross product on larger inputs; the `proptest` feature
+//! adds randomized differentials. CI also runs the suite under
+//! `RUST_TEST_THREADS=1` so scheduler interference cannot mask bugs.
+
+use minskew::prelude::*;
+use minskew_datagen::{charminar_with, uniform_rects, SyntheticSpec};
+
+const RULES: [ExtensionRule; 3] = [
+    ExtensionRule::Minkowski,
+    ExtensionRule::PaperLiteral,
+    ExtensionRule::None,
+];
+
+/// Shard counts named by the acceptance criteria: the degenerate single
+/// shard, powers of two, and an odd count that cannot divide anything
+/// evenly.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 9];
+
+fn datasets(scale: usize) -> Vec<(&'static str, Dataset)> {
+    vec![
+        ("charminar", charminar_with(2_000 * scale, 7)),
+        (
+            "synthetic",
+            SyntheticSpec::default().with_n(1_200 * scale).generate(11),
+        ),
+        (
+            "uniform",
+            uniform_rects(
+                1_000 * scale,
+                Rect::new(0.0, 0.0, 10_000.0, 10_000.0),
+                40.0,
+                40.0,
+                17,
+            ),
+        ),
+        (
+            "point-pile",
+            Dataset::new(vec![Rect::new(5.0, 5.0, 5.0, 5.0); 64]),
+        ),
+    ]
+}
+
+/// The three bucket techniques named by the sharding contract.
+fn techniques(data: &Dataset, buckets: usize) -> Vec<SpatialHistogram> {
+    vec![
+        MinSkewBuilder::new(buckets).regions(1_024).build(data),
+        build_equi_area(data, buckets),
+        build_equi_count(data, buckets),
+    ]
+}
+
+/// Deterministic query mix: range queries at three sizes across the
+/// extent, point queries, and adversarial shapes (exact bounds,
+/// everything-covering, fully disjoint, degenerate lines).
+fn queries_for(data: &Dataset) -> Vec<Rect> {
+    let mbr = data.stats().mbr;
+    let (w, h) = (mbr.width().max(1.0), mbr.height().max(1.0));
+    let mut out = Vec::new();
+    for i in 0..10 {
+        let fx = i as f64 / 10.0;
+        for size in [0.02, 0.1, 0.35] {
+            let x = mbr.lo.x + fx * w * 0.9;
+            let y = mbr.lo.y + (1.0 - fx) * h * 0.9;
+            out.push(Rect::new(x, y, x + size * w, y + size * h));
+        }
+    }
+    for i in 0..6 {
+        let f = i as f64 / 6.0;
+        out.push(Rect::from_point(Point::new(
+            mbr.lo.x + f * w,
+            mbr.lo.y + f * h,
+        )));
+    }
+    out.push(mbr);
+    out.push(mbr.expanded(w, h)); // covers everything: all shards route
+    out.push(Rect::new(
+        mbr.hi.x + 3.0 * w,
+        mbr.hi.y + 3.0 * h,
+        mbr.hi.x + 4.0 * w,
+        mbr.hi.y + 4.0 * h,
+    )); // fully disjoint: no shard routes
+    out.push(Rect::new(mbr.lo.x, mbr.lo.y, mbr.lo.x, mbr.hi.y)); // line
+    out
+}
+
+/// Asserts sharded == linear, bit for bit, for one histogram across the
+/// full query mix; the scratch is deliberately reused across queries.
+fn assert_sharded_differential(
+    context: &str,
+    hist: &SpatialHistogram,
+    shards: usize,
+    queries: &[Rect],
+    scratch: &mut ShardScratch,
+) {
+    let sharded = ShardedHistogram::build(hist.clone(), shards);
+    for q in queries {
+        let linear = hist.estimate_count(q);
+        let routed = sharded.estimate_count_sharded(q, scratch);
+        assert_eq!(
+            linear.to_bits(),
+            routed.to_bits(),
+            "sharded estimate diverged: {context} technique={} shards={shards} q={q} \
+             (linear={linear}, sharded={routed})",
+            hist.name(),
+        );
+    }
+}
+
+#[test]
+fn sharded_estimates_match_linear_for_every_technique_and_rule() {
+    let mut scratch = ShardScratch::new();
+    for (name, data) in datasets(1) {
+        let queries = queries_for(&data);
+        for hist in techniques(&data, 40) {
+            for rule in RULES {
+                let hist = hist.clone().with_extension_rule(rule);
+                for shards in SHARD_COUNTS {
+                    let context = format!("dataset={name} rule={rule:?}");
+                    assert_sharded_differential(&context, &hist, shards, &queries, &mut scratch);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_partitions_cover_every_bucket_exactly_once() {
+    let data = charminar_with(3_000, 19);
+    for hist in techniques(&data, 48) {
+        let total: f64 = hist.buckets().iter().map(|b| b.count).sum();
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedHistogram::build(hist.clone(), shards);
+            assert_eq!(sharded.num_shards(), shards.max(1));
+            let mut seen = vec![0usize; hist.num_buckets()];
+            for info in sharded.shards() {
+                for &id in info.bucket_ids() {
+                    seen[id as usize] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&n| n == 1),
+                "every bucket must be owned by exactly one shard \
+                 (technique={}, shards={shards})",
+                hist.name()
+            );
+            let shard_total: f64 = sharded.shards().iter().map(ShardInfo::count).sum();
+            assert!(
+                (total - shard_total).abs() <= 1e-9 * total.max(1.0),
+                "per-shard counts must sum to the histogram total"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_reconstructs_the_original_histogram_bytes() {
+    let data = charminar_with(2_500, 29);
+    for hist in techniques(&data, 32) {
+        for rule in RULES {
+            let hist = hist.clone().with_extension_rule(rule);
+            for shards in SHARD_COUNTS {
+                let sharded = ShardedHistogram::build(hist.clone(), shards);
+                let merged = sharded.merge();
+                assert_eq!(
+                    hist.to_bytes(),
+                    merged.to_bytes(),
+                    "merge must reconstruct the original bytes \
+                     (technique={}, rule={rule:?}, shards={shards})",
+                    hist.name()
+                );
+            }
+        }
+    }
+}
+
+/// Builds one table per shard count over the same rows, installing the
+/// same statistics bytes, and returns `(tables, reference)` where the
+/// reference is the `shards = 1` table.
+fn table_fleet(data: &Dataset, stats: &[u8], shard_counts: &[usize]) -> Vec<SpatialTable> {
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut table = SpatialTable::new(TableOptions {
+                shards,
+                ..TableOptions::default()
+            });
+            for r in data.rects() {
+                table.insert(*r);
+            }
+            let diag = table.load_stats(stats);
+            assert!(!diag.degraded, "installing valid stats must not degrade");
+            table
+        })
+        .collect()
+}
+
+#[test]
+fn tables_serve_identical_bits_at_every_shard_count_through_churn() {
+    let data = charminar_with(2_500, 37);
+    let queries = queries_for(&data);
+    for hist in techniques(&data, 40) {
+        for rule in RULES {
+            let stats = hist.clone().with_extension_rule(rule).to_bytes();
+            let mut fleet = table_fleet(&data, &stats, &SHARD_COUNTS);
+            let context = format!("technique={} rule={rule:?}", hist.name());
+            let mut readers: Vec<SpatialReader> = fleet.iter().map(SpatialTable::reader).collect();
+            assert_fleet_agrees(&context, "fresh", &mut fleet, &mut readers, &queries);
+
+            // Insert/delete churn: every table mutates identically; the
+            // in-place patched statistics must still agree bit for bit.
+            let mbr = data.stats().mbr;
+            let mut churn_ids: Vec<Vec<_>> = vec![Vec::new(); fleet.len()];
+            for i in 0..30 {
+                let f = i as f64 / 30.0;
+                let x = mbr.lo.x + f * mbr.width();
+                let y = mbr.lo.y + (1.0 - f) * mbr.height();
+                let rect = Rect::new(x, y, x + 25.0, y + 25.0);
+                for (table, ids) in fleet.iter_mut().zip(&mut churn_ids) {
+                    ids.push(table.insert(rect));
+                }
+            }
+            assert_fleet_agrees(&context, "post-insert", &mut fleet, &mut readers, &queries);
+            for (table, ids) in fleet.iter_mut().zip(&churn_ids) {
+                for id in ids.iter().take(15) {
+                    assert!(table.delete(*id), "churn row must exist");
+                }
+            }
+            assert_fleet_agrees(&context, "post-delete", &mut fleet, &mut readers, &queries);
+            // A re-ANALYZE rebuilds statistics from the (identical) rows;
+            // the fresh histograms must agree at every shard count too.
+            for table in &mut fleet {
+                table.analyze();
+            }
+            assert_fleet_agrees(&context, "post-analyze", &mut fleet, &mut readers, &queries);
+        }
+    }
+}
+
+/// Asserts every table and every reader in the fleet returns exactly the
+/// reference (`shards = 1`) bits for every query.
+fn assert_fleet_agrees(
+    context: &str,
+    stage: &str,
+    fleet: &mut [SpatialTable],
+    readers: &mut [SpatialReader],
+    queries: &[Rect],
+) {
+    for q in queries {
+        let expected = fleet[0].estimate(q).to_bits();
+        for (i, table) in fleet.iter().enumerate().skip(1) {
+            assert_eq!(
+                expected,
+                table.estimate(q).to_bits(),
+                "{context} {stage}: table shards={} diverged on q={q}",
+                SHARD_COUNTS[i]
+            );
+        }
+        for (i, reader) in readers.iter_mut().enumerate() {
+            assert_eq!(
+                expected,
+                reader.estimate(q).to_bits(),
+                "{context} {stage}: reader shards={} diverged on q={q}",
+                SHARD_COUNTS[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_tables_reject_invalid_shard_counts() {
+    for shards in [0usize, MAX_SHARDS + 1] {
+        assert!(
+            SpatialTable::try_new(TableOptions {
+                shards,
+                ..TableOptions::default()
+            })
+            .is_err(),
+            "shards={shards} must be rejected"
+        );
+    }
+    assert!(SpatialTable::try_new(TableOptions {
+        shards: MAX_SHARDS,
+        ..TableOptions::default()
+    })
+    .is_ok());
+}
+
+/// Exhaustive cross product on larger inputs — enabled by the `sharded`
+/// feature (CI runs it; plain `cargo test` keeps the fast base matrix).
+#[cfg(feature = "sharded")]
+#[test]
+fn exhaustive_sharded_matrix() {
+    let mut scratch = ShardScratch::new();
+    for (name, data) in datasets(4) {
+        let queries = queries_for(&data);
+        for buckets in [8usize, 64, 200] {
+            for hist in techniques(&data, buckets) {
+                for rule in RULES {
+                    let hist = hist.clone().with_extension_rule(rule);
+                    for shards in [1usize, 2, 3, 4, 9, 17, 64] {
+                        let context = format!("dataset={name} buckets={buckets} rule={rule:?}");
+                        assert_sharded_differential(
+                            &context,
+                            &hist,
+                            shards,
+                            &queries,
+                            &mut scratch,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// More shards than buckets, single-bucket histograms, and shard counts at
+/// the cap — enabled with the exhaustive matrix.
+#[cfg(feature = "sharded")]
+#[test]
+fn exhaustive_degenerate_shard_shapes() {
+    let mut scratch = ShardScratch::new();
+    let tiny = Dataset::new(vec![Rect::new(0.0, 0.0, 10.0, 10.0); 16]);
+    let queries = queries_for(&tiny);
+    for hist in techniques(&tiny, 1) {
+        for shards in [1usize, 2, 9, MAX_SHARDS] {
+            assert_sharded_differential("tiny", &hist, shards, &queries, &mut scratch);
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_dataset() -> impl Strategy<Value = Dataset> {
+        proptest::collection::vec(
+            (0.0..2_000.0f64, 0.0..2_000.0f64, 0.0..80.0f64, 0.0..80.0f64),
+            30..250,
+        )
+        .prop_map(|raw| {
+            Dataset::new(
+                raw.iter()
+                    .map(|&(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+                    .collect(),
+            )
+        })
+    }
+
+    fn arb_query() -> impl Strategy<Value = Rect> {
+        (
+            -500.0..2_500.0f64,
+            -500.0..2_500.0f64,
+            0.0..1_500.0f64,
+            0.0..1_500.0f64,
+        )
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// For random datasets, budgets, shard counts, and query batches,
+        /// the partition router equals the linear scan bit for bit.
+        #[test]
+        fn prop_sharded_equals_linear(
+            data in arb_dataset(),
+            buckets in 1usize..40,
+            shards in 1usize..24,
+            queries in proptest::collection::vec(arb_query(), 1..30),
+            rule_pick in 0usize..3,
+        ) {
+            let rule = RULES[rule_pick];
+            let mut scratch = ShardScratch::new();
+            for hist in [
+                MinSkewBuilder::new(buckets).regions(256).build(&data),
+                build_equi_count(&data, buckets),
+            ] {
+                let hist = hist.with_extension_rule(rule);
+                let sharded = ShardedHistogram::build(hist.clone(), shards);
+                for q in &queries {
+                    let linear = hist.estimate_count(q);
+                    let routed = sharded.estimate_count_sharded(q, &mut scratch);
+                    prop_assert_eq!(
+                        linear.to_bits(), routed.to_bits(),
+                        "technique={} rule={:?} shards={} q={}",
+                        hist.name(), rule, shards, q
+                    );
+                }
+            }
+        }
+    }
+}

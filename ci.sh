@@ -30,15 +30,26 @@
 #      installs, every observed estimate bitwise old-or-new) and the wire
 #      protocol golden suite, both pinned to one test thread so the stress
 #      owns its thread budget,
-#  13. a CLI serve smoke: start `minskew serve` on an ephemeral port, run
+#  13. the kernel differential suite pinning the SoA clip-and-accumulate
+#      plane bit-identical to the AoS reference fold: exhaustive matrix
+#      on via --features kernel, then re-run under --features simd (and
+#      simd + fast-math for the relative-error contract of the separate
+#      fast entry point), single test thread so runtime dispatch is
+#      exercised deterministically,
+#  14. feature-cross clippy passes over minskew-core with `simd` and
+#      `simd,fast-math` enabled — the SIMD module is the only code in
+#      the workspace allowed to use `unsafe`, and it must stay clean at
+#      -D warnings in every feature combination,
+#  15. a CLI serve smoke: start `minskew serve` on an ephemeral port, run
 #      a catalog-client round trip against it, shut it down over the wire,
 #      and require a clean exit plus an emitted metrics dump,
-#  14. smoke runs of the parallel-speedup, serving-throughput,
-#      obs-overhead, snapshot-persistence, and serve-loadgen benches,
-#      which re-check the differential contracts inline and must leave
-#      BENCH_parallel.json / BENCH_estimate.json / BENCH_obs.json /
-#      BENCH_snapshot.json / BENCH_serve.json behind at the workspace
-#      root.
+#  16. smoke runs of the parallel-speedup, serving-throughput (with
+#      `simd` on, asserting the qps_kernel column is present in the
+#      emitted artefact), obs-overhead, snapshot-persistence, and
+#      serve-loadgen benches, which re-check the differential contracts
+#      inline and must leave BENCH_parallel.json / BENCH_estimate.json /
+#      BENCH_obs.json / BENCH_snapshot.json / BENCH_serve.json behind at
+#      the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -75,6 +86,15 @@ RUST_TEST_THREADS=1 cargo test -q --test serve_stress
 echo "==> wire protocol golden suite (single test thread)"
 RUST_TEST_THREADS=1 cargo test -q --test serve_protocol
 
+echo "==> kernel differential suite (exhaustive, single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test kernel_differential --features kernel
+
+echo "==> kernel differential suite under --features simd"
+RUST_TEST_THREADS=1 cargo test -q --test kernel_differential --features kernel,simd
+
+echo "==> kernel differential suite under --features simd,fast-math"
+RUST_TEST_THREADS=1 cargo test -q --test kernel_differential --features kernel,simd,fast-math
+
 echo "==> observability suites with minskew-obs compiled to no-ops"
 cargo test -q --test obs_differential --test golden_metrics --features minskew-obs/noop
 
@@ -84,6 +104,10 @@ cargo clippy -p minskew-obs --all-targets -- -D warnings -D clippy::unwrap_used
 echo "==> clippy (serving crates, allocation lints denied)"
 cargo clippy -p minskew-core -p minskew-engine --all-targets -- \
     -D warnings -D clippy::needless_collect -D clippy::redundant_clone
+
+echo "==> clippy (minskew-core, simd feature cross)"
+cargo clippy -p minskew-core --all-targets --features simd -- -D warnings
+cargo clippy -p minskew-core --all-targets --features simd,fast-math -- -D warnings
 
 echo "==> CLI serve smoke (ephemeral port, wire shutdown, metrics dump)"
 cargo build -q -p minskew-cli
@@ -131,11 +155,15 @@ fi
 # so CI never silently rewrites the benchmark artefact.
 git checkout -- BENCH_parallel.json 2>/dev/null || true
 
-echo "==> serving throughput bench smoke (MINSKEW_QUICK=1)"
+echo "==> serving throughput bench smoke (MINSKEW_QUICK=1, simd on)"
 rm -f BENCH_estimate.json
-MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench serving_throughput >/dev/null
+MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench serving_throughput --features simd >/dev/null
 if [[ ! -f BENCH_estimate.json ]]; then
     echo "ERROR: bench did not write BENCH_estimate.json" >&2
+    exit 1
+fi
+if ! grep -q '"qps_kernel"' BENCH_estimate.json; then
+    echo "ERROR: BENCH_estimate.json is missing the qps_kernel column" >&2
     exit 1
 fi
 git checkout -- BENCH_estimate.json 2>/dev/null || true

@@ -61,9 +61,9 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use minskew_core::{
-    build_uniform, try_build_equi_area, try_build_equi_count, try_build_rtree_partitioning_default,
-    BuildError, FractalEstimator, IndexScratch, MinSkewBuildTrace, MinSkewBuilder,
-    SamplingEstimator, SpatialEstimator, SpatialHistogram,
+    build_uniform, simd_level, try_build_equi_area, try_build_equi_count,
+    try_build_rtree_partitioning_default, BuildError, FractalEstimator, IndexScratch,
+    MinSkewBuildTrace, MinSkewBuilder, SamplingEstimator, SpatialEstimator, SpatialHistogram,
 };
 use minskew_core::{FormatVersion, SnapshotInfo};
 use minskew_data::atomic::write_atomic;
@@ -525,6 +525,19 @@ fn stats_cmd(opts: &Flags) -> Result<(), CliError> {
             workload.len(),
             data.len()
         );
+        if let Some(stats) = table.current_snapshot().stats() {
+            let fp = stats.histogram().serving_footprint();
+            println!(
+                "serving footprint: summary={} ext_table={} index={} plane={} \
+                 total={} bytes (kernel: {})",
+                fp.summary,
+                fp.ext_table,
+                fp.index,
+                fp.plane,
+                fp.total(),
+                simd_level()
+            );
+        }
         if let Some(report) = &report {
             println!("{report}");
         }

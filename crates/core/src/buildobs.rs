@@ -17,5 +17,5 @@ pub(crate) fn record_build(hist: &SpatialHistogram, build_ns: u64) {
         .record(build_ns);
     registry
         .gauge(&format!("core.build.{technique}.bytes"))
-        .set(hist.size_bytes() as f64);
+        .set(hist.summary_bytes() as f64);
 }

@@ -30,7 +30,8 @@ pub struct HistogramDiagnostics {
     pub area_mean: f64,
     /// Largest bucket area.
     pub area_max: f64,
-    /// Summary footprint in bytes.
+    /// Summary footprint in bytes (the paper's §5.4 accounting; serving
+    /// caches are reported by [`SpatialHistogram::serving_footprint`]).
     pub size_bytes: usize,
 }
 
@@ -59,7 +60,7 @@ impl SpatialHistogram {
             area_min: areas.iter().cloned().fold(f64::INFINITY, f64::min),
             area_mean: areas.iter().sum::<f64>() / n as f64,
             area_max: areas.iter().cloned().fold(0.0, f64::max),
-            size_bytes: self.size_bytes(),
+            size_bytes: self.summary_bytes(),
         })
     }
 }

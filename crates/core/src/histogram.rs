@@ -5,6 +5,7 @@ use std::sync::OnceLock;
 use minskew_geom::Rect;
 
 use crate::index::CandidateSet;
+use crate::kernel::{BucketPlane, QueryPrep};
 use crate::{Bucket, BucketIndex, ExtensionRule, IndexScratch, SpatialEstimator};
 
 /// A spatial histogram: a flat set of disjoint-by-construction buckets, each
@@ -37,6 +38,10 @@ pub struct SpatialHistogram {
     total: OnceLock<f64>,
     /// Lazily built serving-path directory; see [`BucketIndex`].
     index: OnceLock<BucketIndex>,
+    /// Lazily built SoA mirror of the buckets for the vectorised
+    /// clip-and-accumulate kernel; see [`BucketPlane`]. Invalidated with
+    /// the other caches whenever the buckets or the rule change.
+    plane: OnceLock<BucketPlane>,
 }
 
 impl PartialEq for SpatialHistogram {
@@ -67,6 +72,7 @@ impl SpatialHistogram {
             ext: OnceLock::new(),
             total: OnceLock::new(),
             index: OnceLock::new(),
+            plane: OnceLock::new(),
         };
         // Seed the cheap O(B) caches eagerly (the index stays lazy — only
         // serving paths pay for it, via `bucket_index`).
@@ -82,6 +88,7 @@ impl SpatialHistogram {
         self.ext.take();
         self.total.take();
         self.index.take();
+        self.plane.take();
         &mut self.buckets
     }
 
@@ -131,6 +138,7 @@ impl SpatialHistogram {
             self.rule = rule;
             self.ext.take();
             self.index.take();
+            self.plane.take();
         }
         self
     }
@@ -160,19 +168,42 @@ impl SpatialHistogram {
         self
     }
 
-    /// [`SpatialEstimator::estimate_count`] through the serving index:
-    /// bit-identical to the linear scan, sub-linear in the bucket count for
-    /// selective queries, and allocation-free once `scratch` is warm.
-    ///
-    /// The index gathers exactly the buckets the extended query can touch
-    /// (plus possibly a few whose estimate is exactly `0.0`), in ascending
-    /// bucket order — so the partial sums match the linear scan bit for
-    /// bit. Queries covering most of the directory fall back to the linear
-    /// scan internally.
-    pub fn estimate_count_indexed(&self, query: &Rect, scratch: &mut IndexScratch) -> f64 {
+    /// The SoA kernel plane over this histogram's buckets, built lazily on
+    /// first use and cached until the buckets or the extension rule change
+    /// (the same `OnceLock` discipline as [`SpatialHistogram::bucket_index`]).
+    pub fn bucket_plane(&self) -> &BucketPlane {
+        self.plane
+            .get_or_init(|| BucketPlane::build(&self.buckets, self.rule))
+    }
+
+    /// The reference linear scan: the AoS fold over
+    /// [`Bucket::estimate_with_extension`] that every serving path is
+    /// pinned bit-identical to. Kept callable so the differential suites
+    /// and the bench compare the kernel against the genuine article rather
+    /// than against itself.
+    pub fn estimate_count_reference(&self, query: &Rect) -> f64 {
+        // The extension amounts are a pure per-bucket function of the rule;
+        // using the precomputed table is bit-identical to re-deriving them.
+        self.buckets
+            .iter()
+            .zip(self.ext_amounts())
+            .map(|(b, &(ex, ey))| b.estimate_with_extension(query, ex, ey))
+            .sum()
+    }
+
+    /// The PR 3 indexed path exactly as shipped: candidate gathering plus
+    /// the AoS subset fold. Bit-identical to
+    /// [`SpatialHistogram::estimate_count_indexed`]; kept as the
+    /// like-for-like baseline the bench's `kernel_speedup` is measured
+    /// against.
+    pub fn estimate_count_indexed_reference(
+        &self,
+        query: &Rect,
+        scratch: &mut IndexScratch,
+    ) -> f64 {
         let index = self.bucket_index();
         let partial: f64 = match index.candidates(query, scratch) {
-            CandidateSet::Scan => return self.estimate_count(query),
+            CandidateSet::Scan => return self.estimate_count_reference(query),
             CandidateSet::Pruned => -0.0,
             CandidateSet::Subset(ids) => {
                 let ext = self.ext_amounts();
@@ -185,31 +216,86 @@ impl SpatialHistogram {
             }
         };
         if self.buckets.is_empty() {
-            // The linear fold over zero terms is Rust's additive identity,
-            // `-0.0`; `partial` is exactly that.
             partial
         } else {
-            // Every pruned bucket's term is exactly `+0.0`. Rust's f64 sum
-            // folds from `-0.0`, so skipping those terms is bitwise
-            // invisible except in one case: when every candidate term was
-            // zero too, the linear fold ends at `+0.0` (`-0.0 + 0.0`)
-            // while the pruned fold may end at `-0.0`. Adding a single
-            // `+0.0` — one of the skipped terms — applies exactly that
-            // correction and is a bitwise no-op for every non-negative sum.
             partial + 0.0
         }
+    }
+
+    /// Reassociated kernel estimate (see [`BucketPlane::accumulate_fast`]):
+    /// same terms as [`SpatialEstimator::estimate_count`], fold order
+    /// relaxed, relative error pinned `<= 1e-12`. Opt-in via the
+    /// `fast-math` feature; no default serving path calls this.
+    #[cfg(feature = "fast-math")]
+    pub fn estimate_count_fast(&self, query: &Rect) -> f64 {
+        self.bucket_plane().accumulate_fast(&QueryPrep::new(query))
+    }
+
+    /// [`SpatialEstimator::estimate_count`] through the serving fast path:
+    /// bit-identical to the linear scan, sub-linear in the bucket count for
+    /// selective queries, and allocation-free once `scratch` is warm.
+    ///
+    /// Since the kernel plane gained its Morton mirror this no longer
+    /// walks the CSR directory: the kernel's block-pruned scan
+    /// ([`crate::BucketPlane::accumulate_pruned`]) discards whole runs of
+    /// spatially-clustered buckets with one coarse rectangle test each and
+    /// replays the few surviving terms in reference fold order. The CSR
+    /// path survives unchanged as
+    /// [`SpatialHistogram::estimate_count_indexed_reference`], the baseline
+    /// every differential suite and the bench compare against.
+    pub fn estimate_count_indexed(&self, query: &Rect, scratch: &mut IndexScratch) -> f64 {
+        self.bucket_plane()
+            .accumulate_pruned(&QueryPrep::new(query), &mut scratch.terms)
+    }
+
+    /// Byte-level breakdown of everything this histogram keeps resident
+    /// for serving, *as currently materialised*: lazily built structures
+    /// (index, plane) count only once something has forced them.
+    pub fn serving_footprint(&self) -> ServingFootprint {
+        let summary = self.buckets.len() * Bucket::SIZE_BYTES;
+        let ext_table = self
+            .ext
+            .get()
+            .map_or(0, |t| t.len() * std::mem::size_of::<(f64, f64)>());
+        let index = self.index.get().map_or(0, |i| i.size_bytes());
+        let plane = self.plane.get().map_or(0, |p| p.size_bytes());
+        ServingFootprint {
+            summary,
+            ext_table,
+            index,
+            plane,
+        }
+    }
+}
+
+/// Byte-level breakdown of a histogram's serving footprint
+/// ([`SpatialHistogram::serving_footprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingFootprint {
+    /// The bucket summary itself under the paper's §5.4 accounting
+    /// (eight words per bucket).
+    pub summary: usize,
+    /// Cached per-bucket extension amounts.
+    pub ext_table: usize,
+    /// The CSR grid directory ([`BucketIndex`]), when materialised.
+    pub index: usize,
+    /// The SoA kernel plane ([`BucketPlane`]), when materialised.
+    pub plane: usize,
+}
+
+impl ServingFootprint {
+    /// Total resident bytes.
+    pub fn total(&self) -> usize {
+        self.summary + self.ext_table + self.index + self.plane
     }
 }
 
 impl SpatialEstimator for SpatialHistogram {
     fn estimate_count(&self, query: &Rect) -> f64 {
-        // The extension amounts are a pure per-bucket function of the rule;
-        // using the precomputed table is bit-identical to re-deriving them.
-        self.buckets
-            .iter()
-            .zip(self.ext_amounts())
-            .map(|(b, &(ex, ey))| b.estimate_with_extension(query, ex, ey))
-            .sum()
+        // The SoA kernel fold is proven bit-identical to the reference
+        // AoS fold (`estimate_count_reference`); the serving and kernel
+        // differential suites pin it.
+        self.bucket_plane().accumulate(&QueryPrep::new(query))
     }
 
     fn input_len(&self) -> usize {
@@ -221,6 +307,10 @@ impl SpatialEstimator for SpatialHistogram {
     }
 
     fn size_bytes(&self) -> usize {
+        self.serving_footprint().total()
+    }
+
+    fn summary_bytes(&self) -> usize {
         self.buckets.len() * Bucket::SIZE_BYTES
     }
 }
@@ -264,7 +354,34 @@ mod tests {
     fn accounting() {
         let h = two_bucket_hist();
         assert_eq!(h.num_buckets(), 2);
-        assert_eq!(h.size_bytes(), 2 * 64);
+        // Paper accounting: eight words per bucket, nothing else.
+        assert_eq!(h.summary_bytes(), 2 * 64);
+        // Serving footprint: `from_parts` seeds the extension table; the
+        // index and the kernel plane are lazy and not yet resident.
+        let fp = h.serving_footprint();
+        assert_eq!(fp.summary, 2 * 64);
+        assert_eq!(fp.ext_table, 2 * 16);
+        assert_eq!((fp.index, fp.plane), (0, 0));
+        assert_eq!(h.size_bytes(), fp.total());
+        // Serving materialises the plane (fine columns, the Morton mirror
+        // padded to a whole quad, the id map, block summaries padded to a
+        // coarse vector of four, and one block window of quad summaries);
+        // the CSR index stays lazy until the reference path forces it.
+        // The footprint must see both.
+        let mut scratch = IndexScratch::new();
+        let _ = h.estimate_count_indexed(&Rect::new(0.0, 0.0, 1.0, 1.0), &mut scratch);
+        let fp = h.serving_footprint();
+        assert_eq!(
+            fp.plane,
+            2 * 9 * 8 + 4 * 7 * 8 + 4 * 4 + 4 * 6 * 8 + 4 * 6 * 8
+        );
+        assert_eq!(fp.index, 0, "production serving no longer needs the CSR");
+        assert_eq!(h.size_bytes(), fp.total());
+        let _ = h.estimate_count_indexed_reference(&Rect::new(0.0, 0.0, 1.0, 1.0), &mut scratch);
+        let fp = h.serving_footprint();
+        assert!(fp.index > 0, "index must be counted once built");
+        assert_eq!(h.size_bytes(), fp.total());
+        assert!(h.size_bytes() > h.summary_bytes());
         assert_eq!(h.total_count(), 100.0);
         assert_eq!(h.input_len(), 100);
         assert_eq!(h.name(), "test");
@@ -318,6 +435,41 @@ mod tests {
                 h.estimate_count_indexed(&q, &mut scratch).to_bits(),
                 "q={q}"
             );
+        }
+    }
+
+    #[test]
+    fn kernel_paths_match_reference_paths_bits() {
+        // The production paths (SoA kernel) against the retained AoS
+        // reference paths, across rules; the dedicated kernel differential
+        // suite widens this to full datasets and techniques.
+        for rule in [
+            ExtensionRule::Minkowski,
+            ExtensionRule::PaperLiteral,
+            ExtensionRule::None,
+        ] {
+            let h = two_bucket_hist().with_extension_rule(rule).with_index();
+            let mut scratch = IndexScratch::new();
+            let mut scratch_ref = IndexScratch::new();
+            for q in [
+                Rect::new(0.0, 0.0, 15.0, 10.0),
+                Rect::new(-100.0, -100.0, -50.0, -50.0),
+                Rect::new(9.9, 4.0, 10.1, 6.0),
+                Rect::new(10.0, 0.0, 10.0, 10.0),
+                Rect::from_point(minskew_geom::Point::new(3.0, 3.0)),
+            ] {
+                assert_eq!(
+                    h.estimate_count(&q).to_bits(),
+                    h.estimate_count_reference(&q).to_bits(),
+                    "rule={rule:?} q={q}"
+                );
+                assert_eq!(
+                    h.estimate_count_indexed(&q, &mut scratch).to_bits(),
+                    h.estimate_count_indexed_reference(&q, &mut scratch_ref)
+                        .to_bits(),
+                    "rule={rule:?} q={q}"
+                );
+            }
         }
     }
 

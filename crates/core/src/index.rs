@@ -66,6 +66,10 @@ const MAX_ENTRIES_PER_BUCKET: usize = 32;
 pub struct IndexScratch {
     /// Deduplicated candidate bucket ids for the current query.
     candidates: Vec<u32>,
+    /// Sparse term buffer (dense per-bucket slots plus an id-space
+    /// bitmask) filled by the kernel's block-pruned scan
+    /// ([`crate::BucketPlane::accumulate_pruned`]).
+    pub(crate) terms: crate::kernel::TermBuf,
     /// Stamp per bucket id; `visited[b] == stamp` means already gathered.
     visited: Vec<u32>,
     /// Current query's stamp (wraps safely; see [`IndexScratch::begin`]).
@@ -353,6 +357,12 @@ impl BucketIndex {
     /// The query-side extension amounts applied at lookup time.
     pub fn max_extension(&self) -> (f64, f64) {
         (self.max_ex, self.max_ey)
+    }
+
+    /// Heap bytes held by the directory's CSR arrays, for serving-footprint
+    /// accounting ([`crate::SpatialHistogram::serving_footprint`]).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<u32>() * (self.cell_starts.capacity() + self.cell_buckets.capacity())
     }
 }
 

@@ -42,7 +42,12 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// The explicit-SIMD kernel filter (`simd` feature) is the one sanctioned
+// use of `unsafe` in this crate; everything else stays forbidden, and even
+// under the feature `unsafe` is denied except where the kernel module
+// allows it with SAFETY comments.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod bucket;
@@ -55,8 +60,10 @@ mod fractal;
 mod gridhist;
 mod histogram;
 mod index;
+mod kernel;
 mod maintenance;
 mod minskew;
+mod morton;
 mod optimal;
 mod rtree_part;
 mod sampling;
@@ -71,9 +78,11 @@ pub use equi::{build_equi_area, build_equi_count, try_build_equi_area, try_build
 pub use error::{BuildError, EstimateError};
 pub use fractal::FractalEstimator;
 pub use gridhist::{build_grid, try_build_grid};
-pub use histogram::SpatialHistogram;
+pub use histogram::{ServingFootprint, SpatialHistogram};
 pub use index::{BucketIndex, CandidateSet, IndexScratch};
+pub use kernel::{simd_level, BucketPlane, QueryPrep, TermBuf};
 pub use minskew::{MinSkewBuildTrace, MinSkewBuilder, MinSkewDetail, SplitEvent, SplitStrategy};
+pub use morton::{morton_key, morton_schedule};
 pub use optimal::{build_optimal_bsp, optimal_bsp_skew, try_build_optimal_bsp, OptimalBsp};
 pub use rtree_part::{
     build_rtree_partitioning, build_rtree_partitioning_default, try_build_rtree_partitioning,
@@ -105,7 +114,20 @@ pub trait SpatialEstimator {
 
     /// Approximate size of the summary in bytes, for space-budget
     /// accounting (§5.4 of the paper).
+    ///
+    /// This is the **serving footprint**: everything the estimator keeps
+    /// resident to answer queries, including derived acceleration
+    /// structures. For the paper's space-budget comparisons use
+    /// [`SpatialEstimator::summary_bytes`].
     fn size_bytes(&self) -> usize;
+
+    /// Size of the *summary alone* under the paper's accounting (§5.4) —
+    /// what competes for the space budget in the accuracy/space plots.
+    /// Defaults to [`SpatialEstimator::size_bytes`]; estimators that cache
+    /// derived serving structures override it to exclude them.
+    fn summary_bytes(&self) -> usize {
+        self.size_bytes()
+    }
 
     /// Estimated selectivity `|Q| / N` (zero for an empty input).
     fn estimate_selectivity(&self, query: &Rect) -> f64 {

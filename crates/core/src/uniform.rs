@@ -82,7 +82,11 @@ mod tests {
         let ds = uniform_rects(100, Rect::new(0.0, 0.0, 10.0, 10.0), 1.0, 1.0, 3);
         let est = build_uniform(&ds);
         assert_eq!(est.num_buckets(), 1);
-        assert_eq!(est.size_bytes(), Bucket::SIZE_BYTES);
+        assert_eq!(est.summary_bytes(), Bucket::SIZE_BYTES);
+        // The serving footprint additionally counts the eagerly seeded
+        // extension table (and, once serving forces them, index + plane).
+        assert_eq!(est.size_bytes(), est.serving_footprint().total());
+        assert!(est.size_bytes() >= est.summary_bytes());
         assert_eq!(est.name(), "Uniform");
     }
 

@@ -66,7 +66,7 @@ pub use monitor::AccuracyReport;
 pub use persist::{SnapshotIoError, SnapshotLoadReport};
 pub use planner::{CostModel, Explain, Plan};
 pub use publish::{EstimateScratch, SnapshotCell, TableSnapshot};
-pub use reader::SpatialReader;
+pub use reader::{BatchQueryError, SpatialReader};
 pub use server::{serve, ServeOptions, ServerHandle};
 pub use table::{
     AnalyzeOptions, RowId, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique,

@@ -32,6 +32,31 @@ pub struct SpatialReader {
     cache: QueryCache,
     /// Generation the cache's entries were filled under.
     generation: u64,
+    /// Per-shard routed-query totals of the most recent batch; see
+    /// [`SpatialReader::batch_shard_routing`].
+    batch_routed: Vec<u64>,
+}
+
+/// Error from [`SpatialReader::try_estimate_batch`]: the first offending
+/// query (in request order) and why it was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchQueryError {
+    /// Zero-based index of the failing query in the request batch.
+    pub index: usize,
+    /// The underlying rejection.
+    pub error: EstimateError,
+}
+
+impl std::fmt::Display for BatchQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query {}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchQueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 impl SpatialReader {
@@ -43,6 +68,7 @@ impl SpatialReader {
             scratch: EstimateScratch::new(),
             cache: QueryCache::new(cache_capacity),
             generation: 0,
+            batch_routed: Vec::new(),
         }
     }
 
@@ -75,6 +101,81 @@ impl SpatialReader {
         let value = snapshot.estimate(query, &mut self.scratch);
         self.cache.insert(key, value);
         Ok(value)
+    }
+
+    /// Estimated result sizes for a batch of queries (`0.0` for any
+    /// non-finite query, like [`SpatialReader::estimate`]).
+    pub fn estimate_batch(&mut self, queries: &[Rect]) -> Vec<f64> {
+        match self.try_estimate_batch(queries) {
+            Ok(values) => values,
+            Err(_) => {
+                // Mirror the lenient single-query path: estimate what is
+                // finite, answer `0.0` for what is not.
+                queries.iter().map(|q| self.estimate(q)).collect()
+            }
+        }
+    }
+
+    /// Estimated result sizes for a batch of queries, rejecting the batch
+    /// on the first (request-order) non-finite query.
+    ///
+    /// The whole batch is served against **one** snapshot load — a mid-batch
+    /// publication cannot split the batch across generations — and is
+    /// evaluated in Morton order of the query centres
+    /// ([`minskew_core::morton_schedule`]) so consecutive estimates touch
+    /// neighbouring index cells and SoA cache lines. Results are returned
+    /// in request order, and every value is bit-identical to what a
+    /// request-order [`SpatialReader::try_estimate`] loop against the same
+    /// snapshot would produce: each estimate is independent, and the
+    /// reader's query cache stores exact previously returned values keyed
+    /// by query bits, so probe order cannot change any answer.
+    ///
+    /// Per-shard routing totals for the batch are available afterwards via
+    /// [`SpatialReader::batch_shard_routing`].
+    pub fn try_estimate_batch(&mut self, queries: &[Rect]) -> Result<Vec<f64>, BatchQueryError> {
+        if let Some(index) = queries.iter().position(|q| !q.is_finite()) {
+            return Err(BatchQueryError {
+                index,
+                error: EstimateError::NonFiniteQuery,
+            });
+        }
+        let snapshot = self.cell.load();
+        if snapshot.generation() != self.generation {
+            self.cache.invalidate();
+            self.generation = snapshot.generation();
+        }
+        self.batch_routed.clear();
+        let order = minskew_core::morton_schedule(queries);
+        let mut out = vec![0.0f64; queries.len()];
+        for &i in &order {
+            let query = &queries[i as usize];
+            self.scratch.used_router = false;
+            let key = cache_key(query);
+            let value = if let Some(cached) = self.cache.get(&key) {
+                cached
+            } else {
+                let value = snapshot.estimate(query, &mut self.scratch);
+                self.cache.insert(key, value);
+                value
+            };
+            if let Some(shards) = self.scratch.routed_shards() {
+                if self.batch_routed.len() < shards.len() {
+                    self.batch_routed.resize(shards.len(), 0);
+                }
+                for (slot, &hit) in self.batch_routed.iter_mut().zip(shards) {
+                    *slot += u64::from(hit);
+                }
+            }
+            out[i as usize] = value;
+        }
+        Ok(out)
+    }
+
+    /// Per-shard routed-query totals of the most recent
+    /// [`SpatialReader::try_estimate_batch`] (empty for unsharded
+    /// statistics, cache-served batches, or before any batch).
+    pub fn batch_shard_routing(&self) -> &[u64] {
+        &self.batch_routed
     }
 
     /// The latest published snapshot (what the next estimate will serve

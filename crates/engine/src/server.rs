@@ -533,6 +533,30 @@ fn note_routing(ctx: &Arc<ServerCtx>, name: &str, tr: &mut TableReader) {
     }
 }
 
+/// Adds the per-shard routed totals of the most recent batch into
+/// `serve.table.<t>.shard.<s>.routed`.
+fn note_batch_routing(ctx: &Arc<ServerCtx>, name: &str, tr: &mut TableReader) {
+    if !minskew_obs::enabled() {
+        return;
+    }
+    let routed = tr.reader.batch_shard_routing();
+    if routed.is_empty() {
+        return;
+    }
+    if tr.shard_counters.len() < routed.len() {
+        let table = minskew_obs::name_component(name);
+        for s in tr.shard_counters.len()..routed.len() {
+            tr.shard_counters.push(
+                ctx.registry
+                    .counter(&format!("serve.table.{table}.shard.{s}.routed")),
+            );
+        }
+    }
+    for (s, &hits) in routed.iter().enumerate() {
+        tr.shard_counters[s].add(hits);
+    }
+}
+
 fn cmd_estimate(ctx: &Arc<ServerCtx>, conn: &mut ConnState, args: &[&str]) -> Reply {
     let [name, coords @ ..] = args else {
         return err(2, "usage: ESTIMATE <table> <x1> <y1> <x2> <y2>");
@@ -592,13 +616,15 @@ fn cmd_batch(ctx: &Arc<ServerCtx>, conn: &mut ConnState, args: &[&str]) -> Reply
         Ok(tr) => tr,
         Err(reply) => return reply,
     };
-    let mut payload = String::with_capacity(queries.len() * 8);
-    for (i, q) in queries.iter().enumerate() {
-        let value = match tr.reader.try_estimate(q) {
-            Ok(v) => v,
-            Err(e) => return err(2, format_args!("usage: query {i}: {e}")),
-        };
-        note_routing(ctx, name, tr);
+    // One Morton-ordered pass over one snapshot; replies come back in
+    // request order and are bit-identical to a per-query loop.
+    let values = match tr.reader.try_estimate_batch(&queries) {
+        Ok(values) => values,
+        Err(e) => return err(2, format_args!("usage: {e}")),
+    };
+    note_batch_routing(ctx, name, tr);
+    let mut payload = String::with_capacity(values.len() * 8);
+    for (i, value) in values.iter().enumerate() {
         if i > 0 {
             payload.push(' ');
         }

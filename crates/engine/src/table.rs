@@ -984,14 +984,23 @@ impl SpatialTable {
     /// observable: every batch bumps [`StatsDiagnostics::batch_queries`],
     /// and when the cache is enabled the bypassed queries are counted in
     /// [`StatsDiagnostics::batch_cache_bypass`].
+    ///
+    /// Internally the pool is evaluated in **Morton order** of the query
+    /// centres ([`minskew_core::morton_schedule`]): consecutive queries are
+    /// spatial neighbours, so they touch the same index cells and the same
+    /// stretches of the SoA kernel plane instead of bouncing across it.
+    /// Each estimate is computed independently, so the schedule cannot move
+    /// a bit; results are scattered back to input order before returning.
     pub fn estimate_batch(&self, queries: &[Rect]) -> Vec<f64> {
         self.note_batch(queries.len());
+        let order = minskew_core::morton_schedule(queries);
+        let sorted: Vec<Rect> = order.iter().map(|&i| queries[i as usize]).collect();
         // Chunked queue rather than static chunks: estimate cost varies
         // with how many buckets a query overlaps.
-        minskew_par::map_chunks_queued_with(
+        let results = minskew_par::map_chunks_queued_with(
             self.options.threads,
             64,
-            queries,
+            &sorted,
             EstimateScratch::new,
             |scratch, q| {
                 if q.is_finite() {
@@ -1000,7 +1009,12 @@ impl SpatialTable {
                     0.0
                 }
             },
-        )
+        );
+        let mut out = vec![0.0f64; queries.len()];
+        for (&value, &i) in results.iter().zip(&order) {
+            out[i as usize] = value;
+        }
+        out
     }
 
     /// Strict counterpart of [`SpatialTable::estimate_batch`]: any
@@ -1014,13 +1028,20 @@ impl SpatialTable {
             return Err(EstimateError::NonFiniteQuery);
         }
         self.note_batch(queries.len());
-        Ok(minskew_par::map_chunks_queued_with(
+        let order = minskew_core::morton_schedule(queries);
+        let sorted: Vec<Rect> = order.iter().map(|&i| queries[i as usize]).collect();
+        let results = minskew_par::map_chunks_queued_with(
             self.options.threads,
             64,
-            queries,
+            &sorted,
             EstimateScratch::new,
             |scratch, q| self.estimate_finite(q, scratch),
-        ))
+        );
+        let mut out = vec![0.0f64; queries.len()];
+        for (&value, &i) in results.iter().zip(&order) {
+            out[i as usize] = value;
+        }
+        Ok(out)
     }
 
     /// Records one batch invocation of `n` queries in the serving counters.

@@ -156,7 +156,9 @@ pub fn evaluate(
         mean_per_query_error: per_query / n,
         rms_error: (sq_sum / n).sqrt(),
         queries: workload.len(),
-        size_bytes: estimator.size_bytes(),
+        // Paper accounting: the summary competes for the space budget;
+        // serving-only caches (index, SoA plane) are excluded.
+        size_bytes: estimator.summary_bytes(),
     }
 }
 

@@ -59,11 +59,12 @@ pub use minskew_workload as workload;
 pub mod prelude {
     pub use minskew_core::{
         build_equi_area, build_equi_count, build_grid, build_optimal_bsp, build_rtree_partitioning,
-        build_rtree_partitioning_default, build_uniform, try_build_equi_area, try_build_equi_count,
-        try_build_grid, try_build_optimal_bsp, try_build_rtree_partitioning, try_build_uniform,
-        verify_snapshot, Bucket, BucketIndex, BuildError, EstimateError, ExtensionRule,
-        FormatVersion, FractalEstimator, IndexScratch, MinSkewBuildTrace, MinSkewBuilder,
-        RTreeBuildMethod, SamplingEstimator, ShardInfo, ShardScratch, ShardedHistogram,
+        build_rtree_partitioning_default, build_uniform, morton_key, morton_schedule, simd_level,
+        try_build_equi_area, try_build_equi_count, try_build_grid, try_build_optimal_bsp,
+        try_build_rtree_partitioning, try_build_uniform, verify_snapshot, Bucket, BucketIndex,
+        BucketPlane, BuildError, EstimateError, ExtensionRule, FormatVersion, FractalEstimator,
+        IndexScratch, MinSkewBuildTrace, MinSkewBuilder, QueryPrep, RTreeBuildMethod,
+        SamplingEstimator, ServingFootprint, ShardInfo, ShardScratch, ShardedHistogram,
         SnapshotError, SnapshotInfo, SpatialEstimator, SpatialHistogram, SplitEvent, SplitStrategy,
         MAX_SHARDS,
     };
@@ -71,10 +72,10 @@ pub mod prelude {
         write_atomic, CsvRectSource, Dataset, DensityGrid, FaultInjector, FaultKind, RectSource,
     };
     pub use minskew_engine::{
-        serve, AccuracyReport, AnalyzeOptions, CatalogEntry, CatalogError, EstimateScratch,
-        ServeOptions, ServerHandle, SnapshotCell, SnapshotIoError, SnapshotLoadReport,
-        SpatialCatalog, SpatialReader, SpatialTable, StatsDiagnostics, StatsFallback,
-        StatsTechnique, TableOptions, TableSnapshot, MAX_TABLE_NAME,
+        serve, AccuracyReport, AnalyzeOptions, BatchQueryError, CatalogEntry, CatalogError,
+        EstimateScratch, ServeOptions, ServerHandle, SnapshotCell, SnapshotIoError,
+        SnapshotLoadReport, SpatialCatalog, SpatialReader, SpatialTable, StatsDiagnostics,
+        StatsFallback, StatsTechnique, TableOptions, TableSnapshot, MAX_TABLE_NAME,
     };
     pub use minskew_geom::{Point, Rect};
     pub use minskew_workload::{

@@ -236,6 +236,75 @@ fn shutdown_verb_stops_the_server_cleanly() {
 }
 
 #[test]
+fn batch_replies_preserve_request_order_and_library_bits() {
+    // BATCH evaluates in Morton order of the query centres; the wire reply
+    // must nevertheless come back in **request** order, with every value
+    // bit-identical to the library. The query mix is scattered across the
+    // extent (distinct answers) and reversed, so request order is far from
+    // Morton order — any order leak would misalign the replies.
+    let data = minskew_datagen::charminar_with(1_500, 79);
+    let catalog = Arc::new(SpatialCatalog::new());
+    let entry = catalog
+        .create(
+            "roads",
+            TableOptions {
+                shards: 4,
+                ..TableOptions::default()
+            },
+        )
+        .expect("create");
+    {
+        let mut table = entry.table();
+        for r in data.rects() {
+            table.insert(*r);
+        }
+        table.analyze();
+    }
+    let handle = serve(catalog, ServeOptions::default()).expect("bind");
+    let mut c = Client::connect(handle.addr());
+    let mbr = data.stats().mbr;
+    let (w, h) = (mbr.width(), mbr.height());
+    let mut queries = Vec::new();
+    for i in 0..16 {
+        let f = i as f64 / 16.0;
+        let x = mbr.lo.x + f * w * 0.5;
+        let y = mbr.lo.y + (1.0 - f) * h * 0.5;
+        let size = 0.1 + 0.05 * i as f64;
+        queries.push(Rect::new(x, y, x + size * w, y + size * h));
+    }
+    queries.reverse();
+    let expected: Vec<f64> = {
+        let table = entry.table();
+        queries.iter().map(|q| table.estimate(q)).collect()
+    };
+    let distinct: std::collections::HashSet<u64> = expected.iter().map(|v| v.to_bits()).collect();
+    assert!(
+        distinct.len() > 8,
+        "query mix must produce distinct answers for the order check: {expected:?}"
+    );
+    let mut line = format!("BATCH roads {}", queries.len());
+    for q in &queries {
+        line.push_str(&format!(" {} {} {} {}", q.lo.x, q.lo.y, q.hi.x, q.hi.y));
+    }
+    let reply = c.send(&line);
+    let values: Vec<f64> = reply
+        .strip_prefix("OK ")
+        .expect("batch reply")
+        .split(' ')
+        .map(|t| t.parse().expect("parse batch value"))
+        .collect();
+    assert_eq!(values.len(), expected.len(), "reply arity: {reply:?}");
+    for (i, (got, want)) in values.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            want.to_bits(),
+            got.to_bits(),
+            "batch reply {i} out of order or off by bits: reply {reply:?}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn estimates_over_the_wire_are_bit_identical_to_the_library() {
     // The wire uses shortest-round-trip f64 formatting, so parsing the
     // reply must recover exactly the bits the engine computed.

@@ -4,10 +4,13 @@
 //! every extension rule, and every query shape — including after
 //! maintenance churn invalidates the caches.
 //!
-//! The linear scan (`SpatialEstimator::estimate_count`, a left-to-right sum
-//! of `Bucket::estimate` over all buckets) is the reference semantics; the
-//! serving layer is an optimisation that must be observationally invisible,
-//! exactly like the parallel layer pinned by `parallel_differential.rs`.
+//! The scalar AoS fold (`estimate_count_reference`, a left-to-right sum of
+//! `Bucket::estimate` over all buckets) is the reference semantics; the
+//! serving layer — the SoA clip-and-accumulate kernel behind
+//! `estimate_count`, the bucket index, and the query cache — is an
+//! optimisation stack that must be observationally invisible, exactly like
+//! the parallel layer pinned by `parallel_differential.rs`. The kernel gets
+//! its own deeper matrix in `kernel_differential.rs`.
 //!
 //! The base matrix below always runs (tier 1). The `serving` feature turns
 //! on the exhaustive cross product on larger inputs; the `proptest` feature
@@ -108,8 +111,11 @@ fn queries_for(data: &Dataset) -> Vec<Rect> {
     out
 }
 
-/// Asserts indexed == linear, bit for bit, for one histogram across the
-/// full query mix; the scratch is deliberately reused across queries.
+/// Asserts reference == linear == indexed == indexed-reference, bit for
+/// bit, for one histogram across the full query mix; the scratch is
+/// deliberately reused across queries. The scalar AoS fold
+/// (`estimate_count_reference`) is the semantic anchor: the SoA kernel
+/// behind `estimate_count`/`estimate_count_indexed` must be invisible.
 fn assert_serving_differential(
     context: &str,
     hist: &SpatialHistogram,
@@ -117,13 +123,29 @@ fn assert_serving_differential(
     scratch: &mut IndexScratch,
 ) {
     for q in queries {
+        let reference = hist.estimate_count_reference(q);
         let linear = hist.estimate_count(q);
         let indexed = hist.estimate_count_indexed(q, scratch);
+        let indexed_reference = hist.estimate_count_indexed_reference(q, scratch);
+        assert_eq!(
+            reference.to_bits(),
+            linear.to_bits(),
+            "kernel diverged from the AoS fold: {context} technique={} q={q} \
+             (reference={reference}, linear={linear})",
+            hist.name(),
+        );
         assert_eq!(
             linear.to_bits(),
             indexed.to_bits(),
             "indexed estimate diverged: {context} technique={} q={q} \
              (linear={linear}, indexed={indexed})",
+            hist.name(),
+        );
+        assert_eq!(
+            indexed.to_bits(),
+            indexed_reference.to_bits(),
+            "indexed kernel diverged from the AoS indexed fold: {context} \
+             technique={} q={q} (indexed={indexed}, reference={indexed_reference})",
             hist.name(),
         );
     }

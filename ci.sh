@@ -40,16 +40,22 @@
 #      `simd,fast-math` enabled — the SIMD module is the only code in
 #      the workspace allowed to use `unsafe`, and it must stay clean at
 #      -D warnings in every feature combination,
-#  15. a CLI serve smoke: start `minskew serve` on an ephemeral port, run
-#      a catalog-client round trip against it, shut it down over the wire,
-#      and require a clean exit plus an emitted metrics dump,
-#  16. smoke runs of the parallel-speedup, serving-throughput (with
+#  15. the online-refine differential suite (clamping/partition/codec/
+#      Off-inertness invariants, exhaustive dataset × budget × feedback
+#      matrix on via --features refine, single test thread),
+#  16. a CLI serve smoke: start `minskew serve` on an ephemeral port, run
+#      a catalog-client round trip against it — including the MAINTAIN
+#      maintenance surface — shut it down over the wire, and require a
+#      clean exit plus an emitted metrics dump,
+#  17. a CLI maintain smoke: the offline `minskew maintain` churn demo
+#      must run in every maintenance mode and reject unknown ones,
+#  18. smoke runs of the parallel-speedup, serving-throughput (with
 #      `simd` on, asserting the qps_kernel column is present in the
-#      emitted artefact), obs-overhead, snapshot-persistence, and
-#      serve-loadgen benches, which re-check the differential contracts
-#      inline and must leave BENCH_parallel.json / BENCH_estimate.json /
-#      BENCH_obs.json / BENCH_snapshot.json / BENCH_serve.json behind at
-#      the workspace root.
+#      emitted artefact), obs-overhead, snapshot-persistence,
+#      serve-loadgen, and refine-churn benches, which re-check the
+#      differential contracts inline and must leave BENCH_parallel.json /
+#      BENCH_estimate.json / BENCH_obs.json / BENCH_snapshot.json /
+#      BENCH_serve.json / BENCH_refine.json behind at the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -95,6 +101,9 @@ RUST_TEST_THREADS=1 cargo test -q --test kernel_differential --features kernel,s
 echo "==> kernel differential suite under --features simd,fast-math"
 RUST_TEST_THREADS=1 cargo test -q --test kernel_differential --features kernel,simd,fast-math
 
+echo "==> online-refine differential suite (exhaustive, single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test refine_differential --features refine
+
 echo "==> observability suites with minskew-obs compiled to no-ops"
 cargo test -q --test obs_differential --test golden_metrics --features minskew-obs/noop
 
@@ -128,6 +137,22 @@ SERVE_ADDR="$(tr -d '\n' < "$SERVE_TMP/port")"
 ./target/debug/minskew catalog ping --addr "$SERVE_ADDR" >/dev/null
 ./target/debug/minskew catalog estimate --addr "$SERVE_ADDR" --name roads \
     --query 60,25,65,30 >/dev/null
+# The maintenance surface: switch the table to online refine, run a
+# maintenance pass, and require STATS to report the mode and staleness.
+./target/debug/minskew catalog maintain --addr "$SERVE_ADDR" --name roads \
+    --mode refine >/dev/null
+./target/debug/minskew catalog maintain --addr "$SERVE_ADDR" --name roads >/dev/null
+if ! ./target/debug/minskew catalog stats --addr "$SERVE_ADDR" --name roads \
+    | grep -q '"maintenance":"refine"'; then
+    echo "ERROR: STATS does not report the maintenance mode" >&2
+    exit 1
+fi
+# A bogus mode must be a usage error (exit code 2) before any round trip.
+if ./target/debug/minskew catalog maintain --addr "$SERVE_ADDR" --name roads \
+    --mode bogus 2>/dev/null; then
+    echo "ERROR: catalog client did not reject an unknown maintenance mode" >&2
+    exit 1
+fi
 # An unknown table must surface the server's usage error as exit code 2.
 if ./target/debug/minskew catalog estimate --addr "$SERVE_ADDR" --name ghost \
     --query 0,0,1,1 2>/dev/null; then
@@ -141,6 +166,17 @@ if ! wait "$SERVE_PID"; then
 fi
 if ! grep -q "serve.requests" "$SERVE_TMP/serve.log"; then
     echo "ERROR: serve did not emit its metrics registry on shutdown" >&2
+    exit 1
+fi
+
+echo "==> CLI maintain smoke (every maintenance mode, bad mode rejected)"
+for MODE in off reanalyze refine; do
+    ./target/debug/minskew maintain --input "$SERVE_TMP/data.csv" \
+        --mode "$MODE" --rounds 2 --queries 100 >/dev/null
+done
+if ./target/debug/minskew maintain --input "$SERVE_TMP/data.csv" \
+    --mode bogus 2>/dev/null; then
+    echo "ERROR: minskew maintain did not reject an unknown mode" >&2
     exit 1
 fi
 
@@ -194,5 +230,14 @@ if [[ ! -f BENCH_serve.json ]]; then
     exit 1
 fi
 git checkout -- BENCH_serve.json 2>/dev/null || true
+
+echo "==> refine churn bench smoke (MINSKEW_QUICK=1)"
+rm -f BENCH_refine.json
+MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench refine_churn >/dev/null
+if [[ ! -f BENCH_refine.json ]]; then
+    echo "ERROR: bench did not write BENCH_refine.json" >&2
+    exit 1
+fi
+git checkout -- BENCH_refine.json 2>/dev/null || true
 
 echo "CI OK"

@@ -19,6 +19,9 @@
 //!                  --out out.svg
 //! minskew stats    --input data.csv [--buckets B] [--queries N]
 //!                  [--qsize F] [--seed S] [--json]
+//! minskew maintain --input data.csv [--mode off|reanalyze|refine]
+//!                  [--buckets B] [--rounds R] [--queries N] [--qsize F]
+//!                  [--seed S]
 //! minskew snapshot save --input data.csv [--technique <t>] [--buckets B]
 //!                  --out stats.snap   (or --stats legacy.bin to migrate)
 //! minskew snapshot verify --snapshot stats.snap
@@ -72,7 +75,7 @@ use minskew_datagen::{
     charminar_with, clustered_points, uniform_rects, ClusteredPointSpec, RoadNetworkSpec,
     SyntheticSpec,
 };
-use minskew_engine::{AnalyzeOptions, SpatialTable, TableOptions};
+use minskew_engine::{AnalyzeOptions, MaintenanceMode, RowId, SpatialTable, TableOptions};
 use minskew_geom::Rect;
 use minskew_workload::{evaluate_all, GroundTruth, QueryWorkload};
 
@@ -168,7 +171,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         let Some((action, rest)) = rest.split_first() else {
             return Err(CliError::usage(
                 "catalog needs an action: ping, list, create, drop, insert, delete, \
-                 analyze, estimate, stats, snapshot, or shutdown",
+                 analyze, estimate, stats, maintain, snapshot, or shutdown",
             ));
         };
         let opts = parse_flags(rest)?;
@@ -183,6 +186,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "tune" => tune(&opts),
         "render" => render(&opts),
         "stats" => stats_cmd(&opts),
+        "maintain" => maintain_cmd(&opts),
         "serve" => serve::serve_cmd(&opts),
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
@@ -210,6 +214,12 @@ minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
   minskew stats    --input data.csv [--buckets B] [--queries N] [--qsize F] [--seed S] [--json]
                    (drives a serving workload through the query engine, audits live
                     accuracy against exact counts, and dumps the metrics registry)
+  minskew maintain --input data.csv [--mode off|reanalyze|refine] [--buckets B] \\
+                   [--rounds R] [--queries N] [--qsize F] [--seed S]
+                   (simulates data drift in rounds — hotspot inserts plus deletes — serves
+                    a query workload, and runs one maintenance pass per round: audit the
+                    live accuracy, then repair per --mode: off observes only, reanalyze
+                    rebuilds, refine applies the bounded query-driven histogram repair)
   minskew snapshot save   --input data.csv [--technique T] [--buckets B] --out stats.snap
   minskew snapshot save   --stats legacy.bin --out stats.snap   (migrate a legacy file)
                    (builds or migrates statistics and installs them as a checksummed
@@ -230,6 +240,7 @@ minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
                             drop --name T | analyze --name T
                             insert --name T --rect x1,y1,x2,y2 | delete --name T --id N
                             estimate --name T --query x1,y1,x2,y2
+                            maintain --name T [--mode off|reanalyze|refine]
                             snapshot --name T --op save|load --path P
                    (one-shot client; server ERR codes become the matching exit code)
 
@@ -546,6 +557,88 @@ fn stats_cmd(opts: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+fn maintain_cmd(opts: &Flags) -> Result<(), CliError> {
+    let data = load(opts)?;
+    let buckets = num(opts, "buckets", 100usize)?;
+    let rounds = num(opts, "rounds", 3usize)?;
+    let queries = num(opts, "queries", 200usize)?;
+    let qsize = num(opts, "qsize", 0.05f64)?;
+    let seed = num(opts, "seed", 1u64)?;
+    let mode = match opts.get("mode").map(String::as_str) {
+        None => MaintenanceMode::OnlineRefine,
+        Some(m) => m.parse::<MaintenanceMode>().map_err(CliError::usage)?,
+    };
+    let mut table = SpatialTable::try_new(TableOptions {
+        analyze: AnalyzeOptions {
+            buckets,
+            ..AnalyzeOptions::default()
+        },
+        maintenance: mode,
+        // Maintenance is the demonstration here; keep auto-ANALYZE out of
+        // the way so every repair is attributable to `maintain`, and
+        // engage repair as soon as the audited error leaves the band a
+        // fresh build achieves (~0.1) rather than only on catastrophic
+        // drift — the default 0.5 would let this short demo end without
+        // ever showing a repair.
+        auto_analyze_threshold: None,
+        accuracy_drift_threshold: 0.15,
+        ..TableOptions::default()
+    })?;
+    let mut resident: std::collections::VecDeque<RowId> =
+        data.rects().iter().map(|r| table.insert(*r)).collect();
+    table.analyze();
+    let bbox = data
+        .rects()
+        .iter()
+        .fold(None::<Rect>, |acc, r| Some(acc.map_or(*r, |b| b.union(r))))
+        .ok_or_else(|| CliError::new(ErrorKind::Build, "dataset is empty"))?;
+    println!(
+        "maintaining {} rects, {buckets} buckets, mode={mode}: \
+         {rounds} round(s) of drift, {queries} queries each",
+        data.len()
+    );
+    let churn = (data.len() / 10).max(1);
+    for round in 0..rounds {
+        // Drift: a hotspot of new rectangles parks in a corner that moves
+        // every round, while the oldest resident rows disappear.
+        let fx = 0.1 + 0.8 * ((round % 3) as f64 / 2.0);
+        let (cx, cy) = (
+            bbox.lo.x + fx * bbox.width(),
+            bbox.lo.y + (1.0 - fx) * bbox.height(),
+        );
+        let side = (bbox.width().min(bbox.height()) / 200.0).max(1e-9);
+        for i in 0..churn {
+            let jitter = (i % 17) as f64 * side * 0.1;
+            let id = table.insert(Rect::new(
+                cx + jitter,
+                cy + jitter,
+                cx + jitter + side,
+                cy + jitter + side,
+            ));
+            resident.push_back(id);
+        }
+        for _ in 0..churn.min(resident.len().saturating_sub(1)) {
+            if let Some(id) = resident.pop_front() {
+                table.delete(id);
+            }
+        }
+        let workload = QueryWorkload::generate(&data, qsize, queries, seed + round as u64);
+        for q in workload.queries() {
+            let _ = table.estimate(q);
+        }
+        let staleness = table.stats_staleness().unwrap_or(f64::NAN);
+        let report = table.maintain();
+        println!("round {}: staleness {staleness:.3}; {report}", round + 1);
+    }
+    println!(
+        "final: {} rows, staleness {:.3}, mode={}",
+        table.len(),
+        table.stats_staleness().unwrap_or(f64::NAN),
+        table.maintenance_mode()
+    );
+    Ok(())
+}
+
 fn evaluate_cmd(opts: &Flags) -> Result<(), CliError> {
     let data = load(opts)?;
     let buckets = num(opts, "buckets", 100usize)?;
@@ -779,6 +872,46 @@ mod tests {
             parse_query("nan,2,3,4").is_err(),
             "non-finite query rejected"
         );
+    }
+
+    #[test]
+    fn maintain_subcommand_runs_every_mode_and_rejects_bad_ones() {
+        let dir = std::env::temp_dir().join(format!("minskew-cli-maint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("grid.csv");
+        let mut body = String::new();
+        for iy in 0..10 {
+            for ix in 0..10 {
+                let (x, y) = (ix as f64 * 10.0, iy as f64 * 10.0);
+                body.push_str(&format!("{x},{y},{},{}\n", x + 5.0, y + 5.0));
+            }
+        }
+        std::fs::write(&csv, body).unwrap();
+        let base = |mode: &str| {
+            vec![
+                "maintain".into(),
+                "--input".into(),
+                csv.display().to_string(),
+                "--mode".into(),
+                mode.into(),
+                "--rounds".into(),
+                "2".into(),
+                "--queries".into(),
+                "30".into(),
+                "--buckets".into(),
+                "8".into(),
+            ]
+        };
+        for mode in ["off", "reanalyze", "refine"] {
+            run(base(mode)).unwrap_or_else(|e| panic!("mode {mode}: {e}"));
+        }
+        assert_eq!(run(base("bogus")).unwrap_err().kind, ErrorKind::Usage);
+        assert_eq!(
+            run(vec!["maintain".into()]).unwrap_err().kind,
+            ErrorKind::Usage,
+            "missing --input"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

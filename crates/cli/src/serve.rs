@@ -184,6 +184,17 @@ pub(crate) fn catalog_cmd(action: &str, opts: &Flags) -> Result<(), CliError> {
             Some(name) => format!("STATS {name}"),
             None => String::from("STATS"),
         },
+        "maintain" => {
+            let mut request = format!("MAINTAIN {}", req(opts, "name")?);
+            if let Some(mode) = opts.get("mode") {
+                // Validate locally so a typo is a usage error before any
+                // network round trip.
+                mode.parse::<minskew_engine::MaintenanceMode>()
+                    .map_err(CliError::usage)?;
+                request.push_str(&format!(" MODE {mode}"));
+            }
+            request
+        }
         "snapshot" => {
             let op = req(opts, "op")?;
             if !op.eq_ignore_ascii_case("save") && !op.eq_ignore_ascii_case("load") {
@@ -201,7 +212,7 @@ pub(crate) fn catalog_cmd(action: &str, opts: &Flags) -> Result<(), CliError> {
         other => {
             return Err(CliError::usage(format!(
                 "unknown catalog action {other:?} (want ping|list|create|drop|insert|delete|\
-                 analyze|estimate|stats|snapshot|shutdown)"
+                 analyze|estimate|stats|maintain|snapshot|shutdown)"
             )))
         }
     };

@@ -108,6 +108,30 @@ impl Bucket {
         );
         self.count * fx * fy
     }
+
+    /// Fraction of this bucket covered by `query` extended by `(ex, ey)` —
+    /// the factor `fx·fy` such that [`Bucket::estimate_with_extension`]
+    /// returns `count · fx · fy`.
+    ///
+    /// Unlike the estimate itself this is meaningful for *empty* buckets
+    /// too, which is what the selectivity refit in [`crate::refine`] needs:
+    /// there the counts are the unknowns being solved for, so the
+    /// `count == 0` shortcut cannot apply.
+    pub fn coverage_fraction(&self, query: &Rect, ex: f64, ey: f64) -> f64 {
+        let extended = query.expanded(ex, ey);
+        if !extended.intersects(&self.mbr) {
+            return 0.0;
+        }
+        let fx = axis_fraction(
+            extended.overlap_len(&self.mbr, minskew_geom::Axis::X),
+            self.mbr.width(),
+        );
+        let fy = axis_fraction(
+            extended.overlap_len(&self.mbr, minskew_geom::Axis::Y),
+            self.mbr.height(),
+        );
+        fx * fy
+    }
 }
 
 /// Fraction of a bucket axis covered by an overlap of length `overlap`.

@@ -28,6 +28,13 @@ pub struct SpatialHistogram {
     /// `maintenance` module. Not persisted and excluded from equality so
     /// that codec round-trips compare cleanly.
     churn: f64,
+    /// Data size at construction time: the stable base that `staleness()`
+    /// measures churn against. Dividing by the *current* `input_len` would
+    /// overstate staleness under delete-heavy churn (the denominator
+    /// shrinks as the numerator grows); see the `maintenance` module.
+    /// Reconstructed on deserialisation (codecs rebuild via `from_parts`,
+    /// where it equals the decoded `input_len`) and excluded from equality.
+    base_len: usize,
     /// Per-bucket `(ex, ey)` extension amounts under `rule`
     /// (`rule.amounts(avg_width, avg_height)` per bucket), computed once per
     /// histogram so the per-query scan does not re-derive them. Invalidated
@@ -69,6 +76,7 @@ impl SpatialHistogram {
             input_len,
             rule,
             churn: 0.0,
+            base_len: input_len,
             ext: OnceLock::new(),
             total: OnceLock::new(),
             index: OnceLock::new(),
@@ -113,6 +121,13 @@ impl SpatialHistogram {
 
     pub(crate) fn churn(&self) -> f64 {
         self.churn
+    }
+
+    /// The data size this histogram was built from — the stable
+    /// denominator for staleness accounting (see the `maintenance`
+    /// module).
+    pub(crate) fn mutation_base(&self) -> usize {
+        self.base_len
     }
 
     /// The histogram's buckets.

@@ -65,6 +65,7 @@ mod maintenance;
 mod minskew;
 mod morton;
 mod optimal;
+mod refine;
 mod rtree_part;
 mod sampling;
 mod shard;
@@ -84,6 +85,7 @@ pub use kernel::{simd_level, BucketPlane, QueryPrep, TermBuf};
 pub use minskew::{MinSkewBuildTrace, MinSkewBuilder, MinSkewDetail, SplitEvent, SplitStrategy};
 pub use morton::{morton_key, morton_schedule};
 pub use optimal::{build_optimal_bsp, optimal_bsp_skew, try_build_optimal_bsp, OptimalBsp};
+pub use refine::{RefineObservation, RefineOptions, RefineReport};
 pub use rtree_part::{
     build_rtree_partitioning, build_rtree_partitioning_default, try_build_rtree_partitioning,
     try_build_rtree_partitioning_default, RTreeBuildMethod, RTreePartitioningOptions,

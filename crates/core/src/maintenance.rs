@@ -14,9 +14,19 @@
 //!   [`SpatialHistogram::staleness`] crosses their threshold (the usual
 //!   "ANALYZE after X% churn" policy).
 //!
-//! The paper's construction is cheap enough that rebuilds are not painful
-//! (Table 1), which is exactly why patch-then-rebuild is the right design:
-//! the patched histogram stays *approximately* correct between ANALYZE runs.
+//! Rebuilding is no longer the only remedy. The paper's construction is
+//! cheap enough that a full rebuild is never painful (Table 1), but the
+//! [`crate::refine`] module also offers a *bounded* middle path: repair the
+//! histogram in place from observed (query, exact, estimate) feedback —
+//! split the worst bucket, merge the lowest-skew pair, re-fit counts —
+//! without touching the base data at all. The patched histogram stays
+//! *approximately* correct between either kind of repair.
+//!
+//! Staleness is measured against a **stable mutation base**: the data size
+//! at construction time (or the current size, whichever is larger).
+//! Dividing by the live `input_len` would let delete-heavy churn inflate
+//! staleness quadratically — every delete both grows the churn numerator
+//! and shrinks the denominator — triggering spurious re-ANALYZE runs.
 
 use minskew_geom::Rect;
 
@@ -54,10 +64,13 @@ impl SpatialHistogram {
 
     /// Records the deletion of `rect` from the underlying relation.
     ///
-    /// Decrements the covering bucket (the average dimensions are left
+    /// Decrements the covering bucket with a **saturating-at-zero**
+    /// decrement: a fractional-count bucket (post-refit or post-churn)
+    /// absorbs as much of the delete as it can and the shortfall is
+    /// charged as unabsorbable churn. The average dimensions are left
     /// alone: without the full data we cannot un-average exactly, and the
-    /// bias is part of what staleness accounts for). Returns `true` if a
-    /// bucket could account for the delete.
+    /// bias is part of what staleness accounts for. Returns `true` only
+    /// when a bucket fully accounted for the delete.
     pub fn note_delete(&mut self, rect: &Rect) -> bool {
         let center = rect.center();
         self.input_len_mut(-1);
@@ -65,16 +78,20 @@ impl SpatialHistogram {
             let Some(bucket) = self
                 .buckets_mut()
                 .iter_mut()
-                .find(|b| b.mbr.contains_point(center) && b.count >= 1.0)
+                .find(|b| b.mbr.contains_point(center))
             else {
                 self.churn_mut(1.0);
                 return false;
             };
-            bucket.count -= 1.0;
-            true
+            let dec = bucket.count.clamp(0.0, 1.0);
+            bucket.count -= dec;
+            dec
         };
-        self.churn_mut(0.5);
-        absorbed
+        // The absorbed fraction carries half weight, the shortfall full
+        // weight — a fully absorbable delete costs 0.5, an empty-bucket
+        // delete the same 1.0 an uncovered delete costs.
+        self.churn_mut(0.5 * absorbed + (1.0 - absorbed));
+        absorbed >= 1.0
     }
 
     /// Fraction of the (weighted) mutation stream since construction that
@@ -84,11 +101,15 @@ impl SpatialHistogram {
     ///
     /// Every mutation contributes: absorbed changes half weight (counts
     /// stay right but the partition boundaries no longer minimise skew),
-    /// unabsorbable changes full weight.
+    /// unabsorbable changes full weight. The denominator is the **stable
+    /// mutation base** — the data size at construction, or the current
+    /// size if the relation has since grown — never the shrinking live
+    /// size, so delete-heavy workloads cannot inflate the ratio from both
+    /// ends.
     pub fn staleness(&self) -> f64 {
         use crate::SpatialEstimator;
-        let n = self.input_len().max(1) as f64;
-        self.churn() / n
+        let base = self.mutation_base().max(self.input_len()).max(1) as f64;
+        self.churn() / base
     }
 }
 
@@ -184,6 +205,92 @@ mod tests {
         // A whole-space query reflects the inserts exactly.
         let whole = Rect::new(-1e6, -1e6, 1e6, 1e6);
         assert!((h.estimate_count(&whole) - mass_before - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delete_heavy_staleness_uses_stable_base() {
+        // Regression: staleness used to divide churn by the *current*
+        // input_len, so deleting 4000 of 5000 rects reported
+        // 2000/1000 = 2.0 — every delete grew the numerator and shrank
+        // the denominator. Against the stable construction base the same
+        // stream stays bounded by churn/5000 <= 0.8.
+        let (ds, mut h) = hist();
+        use minskew_data::RectSource;
+        let rects = ds.as_slice().expect("dataset is materialised");
+        for r in rects.iter().take(4_000) {
+            h.note_delete(r);
+        }
+        assert_eq!(h.input_len(), 1_000);
+        let s = h.staleness();
+        assert!(
+            s <= 0.85,
+            "delete-heavy staleness must stay bounded by the stable base: {s}"
+        );
+        assert!(
+            s >= 0.35,
+            "4000 absorbed deletes on a 5000-rect base must still register: {s}"
+        );
+    }
+
+    #[test]
+    fn staleness_base_follows_growth() {
+        // Inserts beyond the construction size raise the base, so a
+        // histogram that doubled its relation is not judged against the
+        // original (smaller) denominator.
+        let (_, mut h) = hist();
+        for i in 0..5_000 {
+            let x = 100.0 + (i % 70) as f64 * 30.0;
+            let y = 100.0 + (i / 70) as f64 * 30.0;
+            h.note_insert(&Rect::from_center_size(Point::new(x, y), 20.0, 20.0));
+        }
+        // 5000 absorbed inserts at half weight = 2500 churn over a base
+        // of max(5000, 10000) = 10000.
+        assert!((h.staleness() - 0.25).abs() < 1e-9, "{}", h.staleness());
+    }
+
+    #[test]
+    fn fractional_bucket_absorbs_delete_saturating_at_zero() {
+        // Regression: note_delete skipped buckets with count < 1.0, so a
+        // fractional-count bucket (post-refit or post-churn) could never
+        // absorb a delete and the mutation was charged as fully
+        // unabsorbable even though the centre was covered.
+        let mut h = SpatialHistogram::from_parts(
+            "frac",
+            vec![
+                crate::Bucket {
+                    mbr: Rect::new(0.0, 0.0, 10.0, 10.0),
+                    count: 0.6,
+                    avg_width: 1.0,
+                    avg_height: 1.0,
+                },
+                crate::Bucket {
+                    mbr: Rect::new(10.0, 0.0, 20.0, 10.0),
+                    count: 5.0,
+                    avg_width: 1.0,
+                    avg_height: 1.0,
+                },
+            ],
+            6,
+            crate::ExtensionRule::Minkowski,
+        );
+        let in_frac = Rect::from_center_size(Point::new(5.0, 5.0), 1.0, 1.0);
+        // Partially absorbed: the 0.6 drains to exactly zero, the
+        // neighbour is untouched, and the 0.4 shortfall is charged at
+        // full weight (0.5 * 0.6 + 0.4 = 0.7 churn).
+        assert!(!h.note_delete(&in_frac));
+        assert_eq!(h.buckets()[0].count, 0.0);
+        assert_eq!(h.buckets()[1].count, 5.0);
+        assert!((h.churn() - 0.7).abs() < 1e-9, "churn = {}", h.churn());
+        // A second delete at the same spot finds an empty bucket: nothing
+        // to absorb, full churn weight, count stays at zero.
+        assert!(!h.note_delete(&in_frac));
+        assert_eq!(h.buckets()[0].count, 0.0);
+        assert!((h.churn() - 1.7).abs() < 1e-9, "churn = {}", h.churn());
+        // A fully absorbable delete still costs only half weight.
+        let in_whole = Rect::from_center_size(Point::new(15.0, 5.0), 1.0, 1.0);
+        assert!(h.note_delete(&in_whole));
+        assert_eq!(h.buckets()[1].count, 4.0);
+        assert!((h.churn() - 2.2).abs() < 1e-9, "churn = {}", h.churn());
     }
 
     #[test]

@@ -69,6 +69,6 @@ pub use publish::{EstimateScratch, SnapshotCell, TableSnapshot};
 pub use reader::{BatchQueryError, SpatialReader};
 pub use server::{serve, ServeOptions, ServerHandle};
 pub use table::{
-    AnalyzeOptions, RowId, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique,
-    TableOptions,
+    AnalyzeOptions, MaintenanceAction, MaintenanceMode, MaintenanceReport, RowId, SpatialTable,
+    StatsDiagnostics, StatsFallback, StatsTechnique, TableOptions,
 };

@@ -23,6 +23,25 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// One reservoir slot: a sampled query plus, once an audit has replayed it,
+/// the exact result count measured for it.
+///
+/// The cached exact count is keyed to the table's **data era** (its
+/// insert/delete counter): data churn invalidates it (the exact count is no
+/// longer exact), while statistics installs — including online-refine
+/// installs — leave it intact. That retention is what feeds the refiner:
+/// the (query, exact) pairs survive the very install they triggered, so the
+/// next refine pass starts from replayed feedback instead of an empty
+/// reservoir.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FeedbackSample {
+    /// The sampled query rectangle.
+    pub(crate) query: Rect,
+    /// Exact `|Q|` from the last audit, valid for the current data era;
+    /// `None` until audited or after data churn invalidated it.
+    pub(crate) exact: Option<f64>,
+}
+
 /// A fixed-capacity uniform reservoir over an unbounded query stream
 /// (Vitter's Algorithm R with a deterministic splitmix64 coin).
 ///
@@ -34,7 +53,7 @@ fn splitmix64(mut x: u64) -> u64 {
 pub(crate) struct Reservoir {
     capacity: usize,
     seen: u64,
-    samples: Vec<Rect>,
+    samples: Vec<FeedbackSample>,
 }
 
 impl Reservoir {
@@ -53,21 +72,43 @@ impl Reservoir {
             return;
         }
         self.seen += 1;
+        let sample = FeedbackSample { query, exact: None };
         if self.samples.len() < self.capacity {
-            self.samples.push(query);
+            self.samples.push(sample);
             return;
         }
         // Replace slot j with probability capacity/seen: keep when the
         // deterministic coin lands outside [0, capacity).
         let j = (splitmix64(self.seen) % self.seen) as usize;
         if j < self.capacity {
-            self.samples[j] = query;
+            self.samples[j] = sample;
         }
     }
 
-    /// The resident sample (at most `capacity` queries).
-    pub(crate) fn samples(&self) -> &[Rect] {
+    /// The resident sample (at most `capacity` slots).
+    pub(crate) fn samples(&self) -> &[FeedbackSample] {
         &self.samples
+    }
+
+    /// Records the exact count replayed for slot `idx`, guarded by a
+    /// bit-exact query match: the audit computes exact counts outside the
+    /// serving lock, so the slot may have rotated to a different query in
+    /// the meantime — a mismatch simply drops the write.
+    pub(crate) fn record_exact(&mut self, idx: usize, query: &Rect, exact: f64) {
+        if let Some(slot) = self.samples.get_mut(idx) {
+            if slot.query == *query {
+                slot.exact = Some(exact);
+            }
+        }
+    }
+
+    /// Drops every cached exact count (the queries stay resident). Called
+    /// when the data era advances: churn makes the cached counts stale but
+    /// leaves the sampled workload as representative as before.
+    pub(crate) fn invalidate_exact(&mut self) {
+        for slot in &mut self.samples {
+            slot.exact = None;
+        }
     }
 
     /// Total queries offered since creation or the last reset.
@@ -75,8 +116,12 @@ impl Reservoir {
         self.seen
     }
 
-    /// Empties the reservoir (used when new statistics install, so the
-    /// sample reflects the current statistics' serving era).
+    /// Empties the reservoir entirely (queries included). Statistics
+    /// installs must *not* clear the reservoir — that would discard exactly
+    /// the feedback pairs the online refiner needs on its next pass — so no
+    /// production path calls this; tests use it to force the empty-feedback
+    /// fallback.
+    #[cfg(test)]
     pub(crate) fn clear(&mut self) {
         self.seen = 0;
         self.samples.clear();
@@ -160,7 +205,11 @@ mod tests {
         for i in 0..10_000 {
             r.observe(rect(i));
         }
-        let late = r.samples().iter().filter(|s| s.lo.x >= 5_000.0).count();
+        let late = r
+            .samples()
+            .iter()
+            .filter(|s| s.query.lo.x >= 5_000.0)
+            .count();
         assert!(late > 8, "late-stream samples: {late}/64");
         assert!(late < 56, "early-stream samples: {}/64", 64 - late);
     }
@@ -171,6 +220,27 @@ mod tests {
         r.observe(rect(1));
         assert!(r.samples().is_empty());
         assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    fn exact_counts_record_and_invalidate_without_losing_queries() {
+        let mut r = Reservoir::new(4);
+        for i in 0..4 {
+            r.observe(rect(i));
+        }
+        // New observations carry no exact count.
+        assert!(r.samples().iter().all(|s| s.exact.is_none()));
+        let q = rect(2);
+        r.record_exact(2, &q, 7.0);
+        assert_eq!(r.samples()[2].exact, Some(7.0));
+        // A bit-mismatched query (rotated slot) drops the write.
+        r.record_exact(3, &q, 9.0);
+        assert_eq!(r.samples()[3].exact, None);
+        // Invalidation clears the counts but keeps the sample.
+        r.invalidate_exact();
+        assert_eq!(r.samples().len(), 4);
+        assert!(r.samples().iter().all(|s| s.exact.is_none()));
+        assert_eq!(r.samples()[2].query, q);
     }
 
     #[test]

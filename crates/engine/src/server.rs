@@ -20,6 +20,8 @@
 //! | `ESTIMATE <t> <x1> <y1> <x2> <y2>` | `OK <estimate>` |
 //! | `BATCH <t> <n> <x1> <y1> <x2> <y2> ...` | `OK <e1> <e2> ...` |
 //! | `STATS [<t>]` | `OK {...}` (single-line JSON) |
+//! | `MAINTAIN <t>` | `OK maintained <t> mode=<m> accuracy: ...; action: ...` |
+//! | `MAINTAIN <t> MODE off\|reanalyze\|refine` | `OK maintenance <t> mode=<m>` |
 //! | `SNAPSHOT <t> SAVE\|LOAD <path>` | `OK saved/loaded ...` |
 //! | `SHUTDOWN` | `OK bye` (server stops accepting and drains) |
 //!
@@ -55,7 +57,7 @@ use minskew_obs::{Registry, Stopwatch};
 use crate::catalog::{CatalogEntry, CatalogError, SpatialCatalog};
 use crate::persist::SnapshotIoError;
 use crate::reader::SpatialReader;
-use crate::table::{RowId, StatsTechnique, TableOptions};
+use crate::table::{MaintenanceMode, RowId, StatsTechnique, TableOptions};
 
 /// Hard cap on one request line (transport protection; a longer line
 /// closes the connection after a typed error).
@@ -358,6 +360,7 @@ fn dispatch(ctx: &Arc<ServerCtx>, conn: &mut ConnState, line: &str) -> Reply {
         "ESTIMATE" => cmd_estimate(ctx, conn, &args),
         "BATCH" => cmd_batch(ctx, conn, &args),
         "STATS" => cmd_stats(ctx, &args),
+        "MAINTAIN" => cmd_maintain(ctx, &args),
         "SNAPSHOT" => cmd_snapshot(ctx, &args),
         "SHUTDOWN" => {
             ctx.shutdown.store(true, Ordering::SeqCst);
@@ -651,18 +654,53 @@ fn cmd_stats(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
                 let snapshot = table.current_snapshot();
                 let diag = table.stats_diagnostics();
                 let buckets = snapshot.stats().map_or(0, |s| s.histogram().num_buckets());
+                let staleness = table
+                    .stats_staleness()
+                    .map_or_else(|| String::from("null"), |s| format!("{s:.6}"));
                 ok(format_args!(
                     "{{\"table\":\"{name}\",\"rows\":{},\"buckets\":{buckets},\"shards\":{},\
-                     \"generation\":{},\"fallback\":\"{}\"}}",
+                     \"generation\":{},\"fallback\":\"{}\",\"maintenance\":\"{}\",\
+                     \"staleness\":{staleness}}}",
                     table.len(),
                     snapshot.num_shards(),
                     snapshot.generation(),
-                    diag.fallback
+                    diag.fallback,
+                    table.maintenance_mode(),
                 ))
             }
             Err(reply) => reply,
         },
         _ => err(2, "usage: STATS [<table>]"),
+    }
+}
+
+fn cmd_maintain(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
+    match args {
+        [name] => match lookup(ctx, name) {
+            Ok(entry) => {
+                let mut table = entry.table();
+                let report = table.maintain();
+                ok(format_args!(
+                    "maintained {name} mode={} {report}",
+                    table.maintenance_mode()
+                ))
+            }
+            Err(reply) => reply,
+        },
+        [name, mode_kw, mode] if mode_kw.eq_ignore_ascii_case("MODE") => {
+            let parsed: MaintenanceMode = match mode.parse() {
+                Ok(m) => m,
+                Err(e) => return err(2, format_args!("usage: {e}")),
+            };
+            match lookup(ctx, name) {
+                Ok(entry) => {
+                    entry.table().set_maintenance_mode(parsed);
+                    ok(format_args!("maintenance {name} mode={parsed}"))
+                }
+                Err(reply) => reply,
+            }
+        }
+        _ => err(2, "usage: MAINTAIN <table> [MODE off|reanalyze|refine]"),
     }
 }
 
@@ -738,5 +776,47 @@ mod tests {
         );
         assert_eq!(line(&ctx, &mut conn, "SHUTDOWN"), "OK bye");
         assert!(ctx.shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn maintain_verb_runs_and_switches_modes() {
+        let ctx = Arc::new(ServerCtx {
+            catalog: Arc::new(SpatialCatalog::new()),
+            options: ServeOptions::default(),
+            registry: Registry::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+        });
+        let mut conn = ConnState {
+            readers: std::collections::HashMap::new(),
+        };
+        let line = |ctx: &Arc<ServerCtx>, conn: &mut ConnState, req: &str| -> String {
+            match handle_request(ctx, conn, req) {
+                Reply::Line(s) | Reply::Quit(s) => s,
+            }
+        };
+        assert!(line(&ctx, &mut conn, "MAINTAIN").starts_with("ERR 2 "));
+        assert!(line(&ctx, &mut conn, "MAINTAIN ghost").starts_with("ERR 2 "));
+        assert_eq!(line(&ctx, &mut conn, "CREATE t"), "OK created t");
+        assert!(line(&ctx, &mut conn, "MAINTAIN t MODE bogus").starts_with("ERR 2 "));
+        assert_eq!(
+            line(&ctx, &mut conn, "MAINTAIN t MODE refine"),
+            "OK maintenance t mode=refine"
+        );
+        // STATS surfaces the mode; staleness is null until stats exist.
+        let stats = line(&ctx, &mut conn, "STATS t");
+        assert!(stats.contains("\"maintenance\":\"refine\""), "{stats:?}");
+        assert!(stats.contains("\"staleness\":null"), "{stats:?}");
+        // A maintenance pass on a fresh (never-analyzed) table repairs by
+        // installing statistics and reports its audit and action.
+        let reply = line(&ctx, &mut conn, "MAINTAIN t");
+        assert!(
+            reply.starts_with("OK maintained t mode=refine"),
+            "{reply:?}"
+        );
+        assert_eq!(line(&ctx, &mut conn, "INSERT t 0 0 1 1"), "OK 0");
+        assert!(line(&ctx, &mut conn, "ANALYZE t").starts_with("OK analyzed t"));
+        let stats = line(&ctx, &mut conn, "STATS t");
+        assert!(stats.contains("\"staleness\":0.000000"), "{stats:?}");
     }
 }

@@ -4,8 +4,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use minskew_core::{
     build_uniform, try_build_equi_area, try_build_equi_count, try_build_uniform, BuildError,
-    EstimateError, MinSkewBuilder, ShardedHistogram, SpatialEstimator, SpatialHistogram,
-    MAX_SHARDS,
+    EstimateError, MinSkewBuilder, RefineObservation, RefineOptions, RefineReport,
+    ShardedHistogram, SpatialEstimator, SpatialHistogram, MAX_SHARDS,
 };
 use minskew_data::Dataset;
 use minskew_geom::Rect;
@@ -47,6 +47,97 @@ pub enum StatsTechnique {
     EquiCount,
     /// Single-bucket uniformity assumption.
     Uniform,
+}
+
+/// How the table repairs drifted statistics when
+/// [`SpatialTable::maintain`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// Audit only: report drift, never touch the statistics.
+    Off,
+    /// A drifted (or stale) audit triggers a full re-`ANALYZE` — the
+    /// behaviour the engine always had. The default.
+    #[default]
+    DriftReAnalyze,
+    /// A drifted (or stale) audit triggers one bounded online refine step
+    /// ([`minskew_core::SpatialHistogram::refine`]): split the
+    /// highest-error bucket, merge the lowest-skew adjacent pair, re-fit
+    /// counts against the replayed (query, exact) feedback — no data
+    /// re-read. Falls back to a full re-`ANALYZE` when there is nothing to
+    /// refine (no statistics installed, or no replayed feedback yet).
+    OnlineRefine,
+}
+
+impl MaintenanceMode {
+    /// Stable lowercase label, used in metric names, `Display` output, and
+    /// the wire protocol.
+    pub fn label(self) -> &'static str {
+        match self {
+            MaintenanceMode::Off => "off",
+            MaintenanceMode::DriftReAnalyze => "reanalyze",
+            MaintenanceMode::OnlineRefine => "refine",
+        }
+    }
+}
+
+impl std::fmt::Display for MaintenanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for MaintenanceMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<MaintenanceMode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(MaintenanceMode::Off),
+            "reanalyze" => Ok(MaintenanceMode::DriftReAnalyze),
+            "refine" => Ok(MaintenanceMode::OnlineRefine),
+            other => Err(format!(
+                "unknown maintenance mode {other:?} (expected off, reanalyze, or refine)"
+            )),
+        }
+    }
+}
+
+/// The repair a [`SpatialTable::maintain`] pass performed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaintenanceAction {
+    /// No repair was needed (the audit is healthy) or the mode is
+    /// [`MaintenanceMode::Off`].
+    None,
+    /// A full re-`ANALYZE` rebuilt the statistics from the live rows.
+    Reanalyzed,
+    /// One bounded online refine step repaired the histogram in place from
+    /// the replayed feedback.
+    Refined(minskew_core::RefineReport),
+}
+
+/// The result of one [`SpatialTable::maintain`] pass: the audit that drove
+/// the decision plus the repair taken.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct MaintenanceReport {
+    /// The accuracy audit (see [`SpatialTable::audit_accuracy`]); `None`
+    /// when nothing has been sampled yet.
+    pub audit: Option<AccuracyReport>,
+    /// The repair performed.
+    pub action: MaintenanceAction,
+}
+
+impl std::fmt::Display for MaintenanceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.audit {
+            Some(audit) => write!(f, "{audit}")?,
+            None => f.write_str("accuracy: no sampled queries yet")?,
+        }
+        match &self.action {
+            MaintenanceAction::None => write!(f, "; action: none"),
+            MaintenanceAction::Reanalyzed => write!(f, "; action: reanalyzed"),
+            MaintenanceAction::Refined(r) => write!(f, "; action: {r}"),
+        }
+    }
 }
 
 /// `ANALYZE` parameters.
@@ -132,6 +223,11 @@ pub struct TableOptions {
     /// serves unsharded. Sharding is a concurrency/locality knob only:
     /// every estimate is **bit-identical** at every shard count.
     pub shards: usize,
+    /// How [`SpatialTable::maintain`] repairs drifted statistics. Defaults
+    /// to [`MaintenanceMode::DriftReAnalyze`] (the pre-refine behaviour);
+    /// [`MaintenanceMode::OnlineRefine`] repairs in place from query
+    /// feedback instead of re-reading the data.
+    pub maintenance: MaintenanceMode,
 }
 
 impl Default for TableOptions {
@@ -149,6 +245,7 @@ impl Default for TableOptions {
             accuracy_reservoir: 256,
             accuracy_drift_threshold: 0.5,
             shards: 1,
+            maintenance: MaintenanceMode::default(),
         }
     }
 }
@@ -279,8 +376,14 @@ struct ServingState {
     /// probe, making cache invalidation atomic with snapshot publication
     /// by construction (not by remembering to call a flush).
     seen_generation: u64,
-    /// Statistics era the reservoir's sample was drawn under (row churn
-    /// bumps the generation but not the era, so the sample survives it).
+    /// Data era the reservoir's cached exact counts were replayed under.
+    /// Row churn advances the table's data era, which invalidates the
+    /// cached exact counts (they are no longer exact) but keeps the
+    /// sampled queries resident — the workload is as representative as
+    /// before, and the sample surviving churn is precisely what lets the
+    /// audit *detect* the drift the churn caused. Statistics installs do
+    /// not touch the reservoir at all: a refine install must retain the
+    /// replayed (query, exact) pairs it was driven by.
     seen_era: u64,
     /// Single-query estimates served (cached or computed).
     calls: u64,
@@ -380,6 +483,10 @@ pub struct SpatialTable {
     generation: u64,
     /// Monotonic statistics-install counter; bumped by installs only.
     stats_era: u64,
+    /// Monotonic data-churn counter; bumped by row inserts/deletes only.
+    /// Keys the validity of the accuracy reservoir's cached exact counts
+    /// (see [`ServingState::seen_era`]).
+    data_era: u64,
     /// The latest published snapshot (the same `Arc` the cell holds); the
     /// table's own serving path estimates against it so locked and
     /// lock-free readers agree structurally, not by parallel maintenance.
@@ -445,6 +552,7 @@ impl SpatialTable {
             metrics,
             generation: 0,
             stats_era: 0,
+            data_era: 0,
             current,
             cell,
             options,
@@ -549,6 +657,7 @@ impl SpatialTable {
         if let Some(stats) = &mut self.stats {
             stats.note_insert(&rect);
         }
+        self.data_era += 1;
         self.invalidate_cache();
         self.publish();
         RowId(id)
@@ -569,6 +678,7 @@ impl SpatialTable {
         if let Some(stats) = &mut self.stats {
             stats.note_delete(&rect);
         }
+        self.data_era += 1;
         self.invalidate_cache();
         self.publish();
         true
@@ -631,20 +741,19 @@ impl SpatialTable {
         }
         self.stats = Some(hist);
         self.diagnostics = diag;
-        // A statistics install starts a new era: flush the query cache and
-        // clear the accuracy reservoir *before* publishing, so no path —
-        // locked or lock-free — can pair the new statistics with state
-        // from the old ones. The era/generation stamps in the published
-        // snapshot enforce the same discipline on every reader cache.
+        // A statistics install starts a new era: flush the query cache
+        // *before* publishing, so no path — locked or lock-free — can pair
+        // the new statistics with state from the old ones. The
+        // era/generation stamps in the published snapshot enforce the same
+        // discipline on every reader cache. The accuracy reservoir is
+        // deliberately **not** cleared: its sample is of the served
+        // workload (still representative) and its cached exact counts are
+        // a property of the *data*, not of the statistics — they are keyed
+        // to the data era and survive any install. Clearing here would
+        // discard exactly the feedback pairs the online refiner needs on
+        // its next pass.
         self.stats_era += 1;
         self.invalidate_cache();
-        // New statistics start a new accuracy era: the reservoir's sample
-        // must not mix queries served by the previous statistics.
-        self.serving
-            .get_mut()
-            .unwrap_or_else(PoisonError::into_inner)
-            .reservoir
-            .clear();
         self.publish();
     }
 
@@ -845,18 +954,19 @@ impl SpatialTable {
         let mut guard = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
         let serving = &mut *guard;
         // Sync with the published snapshot before any cache probe: a stale
-        // generation flushes the cache, a stale era clears the reservoir.
-        // Mutations also flush eagerly (they hold `&mut self`), so this is
-        // normally a no-op — it exists so cache coherence is a property of
-        // publication itself rather than of every mutation path
-        // remembering to flush.
+        // generation flushes the cache, a stale data era invalidates the
+        // reservoir's cached exact counts (churn made them inexact — the
+        // sampled queries themselves stay resident). Mutations also flush
+        // eagerly (they hold `&mut self`), so this is normally a no-op —
+        // it exists so cache coherence is a property of publication itself
+        // rather than of every mutation path remembering to flush.
         if serving.seen_generation != self.generation {
             serving.cache.invalidate();
             serving.seen_generation = self.generation;
         }
-        if serving.seen_era != self.stats_era {
-            serving.reservoir.clear();
-            serving.seen_era = self.stats_era;
+        if serving.seen_era != self.data_era {
+            serving.reservoir.invalidate_exact();
+            serving.seen_era = self.data_era;
         }
         serving.calls += 1;
         if !self.options.metrics || !minskew_obs::enabled() {
@@ -1144,7 +1254,13 @@ impl SpatialTable {
     /// `engine.accuracy.drift_detected` counter.
     pub fn audit_accuracy(&self) -> Option<AccuracyReport> {
         let (samples, observed) = {
-            let serving = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut serving = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+            // Sync the data era first so any exact counts cached by a
+            // previous audit are dropped if churn made them inexact.
+            if serving.seen_era != self.data_era {
+                serving.reservoir.invalidate_exact();
+                serving.seen_era = self.data_era;
+            }
             (
                 serving.reservoir.samples().to_vec(),
                 serving.reservoir.seen(),
@@ -1156,11 +1272,29 @@ impl SpatialTable {
         let mut scratch = EstimateScratch::new();
         let mut num = 0.0;
         let mut den = 0.0;
-        for query in &samples {
-            let actual = self.index.count_intersecting(query) as f64;
-            let estimate = self.estimate_finite(query, &mut scratch);
+        let mut exacts = Vec::with_capacity(samples.len());
+        for sample in &samples {
+            // Exact counts replayed by a previous audit in the same data
+            // era are still exact; only fresh samples pay the index count.
+            let actual = sample
+                .exact
+                .unwrap_or_else(|| self.index.count_intersecting(&sample.query) as f64);
+            let estimate = self.estimate_finite(&sample.query, &mut scratch);
+            exacts.push(actual);
             num += (actual - estimate).abs();
             den += actual;
+        }
+        // Cache the replayed exact counts back into the reservoir so the
+        // online refiner (and the next audit) can reuse them. Mutations
+        // need `&mut self`, so the data era cannot have advanced since the
+        // sync above; individual slots may have rotated under concurrent
+        // estimates, which `record_exact` guards with a bit-exact query
+        // match.
+        {
+            let mut serving = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+            for (i, (sample, &actual)) in samples.iter().zip(&exacts).enumerate() {
+                serving.reservoir.record_exact(i, &sample.query, actual);
+            }
         }
         let avg_relative_error = num / den.max(1.0);
         let drifted = avg_relative_error > self.options.accuracy_drift_threshold;
@@ -1193,6 +1327,138 @@ impl SpatialTable {
             (Some(stats), Some(threshold)) => stats.staleness() > threshold,
             (Some(_), None) => false,
         }
+    }
+
+    /// Staleness of the installed statistics (weighted unabsorbed churn
+    /// over the stable mutation base; see
+    /// [`minskew_core::SpatialHistogram::staleness`]). `None` when the
+    /// table was never analyzed.
+    pub fn stats_staleness(&self) -> Option<f64> {
+        self.stats.as_ref().map(|s| s.staleness())
+    }
+
+    /// The active maintenance mode (see [`TableOptions::maintenance`]).
+    pub fn maintenance_mode(&self) -> MaintenanceMode {
+        self.options.maintenance
+    }
+
+    /// Switches the maintenance mode. Takes effect on the next
+    /// [`SpatialTable::maintain`] pass; the installed statistics and the
+    /// accuracy reservoir are untouched.
+    pub fn set_maintenance_mode(&mut self, mode: MaintenanceMode) {
+        self.options.maintenance = mode;
+    }
+
+    /// One maintenance pass: audit accuracy, and — when the audit (or
+    /// staleness) recommends repair — apply the configured
+    /// [`MaintenanceMode`]'s remedy.
+    ///
+    /// * [`MaintenanceMode::Off`] — audit only, never repairs.
+    /// * [`MaintenanceMode::DriftReAnalyze`] — full re-`ANALYZE` from the
+    ///   live rows (exactly what a caller reacting to
+    ///   [`AccuracyReport::recommend_reanalyze`] would do by hand).
+    /// * [`MaintenanceMode::OnlineRefine`] — one bounded refine step from
+    ///   the reservoir's replayed (query, exact) feedback, published
+    ///   through the same snapshot cell as any install (generation bump,
+    ///   caches invalidated, readers never see a torn install); falls back
+    ///   to a full re-`ANALYZE` when there is nothing to refine.
+    ///
+    /// With no sampled queries yet, repair is driven by staleness alone.
+    pub fn maintain(&mut self) -> MaintenanceReport {
+        let audit = self.audit_accuracy();
+        let needs_repair = audit
+            .as_ref()
+            .map_or_else(|| self.stats_stale(), |report| report.recommend_reanalyze);
+        if self.options.metrics && minskew_obs::enabled() {
+            self.registry.counter("engine.maintenance.runs").inc();
+        }
+        let action = if !needs_repair || self.options.maintenance == MaintenanceMode::Off {
+            MaintenanceAction::None
+        } else if self.options.maintenance == MaintenanceMode::OnlineRefine {
+            match self.refine_step() {
+                Some(report) => MaintenanceAction::Refined(report),
+                None => {
+                    self.analyze();
+                    MaintenanceAction::Reanalyzed
+                }
+            }
+        } else {
+            self.analyze();
+            MaintenanceAction::Reanalyzed
+        };
+        if self.options.metrics && minskew_obs::enabled() {
+            let name = match action {
+                MaintenanceAction::None => "none",
+                MaintenanceAction::Reanalyzed => "reanalyze",
+                MaintenanceAction::Refined(_) => "refine",
+            };
+            self.registry
+                .counter(&format!("engine.maintenance.action.{name}"))
+                .inc();
+        }
+        MaintenanceReport { audit, action }
+    }
+
+    /// One bounded online refine step: gathers the reservoir's replayed
+    /// (query, exact, estimate) triples and runs
+    /// [`minskew_core::SpatialHistogram::refine`] over the installed
+    /// statistics. Returns `None` — without touching anything — when there
+    /// are no statistics or no replayed feedback to refine from.
+    fn refine_step(&mut self) -> Option<RefineReport> {
+        self.stats.as_ref()?;
+        let samples: Vec<_> = {
+            let serving = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+            serving.reservoir.samples().to_vec()
+        };
+        let mut scratch = EstimateScratch::new();
+        let observations: Vec<RefineObservation> = samples
+            .iter()
+            .filter_map(|sample| {
+                sample.exact.map(|actual| RefineObservation {
+                    query: sample.query,
+                    actual,
+                    estimate: self.estimate_finite(&sample.query, &mut scratch),
+                })
+            })
+            .collect();
+        if observations.is_empty() {
+            return None;
+        }
+        let mut clock = Stopwatch::start();
+        let (hist, report) = self
+            .stats
+            .as_ref()?
+            .refine(&observations, &RefineOptions::default());
+        let refine_ns = clock.lap();
+        self.install_refined(hist);
+        if self.options.metrics && minskew_obs::enabled() {
+            self.registry
+                .histogram("engine.maintenance.refine_ns")
+                .record(refine_ns);
+        }
+        Some(report)
+    }
+
+    /// Installs a refined histogram: same publication discipline as
+    /// [`SpatialTable::install_stats`] (era bump, cache flush, snapshot
+    /// publish — readers never see a torn install), except the diagnostics
+    /// are preserved (the statistics are still the product of the last
+    /// `ANALYZE`, incrementally repaired) and the accuracy reservoir keeps
+    /// its replayed feedback.
+    fn install_refined(&mut self, hist: SpatialHistogram) {
+        if self.options.metrics && minskew_obs::enabled() {
+            self.registry
+                .gauge("engine.stats.buckets")
+                .set(hist.buckets().len() as f64);
+            self.registry
+                .gauge("engine.stats.bytes")
+                .set(hist.size_bytes() as f64);
+        }
+        self.diagnostics.achieved_buckets = hist.buckets().len();
+        self.stats = Some(hist);
+        self.stats_era += 1;
+        self.invalidate_cache();
+        self.publish();
     }
 
     /// Plans `query` without executing it. Runs auto-`ANALYZE` first when
@@ -1838,7 +2104,7 @@ mod tests {
     }
 
     #[test]
-    fn accuracy_drift_detected_after_churn_and_cleared_by_analyze() {
+    fn accuracy_drift_detected_after_churn_and_healed_by_analyze() {
         if !minskew_obs::enabled() {
             return;
         }
@@ -1865,14 +2131,156 @@ mod tests {
         let report = t.audit_accuracy().expect("queries were sampled");
         assert!(report.drifted, "{report}");
         assert!(report.recommend_reanalyze);
-        // Re-ANALYZE installs fresh statistics and clears the reservoir.
+        // Re-ANALYZE installs fresh statistics; the reservoir's sampled
+        // workload survives the install (only data churn invalidates its
+        // cached exact counts), so the very next audit can already verify
+        // the heal — no waiting for the sample to refill.
         t.analyze();
-        assert!(t.audit_accuracy().is_none());
-        for i in 0..50 {
-            let _ = t.estimate(&Rect::new(0.0, 0.0, 3.0 + (i % 7) as f64, 3.0));
-        }
-        let healed = t.audit_accuracy().expect("new era sampled");
+        let healed = t.audit_accuracy().expect("sample survives the install");
+        assert_eq!(healed.samples, report.samples);
         assert!(!healed.drifted, "{healed}");
+        assert!(!healed.recommend_reanalyze, "{healed}");
+    }
+
+    #[test]
+    fn reservoir_exacts_survive_refine_but_not_data_churn() {
+        if !minskew_obs::enabled() {
+            return;
+        }
+        let mut t = SpatialTable::new(TableOptions {
+            accuracy_reservoir: 512,
+            auto_analyze_threshold: None,
+            // Any audited error counts as drift, so maintain() always
+            // repairs — this test is about what survives the repair.
+            accuracy_drift_threshold: 0.0,
+            maintenance: MaintenanceMode::OnlineRefine,
+            ..TableOptions::default()
+        });
+        for r in charminar_with(2_000, 7).rects() {
+            t.insert(*r);
+        }
+        t.analyze();
+        for i in 0..60 {
+            let s = (i % 12) as f64 * 600.0;
+            let _ = t.estimate(&Rect::new(s, s, s + 1_800.0, s + 1_400.0 + i as f64));
+        }
+        // First audit replays exact counts and caches them in the slots.
+        let audited = t.audit_accuracy().expect("queries were sampled");
+        assert!(audited.samples > 0);
+        let cached = |t: &SpatialTable| {
+            let serving = t.serving.lock().unwrap_or_else(PoisonError::into_inner);
+            let samples = serving.reservoir.samples();
+            (
+                samples.len(),
+                samples.iter().filter(|s| s.exact.is_some()).count(),
+            )
+        };
+        let (n0, with_exact) = cached(&t);
+        assert_eq!(with_exact, n0, "audit must cache every exact count");
+        // A refine install keeps both the queries and the exact counts.
+        let report = t.maintain();
+        assert!(
+            matches!(report.action, MaintenanceAction::Refined(_)),
+            "{report}"
+        );
+        let (n1, exact1) = cached(&t);
+        assert_eq!((n1, exact1), (n0, n0), "refine must retain the feedback");
+        // Data churn invalidates the exact counts but keeps the queries.
+        t.insert(Rect::new(1.0, 1.0, 2.0, 2.0));
+        let _ = t.estimate(&Rect::new(0.0, 0.0, 10.0, 10.0));
+        let (n2, exact2) = cached(&t);
+        assert!(n2 >= n0, "queries must survive churn");
+        assert_eq!(exact2, 0, "churn must invalidate cached exact counts");
+    }
+
+    #[test]
+    fn maintain_modes_repair_or_observe() {
+        if !minskew_obs::enabled() {
+            return;
+        }
+        let drifted_table = |mode: MaintenanceMode| {
+            let mut t = SpatialTable::new(TableOptions {
+                accuracy_reservoir: 512,
+                auto_analyze_threshold: None,
+                maintenance: mode,
+                ..TableOptions::default()
+            });
+            for iy in 0..20 {
+                for ix in 0..20 {
+                    let (x, y) = (ix as f64 * 10.0, iy as f64 * 10.0);
+                    t.insert(Rect::new(x, y, x + 5.0, y + 5.0));
+                }
+            }
+            t.analyze();
+            for _ in 0..4_000 {
+                t.insert(Rect::new(1.0, 1.0, 2.0, 2.0));
+            }
+            for i in 0..50 {
+                let _ = t.estimate(&Rect::new(0.0, 0.0, 3.0 + (i % 7) as f64, 3.0));
+            }
+            t
+        };
+        // Off: the drift is reported but nothing changes.
+        let mut t = drifted_table(MaintenanceMode::Off);
+        let era = t.stats_era;
+        let report = t.maintain();
+        assert!(report.audit.as_ref().is_some_and(|a| a.drifted));
+        assert_eq!(report.action, MaintenanceAction::None);
+        assert_eq!(t.stats_era, era, "Off must not install anything");
+        // DriftReAnalyze: a full rebuild heals the drift.
+        let mut t = drifted_table(MaintenanceMode::DriftReAnalyze);
+        let report = t.maintain();
+        assert_eq!(report.action, MaintenanceAction::Reanalyzed);
+        let after = t.maintain();
+        assert_eq!(after.action, MaintenanceAction::None, "{after}");
+        // OnlineRefine with no replayed feedback falls back to a full
+        // re-ANALYZE (maintain's own audit fills the exact counts, so the
+        // first maintain can normally refine — force the fallback by
+        // clearing the reservoir and letting staleness drive the repair).
+        let mut t = drifted_table(MaintenanceMode::OnlineRefine);
+        {
+            let serving = t.serving.get_mut().unwrap_or_else(PoisonError::into_inner);
+            serving.reservoir.clear();
+        }
+        t.options.auto_analyze_threshold = Some(0.25);
+        let report = t.maintain();
+        assert_eq!(report.action, MaintenanceAction::Reanalyzed, "{report}");
+        t.options.auto_analyze_threshold = None;
+        // OnlineRefine with feedback refines in place: the stats era
+        // advances, the action carries the refine report, and repeated
+        // passes drive the audited error down without any re-ANALYZE.
+        let mut t = drifted_table(MaintenanceMode::OnlineRefine);
+        let before = t
+            .audit_accuracy()
+            .expect("queries were sampled")
+            .avg_relative_error;
+        let era = t.stats_era;
+        let report = t.maintain();
+        let MaintenanceAction::Refined(refined) = report.action else {
+            panic!("expected a refine, got {report}");
+        };
+        assert!(refined.observations > 0);
+        assert!(t.stats_era > era, "refine must publish a new stats era");
+        let mut error = before;
+        for _ in 0..6 {
+            let r = t.maintain();
+            if let Some(audit) = r.audit {
+                error = audit.avg_relative_error;
+            }
+            if matches!(r.action, MaintenanceAction::None) {
+                break;
+            }
+        }
+        assert!(
+            error < before && error <= t.options.accuracy_drift_threshold,
+            "refine passes must heal the drift: {before} -> {error}"
+        );
+        // Estimates remain clamped in [0, N] throughout.
+        for i in 0..20 {
+            let q = Rect::new(0.0, 0.0, 3.0 + i as f64 * 11.0, 3.0 + i as f64 * 7.0);
+            let est = t.estimate(&q);
+            assert!((0.0..=t.len() as f64).contains(&est));
+        }
     }
 
     #[test]

@@ -64,18 +64,19 @@ pub mod prelude {
         try_build_rtree_partitioning, try_build_uniform, verify_snapshot, Bucket, BucketIndex,
         BucketPlane, BuildError, EstimateError, ExtensionRule, FormatVersion, FractalEstimator,
         IndexScratch, MinSkewBuildTrace, MinSkewBuilder, QueryPrep, RTreeBuildMethod,
-        SamplingEstimator, ServingFootprint, ShardInfo, ShardScratch, ShardedHistogram,
-        SnapshotError, SnapshotInfo, SpatialEstimator, SpatialHistogram, SplitEvent, SplitStrategy,
-        MAX_SHARDS,
+        RefineObservation, RefineOptions, RefineReport, SamplingEstimator, ServingFootprint,
+        ShardInfo, ShardScratch, ShardedHistogram, SnapshotError, SnapshotInfo, SpatialEstimator,
+        SpatialHistogram, SplitEvent, SplitStrategy, MAX_SHARDS,
     };
     pub use minskew_data::{
         write_atomic, CsvRectSource, Dataset, DensityGrid, FaultInjector, FaultKind, RectSource,
     };
     pub use minskew_engine::{
         serve, AccuracyReport, AnalyzeOptions, BatchQueryError, CatalogEntry, CatalogError,
-        EstimateScratch, ServeOptions, ServerHandle, SnapshotCell, SnapshotIoError,
-        SnapshotLoadReport, SpatialCatalog, SpatialReader, SpatialTable, StatsDiagnostics,
-        StatsFallback, StatsTechnique, TableOptions, TableSnapshot, MAX_TABLE_NAME,
+        EstimateScratch, MaintenanceAction, MaintenanceMode, MaintenanceReport, ServeOptions,
+        ServerHandle, SnapshotCell, SnapshotIoError, SnapshotLoadReport, SpatialCatalog,
+        SpatialReader, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique, TableOptions,
+        TableSnapshot, MAX_TABLE_NAME,
     };
     pub use minskew_geom::{Point, Rect};
     pub use minskew_workload::{

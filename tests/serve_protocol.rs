@@ -85,7 +85,21 @@ fn golden_transcript_for_every_verb() {
     assert_eq!(
         c.send("STATS t"),
         "OK {\"table\":\"t\",\"rows\":4,\"buckets\":1,\"shards\":2,\
-         \"generation\":5,\"fallback\":\"none\"}"
+         \"generation\":5,\"fallback\":\"none\",\"maintenance\":\"reanalyze\",\
+         \"staleness\":0.000000}"
+    );
+    assert_eq!(
+        c.send("MAINTAIN t"),
+        "OK maintained t mode=reanalyze accuracy: no sampled queries yet; action: none",
+        "fresh statistics need no repair"
+    );
+    assert_eq!(
+        c.send("MAINTAIN t MODE refine"),
+        "OK maintenance t mode=refine"
+    );
+    assert_eq!(
+        c.send("MAINTAIN t MODE bogus"),
+        "ERR 2 usage: unknown maintenance mode \"bogus\" (expected off, reanalyze, or refine)"
     );
     assert_eq!(
         c.send(&format!("SNAPSHOT t SAVE {snap}")),

@@ -43,19 +43,29 @@
 #  15. the online-refine differential suite (clamping/partition/codec/
 #      Off-inertness invariants, exhaustive dataset × budget × feedback
 #      matrix on via --features refine, single test thread),
-#  16. a CLI serve smoke: start `minskew serve` on an ephemeral port, run
+#  16. the query-tracing differential suite (EXPLAIN bitwise equal to the
+#      indexed serving path, term sums reproducing estimates exactly,
+#      flight recorder / trace ids bit-invisible; exhaustive matrix on via
+#      --features trace, single test thread) — then re-run with minskew-obs
+#      compiled to no-ops alongside the other observability suites,
+#  17. a CLI serve smoke: start `minskew serve` on an ephemeral port, run
 #      a catalog-client round trip against it — including the MAINTAIN
-#      maintenance surface — shut it down over the wire, and require a
-#      clean exit plus an emitted metrics dump,
-#  17. a CLI maintain smoke: the offline `minskew maintain` churn demo
+#      maintenance surface, trace-id echo, the EXPLAIN/FLIGHT/METRICS
+#      observability verbs, a raw malformed-TID fuzz probe, the offline
+#      `minskew explain` surface, and a bounded `minskew top` scrape —
+#      shut it down over the wire, and require a clean exit plus an
+#      emitted metrics dump,
+#  18. a CLI maintain smoke: the offline `minskew maintain` churn demo
 #      must run in every maintenance mode and reject unknown ones,
-#  18. smoke runs of the parallel-speedup, serving-throughput (with
+#  19. smoke runs of the parallel-speedup, serving-throughput (with
 #      `simd` on, asserting the qps_kernel column is present in the
-#      emitted artefact), obs-overhead, snapshot-persistence,
-#      serve-loadgen, and refine-churn benches, which re-check the
-#      differential contracts inline and must leave BENCH_parallel.json /
-#      BENCH_estimate.json / BENCH_obs.json / BENCH_snapshot.json /
-#      BENCH_serve.json / BENCH_refine.json behind at the workspace root.
+#      emitted artefact), obs-overhead (asserting the flight-recorder
+#      overhead column is present in the emitted artefact),
+#      snapshot-persistence, serve-loadgen, and refine-churn benches,
+#      which re-check the differential contracts inline and must leave
+#      BENCH_parallel.json / BENCH_estimate.json / BENCH_obs.json /
+#      BENCH_snapshot.json / BENCH_serve.json / BENCH_refine.json behind
+#      at the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -104,8 +114,12 @@ RUST_TEST_THREADS=1 cargo test -q --test kernel_differential --features kernel,s
 echo "==> online-refine differential suite (exhaustive, single test thread)"
 RUST_TEST_THREADS=1 cargo test -q --test refine_differential --features refine
 
+echo "==> query-tracing differential suite (exhaustive, single test thread)"
+RUST_TEST_THREADS=1 cargo test -q --test trace_differential --features trace
+
 echo "==> observability suites with minskew-obs compiled to no-ops"
-cargo test -q --test obs_differential --test golden_metrics --features minskew-obs/noop
+cargo test -q --test obs_differential --test golden_metrics --test trace_differential \
+    --features minskew-obs/noop
 
 echo "==> clippy (minskew-obs, unwrap denied everywhere)"
 cargo clippy -p minskew-obs --all-targets -- -D warnings -D clippy::unwrap_used
@@ -159,6 +173,55 @@ if ./target/debug/minskew catalog estimate --addr "$SERVE_ADDR" --name ghost \
     echo "ERROR: catalog client did not fail on an unknown table" >&2
     exit 1
 fi
+# Trace ids: a tagged request round-trips (the client verifies and strips
+# the TID= echo), and a locally-invalid token is a usage error before any
+# bytes hit the wire.
+./target/debug/minskew catalog estimate --addr "$SERVE_ADDR" --name roads \
+    --query 60,25,65,30 --tid ci-smoke-1 >/dev/null
+if ./target/debug/minskew catalog ping --addr "$SERVE_ADDR" \
+    --tid 'bad!token' 2>/dev/null; then
+    echo "ERROR: catalog client accepted an invalid trace id" >&2
+    exit 1
+fi
+# The observability verbs: EXPLAIN carries the estimate headline, FLIGHT
+# drains pinned JSONL, METRICS scrapes both registries in both formats.
+EXPLAIN_OUT=$(./target/debug/minskew catalog explain --addr "$SERVE_ADDR" \
+    --name roads --query 60,25,65,30)
+if [[ "$EXPLAIN_OUT" != *'"estimate":'* ]]; then
+    echo "ERROR: catalog explain did not return an estimate trace" >&2
+    exit 1
+fi
+./target/debug/minskew catalog flight --addr "$SERVE_ADDR" >/dev/null
+./target/debug/minskew catalog flight --addr "$SERVE_ADDR" --name roads \
+    --limit 5 >/dev/null
+METRICS_OUT=$(./target/debug/minskew catalog metrics --addr "$SERVE_ADDR")
+if [[ "$METRICS_OUT" != *'minskew-obs/v1'* ]]; then
+    echo "ERROR: catalog metrics did not return a schema-tagged scrape" >&2
+    exit 1
+fi
+./target/debug/minskew catalog metrics --addr "$SERVE_ADDR" --name roads \
+    --format text >/dev/null
+# Malformed-TID fuzz straight over the wire: the reply must be a typed
+# usage error with no TID= echo, and the connection must stay usable.
+exec 3<>"/dev/tcp/${SERVE_ADDR%:*}/${SERVE_ADDR##*:}"
+printf 'TID=bad!token PING\nPING\n' >&3
+IFS= read -r TID_REPLY <&3
+IFS= read -r PING_REPLY <&3
+exec 3>&- 3<&-
+case "$TID_REPLY" in
+    "ERR 2 "*) ;;
+    *)
+        echo "ERROR: malformed TID got \"$TID_REPLY\" (want un-echoed ERR 2)" >&2
+        exit 1
+        ;;
+esac
+if [[ "$PING_REPLY" != "OK pong" ]]; then
+    echo "ERROR: connection wedged after malformed TID: \"$PING_REPLY\"" >&2
+    exit 1
+fi
+# The live dashboard: a bounded scrape against the running server.
+./target/debug/minskew top --addr "$SERVE_ADDR" --name roads \
+    --interval 0.2 --iterations 2 >/dev/null
 ./target/debug/minskew catalog shutdown --addr "$SERVE_ADDR" >/dev/null
 if ! wait "$SERVE_PID"; then
     echo "ERROR: serve did not exit cleanly after wire shutdown" >&2
@@ -177,6 +240,16 @@ done
 if ./target/debug/minskew maintain --input "$SERVE_TMP/data.csv" \
     --mode bogus 2>/dev/null; then
     echo "ERROR: minskew maintain did not reject an unknown mode" >&2
+    exit 1
+fi
+
+echo "==> CLI explain smoke (offline EXPLAIN against a built stats file)"
+./target/debug/minskew build --input "$SERVE_TMP/data.csv" \
+    --technique min-skew --buckets 50 --out "$SERVE_TMP/stats.bin" >/dev/null
+EXPLAIN_CLI_OUT=$(./target/debug/minskew explain --stats "$SERVE_TMP/stats.bin" \
+    --query 60,25,65,30 --terms 3)
+if [[ "$EXPLAIN_CLI_OUT" != *'bit-identical'* ]]; then
+    echo "ERROR: minskew explain did not certify bit-identity" >&2
     exit 1
 fi
 
@@ -209,6 +282,10 @@ rm -f BENCH_obs.json
 MINSKEW_QUICK=1 cargo bench -p minskew-bench --bench obs_overhead >/dev/null
 if [[ ! -f BENCH_obs.json ]]; then
     echo "ERROR: bench did not write BENCH_obs.json" >&2
+    exit 1
+fi
+if ! grep -q '"recorder_overhead_pct"' BENCH_obs.json; then
+    echo "ERROR: BENCH_obs.json is missing the flight-recorder column" >&2
     exit 1
 fi
 git checkout -- BENCH_obs.json 2>/dev/null || true

@@ -11,6 +11,8 @@
 //!                  [--refinements K] [--threads T] --out stats.bin
 //! minskew estimate --stats stats.bin --query x1,y1,x2,y2 [--input data.csv]
 //!                  [--trace]
+//! minskew explain  --stats stats.bin --query x1,y1,x2,y2 [--input data.csv]
+//!                  [--terms N]
 //! minskew evaluate --input data.csv [--buckets B] [--qsize F]
 //!                  [--queries N] [--seed S]
 //! minskew tune     --input data.csv [--buckets B] [--queries N]
@@ -29,6 +31,8 @@
 //! minskew serve    [--addr A] [--port-file F] [--input data.csv]
 //!                  [--table NAME] [--buckets B] [--shards S] [--technique T]
 //! minskew catalog  <action> --addr HOST:PORT [action flags]
+//! minskew top      --addr HOST:PORT [--name TABLE] [--interval SECS]
+//!                  [--iterations N]
 //! ```
 //!
 //! `build --trace` prints the Min-Skew per-split audit trail; `estimate
@@ -171,7 +175,8 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         let Some((action, rest)) = rest.split_first() else {
             return Err(CliError::usage(
                 "catalog needs an action: ping, list, create, drop, insert, delete, \
-                 analyze, estimate, stats, maintain, snapshot, or shutdown",
+                 analyze, estimate, explain, stats, flight, metrics, maintain, \
+                 snapshot, or shutdown",
             ));
         };
         let opts = parse_flags(rest)?;
@@ -182,12 +187,14 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
         "generate" => generate(&opts),
         "build" => build(&opts),
         "estimate" => estimate(&opts),
+        "explain" => explain_cmd(&opts),
         "evaluate" => evaluate_cmd(&opts),
         "tune" => tune(&opts),
         "render" => render(&opts),
         "stats" => stats_cmd(&opts),
         "maintain" => maintain_cmd(&opts),
         "serve" => serve::serve_cmd(&opts),
+        "top" => serve::top_cmd(&opts),
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
             Ok(())
@@ -208,6 +215,10 @@ minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
                     bit-identical at every setting. --trace prints the Min-Skew
                     per-split audit trail; tracing never changes the output bytes)
   minskew estimate --stats stats.bin --query x1,y1,x2,y2 [--input data.csv] [--trace]
+  minskew explain  --stats stats.bin --query x1,y1,x2,y2 [--input data.csv] [--terms N]
+                   (the estimate with its evidence: per-bucket contributions, pruning
+                    counters, extension-rule inputs; the headline is bit-identical to
+                    `estimate`'s indexed serving path, and the term sum reproduces it)
   minskew evaluate --input data.csv [--buckets B] [--qsize F] [--queries N] [--seed S]
   minskew tune     --input data.csv [--buckets B] [--queries N]
   minskew render   --input data.csv --technique T [--buckets B] [--regions R] --out out.svg
@@ -240,9 +251,21 @@ minskew — spatial selectivity estimation (Min-Skew, SIGMOD 1999)
                             drop --name T | analyze --name T
                             insert --name T --rect x1,y1,x2,y2 | delete --name T --id N
                             estimate --name T --query x1,y1,x2,y2
+                            explain --name T --query x1,y1,x2,y2
+                            flight [--name T] [--limit N]
+                            metrics [--name T] [--format json|text]
                             maintain --name T [--mode off|reanalyze|refine]
                             snapshot --name T --op save|load --path P
-                   (one-shot client; server ERR codes become the matching exit code)
+                   (one-shot client; server ERR codes become the matching exit code.
+                    any action takes --tid TOKEN: the request carries a TID=<token>
+                    prefix, the reply echo is verified, and the token lands in the
+                    server's flight records. flight drains the slow/wrong/sampled
+                    query recorder — bare for the wire recorder, --name T for a
+                    table's; metrics scrapes a registry live)
+  minskew top      --addr HOST:PORT [--name TABLE] [--interval SECS] [--iterations N]
+                   (live dashboard over STATS/METRICS: queries/sec, request-latency
+                    quantiles, connections, per-interval cache-hit rate and staleness
+                    for --name; --iterations 0 polls until interrupted)
 
 exit codes: 0 ok, 2 usage, 3 I/O, 4 malformed dataset, 5 corrupt stats, 6 build failure
 ";
@@ -489,6 +512,79 @@ fn estimate(opts: &Flags) -> Result<(), CliError> {
         } else {
             println!("trace: unavailable (minskew-obs compiled with the `noop` feature)");
         }
+    }
+    Ok(())
+}
+
+/// `minskew explain` — the offline EXPLAIN surface: the estimate plus the
+/// evidence behind it (per-bucket terms, pruning counters, extension-rule
+/// inputs), computed through the same indexed serving path as `estimate`.
+fn explain_cmd(opts: &Flags) -> Result<(), CliError> {
+    let stats_path = req(opts, "stats")?;
+    let bytes = std::fs::read(stats_path)
+        .map_err(|e| CliError::new(ErrorKind::Io, format!("reading {stats_path}: {e}")))?;
+    let hist = SpatialHistogram::from_bytes(&bytes).map_err(|e| {
+        CliError::new(
+            ErrorKind::CorruptStats,
+            format!("decoding {stats_path}: {e}"),
+        )
+    })?;
+    let query = parse_query(req(opts, "query")?)?;
+    let mut scratch = IndexScratch::new();
+    let trace = hist.estimate_count_explained(&query, &mut scratch);
+    let headline = hist.estimate_count_indexed(&query, &mut scratch);
+    let estimate = trace.estimate();
+    println!(
+        "{}: estimated |Q| = {estimate:.1} (rule {}, {} buckets, N = {})",
+        trace.technique,
+        trace.rule.label(),
+        trace.num_buckets,
+        hist.input_len(),
+    );
+    println!(
+        "serving path: indexed estimate {headline} — {}",
+        if headline.to_bits() == estimate.to_bits() {
+            "bit-identical"
+        } else {
+            "MISMATCH (file a bug)"
+        }
+    );
+    let k = &trace.kernel;
+    println!(
+        "pruning: {} block(s) ({} pruned), {} quad(s) tested ({} pruned), \
+         {} bucket(s) classified",
+        k.prune.blocks,
+        k.prune.blocks_pruned,
+        k.prune.quads_tested,
+        k.prune.quads_pruned,
+        k.prune.buckets_classified,
+    );
+    println!(
+        "terms: {} contributing; ordered sum {} — {}",
+        k.terms.len(),
+        k.term_sum(),
+        if k.term_sum().to_bits() == estimate.to_bits() {
+            "reproduces the estimate exactly"
+        } else {
+            "DOES NOT reproduce the estimate"
+        }
+    );
+    let limit = num(opts, "terms", 10usize)?;
+    for t in k.terms.iter().take(limit) {
+        println!(
+            "  bucket {:<5} count {:>12.1}  ext ({:.4}, {:.4})  fraction {:.5}  -> {}",
+            t.bucket, t.count, t.ex, t.ey, t.fraction, t.term
+        );
+    }
+    if k.terms.len() > limit {
+        println!(
+            "  ... {} more term(s); raise --terms to see them",
+            k.terms.len() - limit
+        );
+    }
+    if opts.contains_key("input") {
+        let data = load(opts)?;
+        println!("exact:    |Q| = {}", data.count_intersecting(&query));
     }
     Ok(())
 }
@@ -1017,6 +1113,32 @@ mod tests {
             "0,0,2000,2000".into(),
         ])
         .unwrap();
+
+        // The EXPLAIN surface serves the same file and query, with the
+        // exact-count cross-check and a term cap.
+        run(vec![
+            "explain".into(),
+            "--stats".into(),
+            stats.display().to_string(),
+            "--query".into(),
+            "0,0,2000,2000".into(),
+            "--input".into(),
+            csv.display().to_string(),
+            "--terms".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            run(vec![
+                "explain".into(),
+                "--stats".into(),
+                stats.display().to_string()
+            ])
+            .unwrap_err()
+            .kind,
+            ErrorKind::Usage,
+            "explain requires --query"
+        );
 
         run(vec![
             "render".into(),

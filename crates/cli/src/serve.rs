@@ -89,8 +89,20 @@ pub(crate) fn serve_cmd(opts: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Sends one request line and reads one reply line.
-fn round_trip(addr: &str, request: &str) -> Result<String, CliError> {
+/// Parses a reply's first line as an `OK <k>` frame header (tolerating an
+/// optional `TID=<token> ` echo), returning `k`.
+fn framed_count(line: &str) -> Option<usize> {
+    let line = match line.strip_prefix("TID=") {
+        Some(rest) => rest.split_once(' ').map_or(line, |(_, tail)| tail),
+        None => line,
+    };
+    line.strip_prefix("OK ")?.trim().parse().ok()
+}
+
+/// Sends one request line and reads the reply: one line, plus — when
+/// `framed` and the first line is an `OK <k>` frame header — the `k`
+/// payload lines that follow (`FLIGHT` / `METRICS` framing).
+fn round_trip(addr: &str, request: &str, framed: bool) -> Result<String, CliError> {
     let io_err =
         |what: &str, e: std::io::Error| CliError::new(ErrorKind::Io, format!("{what} {addr}: {e}"));
     let mut stream = TcpStream::connect(addr).map_err(|e| io_err("connecting to", e))?;
@@ -100,17 +112,37 @@ fn round_trip(addr: &str, request: &str) -> Result<String, CliError> {
     stream
         .write_all(format!("{request}\n").as_bytes())
         .map_err(|e| io_err("writing to", e))?;
-    let mut reply = String::new();
-    BufReader::new(stream)
-        .read_line(&mut reply)
+    let mut reader = BufReader::new(stream);
+    let mut first = String::new();
+    reader
+        .read_line(&mut first)
         .map_err(|e| io_err("reading from", e))?;
-    if reply.is_empty() {
+    if first.is_empty() {
         return Err(CliError::new(
             ErrorKind::Io,
             format!("server at {addr} closed the connection without replying"),
         ));
     }
-    Ok(reply.trim_end_matches(['\n', '\r']).to_string())
+    let mut reply = first.trim_end_matches(['\n', '\r']).to_string();
+    if framed {
+        if let Some(k) = framed_count(&reply) {
+            for _ in 0..k {
+                let mut line = String::new();
+                reader
+                    .read_line(&mut line)
+                    .map_err(|e| io_err("reading from", e))?;
+                if line.is_empty() {
+                    return Err(CliError::new(
+                        ErrorKind::Io,
+                        format!("server at {addr} closed the connection mid-frame"),
+                    ));
+                }
+                reply.push('\n');
+                reply.push_str(line.trim_end_matches(['\n', '\r']));
+            }
+        }
+    }
+    Ok(reply)
 }
 
 /// Maps a protocol reply onto the exit-code taxonomy: `OK`'s payload goes
@@ -138,6 +170,21 @@ fn report(reply: &str) -> Result<(), CliError> {
     Err(CliError::new(kind, format!("server: {message}")))
 }
 
+/// [`report`] for framed (`OK <k>` + `k` lines) replies: the count line is
+/// protocol framing, so only the payload lines reach stdout. A closed
+/// stdout (`... | head`, `... | grep -q`) is a normal end of consumption,
+/// not an error — the write is allowed to fail silently.
+fn report_framed(reply: &str) -> Result<(), CliError> {
+    use std::io::Write;
+    if reply.starts_with("OK") {
+        if let Some((_, body)) = reply.split_once('\n') {
+            let _ = writeln!(std::io::stdout(), "{body}");
+        }
+        return Ok(());
+    }
+    report(reply)
+}
+
 /// Turns a `x1,y1,x2,y2` flag value into four protocol tokens.
 fn rect_tokens(s: &str) -> Result<String, CliError> {
     let parts: Vec<&str> = s.split(',').map(str::trim).collect();
@@ -152,8 +199,13 @@ fn rect_tokens(s: &str) -> Result<String, CliError> {
 }
 
 /// `minskew catalog <action> --addr HOST:PORT ...` — one-shot client.
+///
+/// With `--tid TOKEN`, the request carries a `TID=<token>` prefix and the
+/// reply's echo is verified and stripped before reporting.
 pub(crate) fn catalog_cmd(action: &str, opts: &Flags) -> Result<(), CliError> {
     let addr = req(opts, "addr")?;
+    // FLIGHT and METRICS replies are `OK <k>` + k payload lines.
+    let framed = matches!(action, "flight" | "metrics");
     let request = match action {
         "ping" => String::from("PING"),
         "list" => String::from("TABLES"),
@@ -180,6 +232,39 @@ pub(crate) fn catalog_cmd(action: &str, opts: &Flags) -> Result<(), CliError> {
             req(opts, "name")?,
             rect_tokens(req(opts, "query")?)?
         ),
+        "explain" => format!(
+            "EXPLAIN {} {}",
+            req(opts, "name")?,
+            rect_tokens(req(opts, "query")?)?
+        ),
+        "flight" => {
+            let mut request = String::from("FLIGHT");
+            if let Some(name) = opts.get("name") {
+                request.push_str(&format!(" {name}"));
+            }
+            if let Some(limit) = opts.get("limit") {
+                limit
+                    .parse::<usize>()
+                    .map_err(|e| CliError::usage(format!("bad --limit {limit:?}: {e}")))?;
+                request.push_str(&format!(" {limit}"));
+            }
+            request
+        }
+        "metrics" => {
+            let mut request = String::from("METRICS");
+            if let Some(name) = opts.get("name") {
+                request.push_str(&format!(" {name}"));
+            }
+            if let Some(format) = opts.get("format") {
+                if format != "json" && format != "text" {
+                    return Err(CliError::usage(format!(
+                        "--format must be json or text, got {format:?}"
+                    )));
+                }
+                request.push_str(&format!(" {format}"));
+            }
+            request
+        }
         "stats" => match opts.get("name") {
             Some(name) => format!("STATS {name}"),
             None => String::from("STATS"),
@@ -212,11 +297,152 @@ pub(crate) fn catalog_cmd(action: &str, opts: &Flags) -> Result<(), CliError> {
         other => {
             return Err(CliError::usage(format!(
                 "unknown catalog action {other:?} (want ping|list|create|drop|insert|delete|\
-                 analyze|estimate|stats|maintain|snapshot|shutdown)"
+                 analyze|estimate|explain|stats|flight|metrics|maintain|snapshot|shutdown)"
             )))
         }
     };
-    report(&round_trip(addr, &request)?)
+    let tid = opts.get("tid");
+    if let Some(t) = tid {
+        let valid = !t.is_empty()
+            && t.len() <= 64
+            && t.bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+        if !valid {
+            return Err(CliError::usage(format!(
+                "bad --tid {t:?} (want 1-64 chars of [A-Za-z0-9._-])"
+            )));
+        }
+    }
+    let request = match tid {
+        Some(t) => format!("TID={t} {request}"),
+        None => request,
+    };
+    let mut reply = round_trip(addr, &request, framed)?;
+    if let Some(t) = tid {
+        let echo = format!("TID={t} ");
+        match reply.strip_prefix(&echo) {
+            Some(rest) => reply = rest.to_string(),
+            None => {
+                return Err(CliError::new(
+                    ErrorKind::Io,
+                    format!("server reply is missing the trace-id echo: {reply:?}"),
+                ))
+            }
+        }
+    }
+    if framed {
+        report_framed(&reply)
+    } else {
+        report(&reply)
+    }
+}
+
+/// Extracts the first number following `"key":` in a JSON document emitted
+/// by this workspace's hand-written writers (`STATS` replies, the
+/// `minskew-obs/v1` export). Not a general JSON parser: `null` and absent
+/// keys are both `None`.
+fn json_field(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One polled observation for `minskew top`.
+struct TopSample {
+    requests: f64,
+    p50_ns: f64,
+    p95_ns: f64,
+    p99_ns: f64,
+    connections: f64,
+    cache_hits: f64,
+    cache_misses: f64,
+    staleness: Option<f64>,
+}
+
+/// Polls one `top` sample: the bare `STATS` document always, plus the
+/// table's `METRICS` registry and `STATS` row when `--name` was given.
+fn top_sample(addr: &str, table: Option<&str>) -> Result<TopSample, CliError> {
+    let stats = round_trip(addr, "STATS", false)?;
+    let mut sample = TopSample {
+        requests: json_field(&stats, "count").unwrap_or(0.0),
+        p50_ns: json_field(&stats, "p50").unwrap_or(0.0),
+        p95_ns: json_field(&stats, "p95").unwrap_or(0.0),
+        p99_ns: json_field(&stats, "p99").unwrap_or(0.0),
+        connections: json_field(&stats, "active_connections").unwrap_or(0.0),
+        cache_hits: 0.0,
+        cache_misses: 0.0,
+        staleness: None,
+    };
+    if let Some(name) = table {
+        let metrics = round_trip(addr, &format!("METRICS {name} json"), true)?;
+        sample.cache_hits = json_field(&metrics, "engine.cache.hits").unwrap_or(0.0);
+        sample.cache_misses = json_field(&metrics, "engine.cache.misses").unwrap_or(0.0);
+        let tstats = round_trip(addr, &format!("STATS {name}"), false)?;
+        if tstats.starts_with("OK") {
+            sample.staleness = json_field(&tstats, "staleness");
+        }
+    }
+    Ok(sample)
+}
+
+/// `minskew top --addr HOST:PORT [--name TABLE] [--interval SECS]
+/// [--iterations N]` — a live metrics dashboard over the `STATS` and
+/// `METRICS` verbs.
+///
+/// Each tick polls the server and renders one aligned row: queries/second
+/// and cache-hit rate are per-interval deltas; the latency quantiles are
+/// the server's cumulative `serve.request_ns` upper bounds. `--iterations
+/// 0` (the default is 0 = forever) polls until interrupted.
+pub(crate) fn top_cmd(opts: &Flags) -> Result<(), CliError> {
+    let addr = req(opts, "addr")?;
+    let table = opts.get("name").map(String::as_str);
+    let interval = num(opts, "interval", 2.0f64)?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err(CliError::usage(format!(
+            "--interval must be a positive number of seconds, got {interval}"
+        )));
+    }
+    let iterations = num(opts, "iterations", 0usize)?;
+    println!(
+        "{:>10}  {:>9}  {:>9}  {:>9}  {:>6}  {:>7}  {:>9}",
+        "req/s", "p50_us", "p95_us", "p99_us", "conns", "cache%", "staleness"
+    );
+    let mut prev = top_sample(addr, table)?;
+    let mut tick = 0usize;
+    loop {
+        std::thread::sleep(Duration::from_secs_f64(interval));
+        let cur = top_sample(addr, table)?;
+        let qps = (cur.requests - prev.requests).max(0.0) / interval;
+        let hits = (cur.cache_hits - prev.cache_hits).max(0.0);
+        let misses = (cur.cache_misses - prev.cache_misses).max(0.0);
+        let cache = if hits + misses > 0.0 {
+            format!("{:.1}", 100.0 * hits / (hits + misses))
+        } else {
+            String::from("-")
+        };
+        let staleness = cur
+            .staleness
+            .map_or_else(|| String::from("-"), |s| format!("{s:.3}"));
+        println!(
+            "{:>10.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>6}  {:>7}  {:>9}",
+            qps,
+            cur.p50_ns / 1e3,
+            cur.p95_ns / 1e3,
+            cur.p99_ns / 1e3,
+            cur.connections as u64,
+            cache,
+            staleness
+        );
+        prev = cur;
+        tick += 1;
+        if iterations > 0 && tick >= iterations {
+            return Ok(());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,5 +471,40 @@ mod tests {
         assert_eq!(rect_tokens("0, 1 ,2.5,3").expect("valid"), "0 1 2.5 3");
         assert!(rect_tokens("0,1,2").is_err());
         assert!(rect_tokens("a,b,c,d").is_err());
+    }
+
+    #[test]
+    fn framed_count_reads_headers_with_and_without_echo() {
+        assert_eq!(framed_count("OK 3"), Some(3));
+        assert_eq!(framed_count("OK 0"), Some(0));
+        assert_eq!(framed_count("TID=abc OK 7"), Some(7));
+        assert_eq!(framed_count("OK pong"), None);
+        assert_eq!(framed_count("ERR 2 nope"), None);
+        assert_eq!(framed_count("TID=abc ERR 2 nope"), None);
+    }
+
+    #[test]
+    fn json_field_extracts_from_both_json_dialects() {
+        // Server STATS style (no space after the colon).
+        let stats = r#"OK {"tables":2,"active_connections":1,"request_ns":{"count":14,"p50":2048,"p95":4096,"p99":8192}}"#;
+        assert_eq!(json_field(stats, "tables"), Some(2.0));
+        assert_eq!(json_field(stats, "count"), Some(14.0));
+        assert_eq!(json_field(stats, "p99"), Some(8192.0));
+        // minskew-obs/v1 style (space after the colon).
+        let obs = "{\n  \"counters\": {\n    \"engine.cache.hits\": 12\n  }\n}";
+        assert_eq!(json_field(obs, "engine.cache.hits"), Some(12.0));
+        // Null and absent fields are both None.
+        assert_eq!(json_field(r#"{"staleness":null}"#, "staleness"), None);
+        assert_eq!(json_field(stats, "missing"), None);
+    }
+
+    #[test]
+    fn report_framed_prints_body_and_maps_errors() {
+        assert!(report_framed("OK 0").is_ok());
+        assert!(report_framed("OK 2\nline1\nline2").is_ok());
+        assert_eq!(
+            report_framed("ERR 2 usage: nope").unwrap_err().kind,
+            ErrorKind::Usage
+        );
     }
 }

@@ -42,6 +42,16 @@ impl ExtensionRule {
             ExtensionRule::None => (0.0, 0.0),
         }
     }
+
+    /// Stable lowercase label, used by wire formats (`EXPLAIN` replies)
+    /// and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExtensionRule::Minkowski => "minkowski",
+            ExtensionRule::PaperLiteral => "paper_literal",
+            ExtensionRule::None => "none",
+        }
+    }
 }
 
 /// One histogram bucket: the paper's eight-word summary of a group of

@@ -5,8 +5,36 @@ use std::sync::OnceLock;
 use minskew_geom::Rect;
 
 use crate::index::CandidateSet;
-use crate::kernel::{BucketPlane, QueryPrep};
+use crate::kernel::{BucketPlane, KernelExplain, QueryPrep};
 use crate::{Bucket, BucketIndex, ExtensionRule, IndexScratch, SpatialEstimator};
+
+/// The structured result of
+/// [`SpatialHistogram::estimate_count_explained`]: the kernel's breakdown
+/// plus the histogram-level context an operator needs to read it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateExplain {
+    /// Technique label of the histogram that served the estimate
+    /// (e.g. `"min_skew"`).
+    pub technique: String,
+    /// The extension rule the per-bucket amounts were derived under.
+    pub rule: ExtensionRule,
+    /// Bucket count of the histogram.
+    pub num_buckets: usize,
+    /// Total (possibly fractional) count across all buckets.
+    pub total_count: f64,
+    /// The kernel scan's evidence: per-bucket terms, pruning counters, and
+    /// the headline estimate (bit-identical to
+    /// [`SpatialHistogram::estimate_count_indexed`]).
+    pub kernel: KernelExplain,
+}
+
+impl EstimateExplain {
+    /// The headline estimate — bit-identical to
+    /// [`SpatialHistogram::estimate_count_indexed`] for the same query.
+    pub fn estimate(&self) -> f64 {
+        self.kernel.estimate
+    }
+}
 
 /// A spatial histogram: a flat set of disjoint-by-construction buckets, each
 /// approximated under the uniformity assumption.
@@ -261,6 +289,31 @@ impl SpatialHistogram {
     pub fn estimate_count_indexed(&self, query: &Rect, scratch: &mut IndexScratch) -> f64 {
         self.bucket_plane()
             .accumulate_pruned(&QueryPrep::new(query), &mut scratch.terms)
+    }
+
+    /// [`SpatialHistogram::estimate_count_indexed`] with the evidence
+    /// attached: per-bucket contributions (id, extension amounts, clipped
+    /// fraction, term value), block/quad pruning counters, and the
+    /// histogram's technique/rule context. The headline
+    /// `EstimateExplain::estimate` is **bit-identical** to
+    /// `estimate_count_indexed` for the same query — the explain walker is
+    /// the same scan with recording on the side, never a re-derivation
+    /// (see [`BucketPlane::accumulate_pruned_explained`]).
+    pub fn estimate_count_explained(
+        &self,
+        query: &Rect,
+        scratch: &mut IndexScratch,
+    ) -> EstimateExplain {
+        let kernel = self
+            .bucket_plane()
+            .accumulate_pruned_explained(&QueryPrep::new(query), &mut scratch.terms);
+        EstimateExplain {
+            technique: self.name.clone(),
+            rule: self.rule,
+            num_buckets: self.buckets.len(),
+            total_count: self.total_count(),
+            kernel,
+        }
     }
 
     /// Byte-level breakdown of everything this histogram keeps resident

@@ -313,6 +313,82 @@ impl TermBuf {
     }
 }
 
+/// One live bucket's contribution in a [`KernelExplain`] breakdown, in
+/// ascending bucket-id order — the exact order the fold added it in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplainTerm {
+    /// Bucket id (index into the histogram's bucket array).
+    pub bucket: u32,
+    /// The bucket's (possibly fractional) rectangle count.
+    pub count: f64,
+    /// Extension amounts the rule added to the query half-extents for this
+    /// bucket (`ExtensionRule::amounts`).
+    pub ex: f64,
+    /// See [`ExplainTerm::ex`].
+    pub ey: f64,
+    /// Diagnostic clipped fraction `fx * fy` — the share of the bucket's
+    /// MBR the extended query covers. Recomputed with the kernel's exact
+    /// arithmetic for reporting; the headline estimate never reads it.
+    pub fraction: f64,
+    /// The term value from `classify`, bit for bit. The headline estimate
+    /// is the ordered fold of exactly these values (plus the zero-sign
+    /// repair) and nothing else.
+    pub term: f64,
+}
+
+/// Pruning statistics from one explained scan: how much of the two-level
+/// Morton-mirror hierarchy the query actually visited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Total 16-bucket blocks in the mirror.
+    pub blocks: usize,
+    /// Blocks rejected by the coarse union-MBR test (members never
+    /// classified).
+    pub blocks_pruned: usize,
+    /// 4-bucket quads tested inside surviving blocks.
+    pub quads_tested: usize,
+    /// Quads rejected by the mid-level union-MBR test.
+    pub quads_pruned: usize,
+    /// Buckets that reached the scalar `classify` step.
+    pub buckets_classified: usize,
+}
+
+/// The structured result of [`BucketPlane::accumulate_pruned_explained`]:
+/// the estimate plus the evidence that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelExplain {
+    /// The headline estimate — bit-identical to
+    /// [`BucketPlane::accumulate_pruned`] for the same plane and query.
+    pub estimate: f64,
+    /// Live contributions in ascending bucket-id order (fold order).
+    pub terms: Vec<ExplainTerm>,
+    /// Whether any proven-`+0.0` term was skipped (the fold's zero-sign
+    /// repair flag); exposed so [`KernelExplain::term_sum`] can replay the
+    /// fold exactly.
+    pub saw_pos_zero: bool,
+    /// Block/quad pruning counters for this scan.
+    pub prune: PruneStats,
+}
+
+impl KernelExplain {
+    /// Re-folds the recorded terms exactly as the kernel did: ascending
+    /// bucket-id order from a `-0.0` accumulator, then the `+0.0` repair
+    /// iff a positive-zero term was skipped. Bit-identical to
+    /// [`KernelExplain::estimate`] by construction — the differential suite
+    /// pins it — so the breakdown provably *is* the estimate.
+    pub fn term_sum(&self) -> f64 {
+        let mut acc = -0.0f64;
+        for t in &self.terms {
+            acc += t.term;
+        }
+        if self.saw_pos_zero {
+            acc + 0.0
+        } else {
+            acc
+        }
+    }
+}
+
 impl BucketPlane {
     /// Builds the plane for `buckets` under `rule`.
     pub fn build(buckets: &[Bucket], rule: ExtensionRule) -> BucketPlane {
@@ -769,6 +845,105 @@ impl BucketPlane {
             self.scan_block_scalar(b, p, buf, &mut saw_pos_zero);
         }
         self.fold_masked(buf, saw_pos_zero)
+    }
+
+    /// Diagnostic clipped fraction `fx * fy` for mirror member `j`: the
+    /// kernel's exact per-axis arithmetic, re-run purely for reporting.
+    /// Never feeds the estimate — the term value always comes from
+    /// `classify`.
+    fn clip_fraction(&self, j: usize, p: &QueryPrep) -> f64 {
+        let (x1, y1, x2, y2) = (self.mx1[j], self.my1[j], self.mx2[j], self.my2[j]);
+        let hw = (p.hw + self.mex[j]).max(0.0);
+        let hh = (p.hh + self.mey[j]).max(0.0);
+        let ox = ((p.cx + hw).min(x2) - (p.cx - hw).max(x1)).max(0.0);
+        let oy = ((p.cy + hh).min(y2) - (p.cy - hh).max(y1)).max(0.0);
+        let w = x2 - x1;
+        let h = y2 - y1;
+        let fx = if w > 0.0 {
+            (ox / w).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let fy = if h > 0.0 {
+            (oy / h).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        fx * fy
+    }
+
+    /// The explained twin of [`BucketPlane::accumulate_pruned`]: the same
+    /// block-pruned scan — every term from `classify`, scattered through
+    /// the same term buffer, folded by the same ascending-id mask walk —
+    /// with the evidence recorded on the side. The headline estimate is
+    /// therefore bit-identical to the serving path by construction, not by
+    /// re-derivation.
+    ///
+    /// Always scalar, even under `simd`: the SIMD paths replay surviving
+    /// lanes through the scalar step, so the scalar scan *is* the bit
+    /// reference they are pinned against.
+    pub fn accumulate_pruned_explained(&self, p: &QueryPrep, buf: &mut TermBuf) -> KernelExplain {
+        buf.reset(self.len());
+        let n = self.len();
+        let nq = n.div_ceil(QUAD);
+        let mut saw_pos_zero = false;
+        let mut prune = PruneStats {
+            blocks: n.div_ceil(BLOCK),
+            ..PruneStats::default()
+        };
+        let mut terms = Vec::new();
+        for b in 0..n.div_ceil(BLOCK) {
+            if self.block_pruned(b, p) {
+                saw_pos_zero = true;
+                prune.blocks_pruned += 1;
+                continue;
+            }
+            for q in b * (BLOCK / QUAD)..((b + 1) * (BLOCK / QUAD)).min(nq) {
+                prune.quads_tested += 1;
+                if self.quad_pruned(q, p) {
+                    saw_pos_zero = true;
+                    prune.quads_pruned += 1;
+                    continue;
+                }
+                for j in q * QUAD..((q + 1) * QUAD).min(n) {
+                    prune.buckets_classified += 1;
+                    let term = classify(
+                        self.mx1[j],
+                        self.my1[j],
+                        self.mx2[j],
+                        self.my2[j],
+                        self.mcount[j],
+                        self.mex[j],
+                        self.mey[j],
+                        p,
+                    );
+                    match term {
+                        Term::Live(t) => {
+                            buf.set(self.morder[j] as usize, t);
+                            terms.push(ExplainTerm {
+                                bucket: self.morder[j],
+                                count: self.mcount[j],
+                                ex: self.mex[j],
+                                ey: self.mey[j],
+                                fraction: self.clip_fraction(j, p),
+                                term: t,
+                            });
+                        }
+                        Term::PosZero => saw_pos_zero = true,
+                        Term::NegZero => {}
+                    }
+                }
+            }
+        }
+        // The scan visits mirror order; report fold order.
+        terms.sort_unstable_by_key(|t| t.bucket);
+        let estimate = self.fold_masked(buf, saw_pos_zero);
+        KernelExplain {
+            estimate,
+            terms,
+            saw_pos_zero,
+            prune,
+        }
     }
 
     /// Reassociated estimate over all buckets: same terms as

@@ -79,9 +79,11 @@ pub use equi::{build_equi_area, build_equi_count, try_build_equi_area, try_build
 pub use error::{BuildError, EstimateError};
 pub use fractal::FractalEstimator;
 pub use gridhist::{build_grid, try_build_grid};
-pub use histogram::{ServingFootprint, SpatialHistogram};
+pub use histogram::{EstimateExplain, ServingFootprint, SpatialHistogram};
 pub use index::{BucketIndex, CandidateSet, IndexScratch};
-pub use kernel::{simd_level, BucketPlane, QueryPrep, TermBuf};
+pub use kernel::{
+    simd_level, BucketPlane, ExplainTerm, KernelExplain, PruneStats, QueryPrep, TermBuf,
+};
 pub use minskew::{MinSkewBuildTrace, MinSkewBuilder, MinSkewDetail, SplitEvent, SplitStrategy};
 pub use morton::{morton_key, morton_schedule};
 pub use optimal::{build_optimal_bsp, optimal_bsp_skew, try_build_optimal_bsp, OptimalBsp};

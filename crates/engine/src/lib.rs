@@ -65,7 +65,9 @@ pub use catalog::{CatalogEntry, CatalogError, SpatialCatalog, MAX_TABLE_NAME};
 pub use monitor::AccuracyReport;
 pub use persist::{SnapshotIoError, SnapshotLoadReport};
 pub use planner::{CostModel, Explain, Plan};
-pub use publish::{EstimateScratch, SnapshotCell, TableSnapshot};
+pub use publish::{
+    CacheDisposition, EstimatePath, EstimateScratch, EstimateTrace, SnapshotCell, TableSnapshot,
+};
 pub use reader::{BatchQueryError, SpatialReader};
 pub use server::{serve, ServeOptions, ServerHandle};
 pub use table::{

@@ -168,6 +168,130 @@ impl TableSnapshot {
             0.0
         }
     }
+
+    /// [`TableSnapshot::estimate`] with the evidence attached. The headline
+    /// number is produced by *calling the serving path itself*
+    /// ([`TableSnapshot::estimate_raw`] plus the identical clamp), so it is
+    /// bit-identical to what `ESTIMATE` would have returned by
+    /// construction. The per-bucket breakdown then comes from the kernel's
+    /// explained scan over the unsharded histogram view — pinned
+    /// bit-identical to both the unsharded and the routed path by the
+    /// kernel and sharded differential suites.
+    pub fn explain(&self, query: &Rect, scratch: &mut EstimateScratch) -> EstimateTrace {
+        let raw = self.estimate_raw(query, scratch);
+        let estimate = if raw.is_finite() {
+            raw.clamp(0.0, self.live as f64)
+        } else {
+            0.0
+        };
+        let path = match &self.stats {
+            Some(stats) if stats.num_shards() > 1 => EstimatePath::Sharded {
+                shards: stats.num_shards(),
+            },
+            Some(_) => EstimatePath::Indexed,
+            None => EstimatePath::Fallback,
+        };
+        let detail = self.stats.as_ref().map(|s| {
+            s.histogram()
+                .estimate_count_explained(query, &mut scratch.index)
+        });
+        EstimateTrace {
+            estimate,
+            raw,
+            clamped: raw.to_bits() != estimate.to_bits(),
+            path,
+            generation: self.generation,
+            stats_era: self.stats_era,
+            live: self.live,
+            cache: CacheDisposition::Bypassed,
+            detail,
+        }
+    }
+}
+
+/// Which serving path computed an estimate (see
+/// [`TableSnapshot::estimate_raw`]'s three-way dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatePath {
+    /// Partition-routed sharded statistics (bit-identical to the unsharded
+    /// fold; see the `shard` module).
+    Sharded {
+        /// Shard count of the published statistics.
+        shards: usize,
+    },
+    /// The unsharded block-pruned kernel path.
+    Indexed,
+    /// The never-analyzed MBR-fraction fallback.
+    Fallback,
+}
+
+impl EstimatePath {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimatePath::Sharded { .. } => "sharded",
+            EstimatePath::Indexed => "indexed",
+            EstimatePath::Fallback => "fallback",
+        }
+    }
+}
+
+/// What the query cache would have done with this query at the entry point
+/// that produced a trace. EXPLAIN always recomputes (the breakdown needs
+/// the scan), but reports whether the serving path would have answered from
+/// cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// The query's key was resident: `ESTIMATE` would have served the
+    /// cached value (pinned bit-identical to the recomputation by the
+    /// cache's coherence contract).
+    Hit,
+    /// The key was absent: `ESTIMATE` would have computed, as EXPLAIN did.
+    Miss,
+    /// The entry point has no cache (snapshot-level explain) or the cache
+    /// is disabled.
+    Bypassed,
+}
+
+impl CacheDisposition {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Bypassed => "bypassed",
+        }
+    }
+}
+
+/// A traced estimate: the exact serving-path result plus everything an
+/// operator needs to see why it came out that way. Produced by
+/// [`TableSnapshot::explain`] (and the reader/table/server surfaces built
+/// on it); named `EstimateTrace` to stay clear of the planner's
+/// [`crate::Explain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateTrace {
+    /// The clamped estimate — bit-identical to what
+    /// [`TableSnapshot::estimate`] returns for the same query.
+    pub estimate: f64,
+    /// The raw pre-clamp fold result.
+    pub raw: f64,
+    /// `true` when clamping (or the non-finite guard) changed the raw
+    /// value.
+    pub clamped: bool,
+    /// Which serving path computed it.
+    pub path: EstimatePath,
+    /// Publication generation of the snapshot that served it.
+    pub generation: u64,
+    /// Statistics era of that snapshot.
+    pub stats_era: u64,
+    /// Live rows the clamp was taken against.
+    pub live: usize,
+    /// What the query cache at the traced entry point would have done.
+    pub cache: CacheDisposition,
+    /// The kernel's per-bucket breakdown (`None` when the fallback path
+    /// served — there are no buckets to blame).
+    pub detail: Option<minskew_core::EstimateExplain>,
 }
 
 /// The epoch/two-slot publication cell. See the module docs for the

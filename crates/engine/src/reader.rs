@@ -6,7 +6,9 @@ use minskew_core::EstimateError;
 use minskew_geom::Rect;
 
 use crate::cache::{cache_key, QueryCache};
-use crate::publish::{EstimateScratch, SnapshotCell, TableSnapshot};
+use crate::publish::{
+    CacheDisposition, EstimateScratch, EstimateTrace, SnapshotCell, TableSnapshot,
+};
 
 /// A lock-free serving handle for one table, obtained via
 /// [`crate::SpatialTable::reader`].
@@ -101,6 +103,36 @@ impl SpatialReader {
         let value = snapshot.estimate(query, &mut self.scratch);
         self.cache.insert(key, value);
         Ok(value)
+    }
+
+    /// [`SpatialReader::try_estimate`] with the evidence attached: the
+    /// trace's headline estimate is bit-identical to what `try_estimate`
+    /// would return for the same query against the same snapshot (EXPLAIN
+    /// recomputes through the identical serving path; the cache's
+    /// coherence contract pins a would-be hit to the same bits). The
+    /// reported cache disposition is what `try_estimate` *would* have
+    /// done; EXPLAIN itself never inserts, so tracing a query does not
+    /// evict serving entries.
+    pub fn try_explain(&mut self, query: &Rect) -> Result<EstimateTrace, EstimateError> {
+        if !query.is_finite() {
+            return Err(EstimateError::NonFiniteQuery);
+        }
+        let snapshot = self.cell.load();
+        if snapshot.generation() != self.generation {
+            self.cache.invalidate();
+            self.generation = snapshot.generation();
+        }
+        self.scratch.used_router = false;
+        let cached = self.cache.get(&cache_key(query)).is_some();
+        let mut trace = snapshot.explain(query, &mut self.scratch);
+        trace.cache = if self.cache.capacity() == 0 {
+            CacheDisposition::Bypassed
+        } else if cached {
+            CacheDisposition::Hit
+        } else {
+            CacheDisposition::Miss
+        };
+        Ok(trace)
     }
 
     /// Estimated result sizes for a batch of queries (`0.0` for any

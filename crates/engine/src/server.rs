@@ -23,7 +23,32 @@
 //! | `MAINTAIN <t>` | `OK maintained <t> mode=<m> accuracy: ...; action: ...` |
 //! | `MAINTAIN <t> MODE off\|reanalyze\|refine` | `OK maintenance <t> mode=<m>` |
 //! | `SNAPSHOT <t> SAVE\|LOAD <path>` | `OK saved/loaded ...` |
+//! | `EXPLAIN <t> <x1> <y1> <x2> <y2>` | `OK {...}` (single-line JSON trace) |
+//! | `FLIGHT [N]` | `OK <k>` + `k` lines of wire flight-record JSONL |
+//! | `FLIGHT <t> [N]` | `OK <k>` + `k` lines of table `<t>`'s flight JSONL |
+//! | `METRICS [json\|text]` | `OK <k>` + `k` lines of the server registry |
+//! | `METRICS <t> [json\|text]` | `OK <k>` + `k` lines of table `<t>`'s registry |
 //! | `SHUTDOWN` | `OK bye` (server stops accepting and drains) |
+//!
+//! # Trace ids
+//!
+//! Any request may carry an optional `TID=<token>` prefix (1–64 characters
+//! from `[A-Za-z0-9._-]`): `TID=req7 ESTIMATE t 0 0 1 1`. The reply to a
+//! `TID`-prefixed request is prefixed `TID=<token> ` (`TID=req7 OK 42`),
+//! and the token is stamped into any flight record the request produces,
+//! so a client can join its own requests to the server's flight JSONL. A
+//! malformed token is a usage error (`ERR 2 ...`, no echo). Requests
+//! without the prefix are byte-for-byte unchanged — the golden transcripts
+//! pin that.
+//!
+//! `EXPLAIN` answers with the full estimate trace (serving path, cache
+//! disposition, per-bucket terms, pruning counters); its `estimate` field
+//! is bit-identical to what `ESTIMATE` returns for the same query.
+//! `FLIGHT` drains flight recorders: bare for the server's wire records
+//! (slow or 1-in-N-sampled `ESTIMATE` requests, trace ids attached), with
+//! a table name for that table's engine-level records (slow / wrong /
+//! sampled; see [`crate::TableOptions::flight_capacity`]). `METRICS`
+//! makes registries scrapeable live instead of dumped only at shutdown.
 //!
 //! Estimates are formatted with Rust's shortest-round-trip `f64` display,
 //! so `parse::<f64>()` on the client recovers the exact bits — the wire
@@ -52,10 +77,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use minskew_geom::Rect;
-use minskew_obs::{Registry, Stopwatch};
+use minskew_obs::{FlightRecorder, FlightTrigger, QueryRecord, Registry, Stopwatch};
 
 use crate::catalog::{CatalogEntry, CatalogError, SpatialCatalog};
 use crate::persist::SnapshotIoError;
+use crate::publish::{EstimatePath, EstimateTrace};
 use crate::reader::SpatialReader;
 use crate::table::{MaintenanceMode, RowId, StatsTechnique, TableOptions};
 
@@ -94,6 +120,13 @@ struct ServerCtx {
     registry: Registry,
     shutdown: AtomicBool,
     active: AtomicU64,
+    /// Wire-level flight recorder: slow or 1-in-N-sampled `ESTIMATE`
+    /// requests, with the client's trace id stamped in. Sized by the
+    /// table options' flight knobs (drained by the bare `FLIGHT` verb).
+    flight: FlightRecorder,
+    /// Total `ESTIMATE` requests offered to the wire recorder (drives the
+    /// 1-in-N sampled trigger).
+    wire_estimates: AtomicU64,
 }
 
 impl ServerCtx {
@@ -101,6 +134,42 @@ impl ServerCtx {
         if minskew_obs::enabled() {
             self.registry.counter(name).inc();
         }
+    }
+
+    /// Offers one served wire estimate to the wire flight recorder:
+    /// `slow` when the request latency crosses the table options' slow
+    /// threshold, else a 1-in-`flight_sample` baseline record. Runs after
+    /// the reply value is fixed, so it can never perturb an estimate.
+    fn note_wire_flight(
+        &self,
+        tid: &str,
+        query: &Rect,
+        estimate: f64,
+        latency_ns: u64,
+        generation: u64,
+    ) {
+        if self.flight.capacity() == 0 {
+            return;
+        }
+        let opts = &self.options.table_options;
+        let n = self.wire_estimates.fetch_add(1, Ordering::Relaxed);
+        let trigger = if opts.flight_slow_ns > 0 && latency_ns >= opts.flight_slow_ns {
+            FlightTrigger::Slow
+        } else if opts.flight_sample > 0 && n.is_multiple_of(u64::from(opts.flight_sample)) {
+            FlightTrigger::Sampled
+        } else {
+            return;
+        };
+        self.flight.record(&QueryRecord {
+            trigger,
+            tid: tid.to_string(),
+            query: [query.lo.x, query.lo.y, query.hi.x, query.hi.y],
+            estimate,
+            exact: None,
+            latency_ns,
+            generation,
+        });
+        self.bump("serve.flight.recorded");
     }
 }
 
@@ -160,12 +229,19 @@ pub fn serve(catalog: Arc<SpatialCatalog>, options: ServeOptions) -> std::io::Re
     let listener = TcpListener::bind(&addrs[..])?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let flight_capacity = if options.table_options.metrics {
+        options.table_options.flight_capacity
+    } else {
+        0
+    };
     let ctx = Arc::new(ServerCtx {
         catalog,
         options,
         registry: Registry::new(),
         shutdown: AtomicBool::new(false),
         active: AtomicU64::new(0),
+        flight: FlightRecorder::new(flight_capacity),
+        wire_estimates: AtomicU64::new(0),
     });
     let accept_ctx = Arc::clone(&ctx);
     let accept = std::thread::spawn(move || accept_loop(listener, accept_ctx));
@@ -305,24 +381,73 @@ fn snapshot_err(e: SnapshotIoError) -> Reply {
     }
 }
 
+/// Splits an optional `TID=<token>` prefix off a request line. Returns the
+/// token (`""` when absent) and the remainder of the line. A present but
+/// malformed token is a usage error with **no** echo: the server refuses to
+/// reflect bytes it could not validate.
+fn split_tid(line: &str) -> Result<(&str, &str), Reply> {
+    let trimmed = line.trim_start();
+    let Some(rest) = trimmed.strip_prefix("TID=") else {
+        return Ok(("", line));
+    };
+    let split = rest.find(|c: char| c.is_ascii_whitespace());
+    let (token, remainder) = match split {
+        Some(pos) => (&rest[..pos], &rest[pos..]),
+        None => (rest, ""),
+    };
+    let valid = !token.is_empty()
+        && token.len() <= 64
+        && token
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+    if !valid {
+        return Err(err(
+            2,
+            format_args!("usage: bad trace id (want 1-64 chars of [A-Za-z0-9._-])"),
+        ));
+    }
+    Ok((token, remainder))
+}
+
 /// Dispatches one request line. Total: every input maps to exactly one
 /// reply, and nothing here can panic on malformed input.
 fn handle_request(ctx: &Arc<ServerCtx>, conn: &mut ConnState, line: &str) -> Reply {
     let mut clock = Stopwatch::start();
     ctx.bump("serve.requests");
-    let reply = dispatch(ctx, conn, line);
+    let (tid, rest) = match split_tid(line) {
+        Ok(pair) => pair,
+        Err(reply) => {
+            if minskew_obs::enabled() {
+                ctx.registry
+                    .histogram("serve.request_ns")
+                    .record(clock.lap());
+                ctx.bump("serve.errors");
+            }
+            return reply;
+        }
+    };
+    let reply = dispatch(ctx, conn, rest, tid);
     if minskew_obs::enabled() {
         ctx.registry
             .histogram("serve.request_ns")
             .record(clock.lap());
+        // Counted before the echo is applied, so a `TID=`-prefixed error
+        // still registers as an error.
         if matches!(&reply, Reply::Line(s) if s.starts_with("ERR")) {
             ctx.bump("serve.errors");
         }
     }
-    reply
+    if tid.is_empty() {
+        reply
+    } else {
+        match reply {
+            Reply::Line(s) => Reply::Line(format!("TID={tid} {s}")),
+            Reply::Quit(s) => Reply::Quit(format!("TID={tid} {s}")),
+        }
+    }
 }
 
-fn dispatch(ctx: &Arc<ServerCtx>, conn: &mut ConnState, line: &str) -> Reply {
+fn dispatch(ctx: &Arc<ServerCtx>, conn: &mut ConnState, line: &str, tid: &str) -> Reply {
     let mut tokens = line.split_ascii_whitespace();
     let Some(verb) = tokens.next() else {
         return err(2, "usage: empty request");
@@ -357,8 +482,11 @@ fn dispatch(ctx: &Arc<ServerCtx>, conn: &mut ConnState, line: &str) -> Reply {
         "INSERT" => cmd_insert(ctx, &args),
         "DELETE" => cmd_delete(ctx, &args),
         "ANALYZE" => cmd_analyze(ctx, &args),
-        "ESTIMATE" => cmd_estimate(ctx, conn, &args),
+        "ESTIMATE" => cmd_estimate(ctx, conn, &args, tid),
         "BATCH" => cmd_batch(ctx, conn, &args),
+        "EXPLAIN" => cmd_explain(ctx, conn, &args),
+        "FLIGHT" => cmd_flight(ctx, &args),
+        "METRICS" => cmd_metrics(ctx, &args),
         "STATS" => cmd_stats(ctx, &args),
         "MAINTAIN" => cmd_maintain(ctx, &args),
         "SNAPSHOT" => cmd_snapshot(ctx, &args),
@@ -560,7 +688,7 @@ fn note_batch_routing(ctx: &Arc<ServerCtx>, name: &str, tr: &mut TableReader) {
     }
 }
 
-fn cmd_estimate(ctx: &Arc<ServerCtx>, conn: &mut ConnState, args: &[&str]) -> Reply {
+fn cmd_estimate(ctx: &Arc<ServerCtx>, conn: &mut ConnState, args: &[&str], tid: &str) -> Reply {
     let [name, coords @ ..] = args else {
         return err(2, "usage: ESTIMATE <table> <x1> <y1> <x2> <y2>");
     };
@@ -572,10 +700,14 @@ fn cmd_estimate(ctx: &Arc<ServerCtx>, conn: &mut ConnState, args: &[&str]) -> Re
         Ok(tr) => tr,
         Err(reply) => return reply,
     };
+    let mut clock = Stopwatch::start();
     match tr.reader.try_estimate(&rect) {
         Ok(value) => {
+            // The reply value is already fixed: recording can only observe.
+            let latency_ns = clock.lap();
             note_routing(ctx, name, tr);
             ctx.bump("serve.estimates");
+            ctx.note_wire_flight(tid, &rect, value, latency_ns, tr.reader.generation());
             ok(value)
         }
         Err(e) => err(2, format_args!("usage: {e}")),
@@ -641,21 +773,218 @@ fn cmd_batch(ctx: &Arc<ServerCtx>, conn: &mut ConnState, args: &[&str]) -> Reply
     ok(payload)
 }
 
+/// A number for hand-written JSON: shortest-round-trip for finite values,
+/// `null` otherwise (JSON has no Inf/NaN).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        String::from("null")
+    }
+}
+
+/// A JSON string literal (quotes, backslash, control characters escaped).
+fn json_str(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Cap on per-bucket terms inlined into an `EXPLAIN` reply; the full count
+/// is always reported as `terms_total`.
+const EXPLAIN_MAX_TERMS: usize = 32;
+
+/// One-line JSON for an estimate trace (the `EXPLAIN` payload).
+fn trace_json(trace: &EstimateTrace) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"estimate\":{},\"raw\":{},\"clamped\":{},\"path\":{}",
+        json_num(trace.estimate),
+        json_num(trace.raw),
+        trace.clamped,
+        json_str(trace.path.label()),
+    );
+    if let EstimatePath::Sharded { shards } = trace.path {
+        let _ = write!(out, ",\"shards\":{shards}");
+    }
+    let _ = write!(
+        out,
+        ",\"generation\":{},\"stats_era\":{},\"live\":{},\"cache\":{}",
+        trace.generation,
+        trace.stats_era,
+        trace.live,
+        json_str(trace.cache.label()),
+    );
+    match &trace.detail {
+        None => out.push_str(",\"detail\":null}"),
+        Some(d) => {
+            let k = &d.kernel;
+            let _ = write!(
+                out,
+                ",\"detail\":{{\"technique\":{},\"rule\":{},\"buckets\":{},\
+                 \"total_count\":{},\"saw_pos_zero\":{},\"prune\":{{\"blocks\":{},\
+                 \"blocks_pruned\":{},\"quads_tested\":{},\"quads_pruned\":{},\
+                 \"buckets_classified\":{}}},\"terms_total\":{},\"terms\":[",
+                json_str(&d.technique),
+                json_str(d.rule.label()),
+                d.num_buckets,
+                json_num(d.total_count),
+                k.saw_pos_zero,
+                k.prune.blocks,
+                k.prune.blocks_pruned,
+                k.prune.quads_tested,
+                k.prune.quads_pruned,
+                k.prune.buckets_classified,
+                k.terms.len(),
+            );
+            for (i, t) in k.terms.iter().take(EXPLAIN_MAX_TERMS).enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(
+                    out,
+                    "{sep}{{\"bucket\":{},\"count\":{},\"ex\":{},\"ey\":{},\
+                     \"fraction\":{},\"term\":{}}}",
+                    t.bucket,
+                    json_num(t.count),
+                    json_num(t.ex),
+                    json_num(t.ey),
+                    json_num(t.fraction),
+                    json_num(t.term),
+                );
+            }
+            out.push_str("]}}");
+        }
+    }
+    out
+}
+
+fn cmd_explain(ctx: &Arc<ServerCtx>, conn: &mut ConnState, args: &[&str]) -> Reply {
+    let [name, coords @ ..] = args else {
+        return err(2, "usage: EXPLAIN <table> <x1> <y1> <x2> <y2>");
+    };
+    let rect = match parse_rect(coords, 2) {
+        Ok(r) => r,
+        Err(reply) => return reply,
+    };
+    let tr = match conn_reader(ctx, conn, name) {
+        Ok(tr) => tr,
+        Err(reply) => return reply,
+    };
+    match tr.reader.try_explain(&rect) {
+        Ok(trace) => {
+            ctx.bump("serve.explains");
+            ok(trace_json(&trace))
+        }
+        Err(e) => err(2, format_args!("usage: {e}")),
+    }
+}
+
+/// Frames a multi-line payload as `OK <k>` followed by its `k` lines, all
+/// written as one reply (the transport appends the final newline).
+fn framed(payload: &str) -> Reply {
+    let body = payload.strip_suffix('\n').unwrap_or(payload);
+    if body.is_empty() {
+        return ok(0);
+    }
+    Reply::Line(format!("OK {}\n{body}", body.lines().count()))
+}
+
+fn cmd_flight(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
+    // Bare `FLIGHT [N]` drains the server's wire recorder; `FLIGHT <t> [N]`
+    // a table's engine-level recorder. A first argument that parses as a
+    // count is a count — table names that look like numbers lose.
+    let jsonl = match args {
+        [] => ctx.flight.to_jsonl(usize::MAX),
+        [first] => {
+            if let Ok(max) = first.parse::<usize>() {
+                ctx.flight.to_jsonl(max)
+            } else {
+                match lookup(ctx, first) {
+                    Ok(entry) => entry.table().flight_recorder().to_jsonl(usize::MAX),
+                    Err(reply) => return reply,
+                }
+            }
+        }
+        [name, max] => {
+            let Ok(max) = max.parse::<usize>() else {
+                return err(2, format_args!("usage: bad count {max:?}"));
+            };
+            match lookup(ctx, name) {
+                Ok(entry) => entry.table().flight_recorder().to_jsonl(max),
+                Err(reply) => return reply,
+            }
+        }
+        _ => return err(2, "usage: FLIGHT [<table>] [N]"),
+    };
+    ctx.bump("serve.flight.drains");
+    framed(&jsonl)
+}
+
+fn cmd_metrics(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
+    // Bare `METRICS [json|text]` scrapes the server registry;
+    // `METRICS <t> [json|text]` a table's. The format literals win the
+    // one-argument ambiguity, like `FLIGHT`'s counts.
+    let (snap, format) = match args {
+        [] => (ctx.registry.snapshot(), "json"),
+        [first] if *first == "json" || *first == "text" => (ctx.registry.snapshot(), *first),
+        [name] => match lookup(ctx, name) {
+            Ok(entry) => (entry.table().metrics(), "json"),
+            Err(reply) => return reply,
+        },
+        [name, format] => match lookup(ctx, name) {
+            Ok(entry) => (entry.table().metrics(), *format),
+            Err(reply) => return reply,
+        },
+        _ => return err(2, "usage: METRICS [<table>] [json|text]"),
+    };
+    let text = match format {
+        "json" => snap.to_json(),
+        "text" => snap.to_text(),
+        other => return err(2, format_args!("usage: unknown metrics format {other:?}")),
+    };
+    ctx.bump("serve.metrics.scrapes");
+    framed(&text)
+}
+
 fn cmd_stats(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
     match args {
-        [] => ok(format_args!(
-            "{{\"tables\":{},\"active_connections\":{}}}",
-            ctx.catalog.len(),
-            ctx.active.load(Ordering::SeqCst)
-        )),
+        [] => {
+            let lat = ctx.registry.histogram("serve.request_ns").snapshot();
+            ok(format_args!(
+                "{{\"tables\":{},\"active_connections\":{},\"request_ns\":\
+                 {{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}}}",
+                ctx.catalog.len(),
+                ctx.active.load(Ordering::SeqCst),
+                lat.count,
+                lat.quantile_upper_bound(0.5),
+                lat.quantile_upper_bound(0.95),
+                lat.quantile_upper_bound(0.99),
+            ))
+        }
         [name] => match lookup(ctx, name) {
             Ok(entry) => {
                 let table = entry.table();
                 let snapshot = table.current_snapshot();
                 let diag = table.stats_diagnostics();
                 let buckets = snapshot.stats().map_or(0, |s| s.histogram().num_buckets());
+                // Filter non-finite staleness: `{s:.6}` would otherwise
+                // print a bare `NaN`/`inf` token into the JSON reply.
                 let staleness = table
                     .stats_staleness()
+                    .filter(|s| s.is_finite())
                     .map_or_else(|| String::from("null"), |s| format!("{s:.6}"));
                 ok(format_args!(
                     "{{\"table\":\"{name}\",\"rows\":{},\"buckets\":{buckets},\"shards\":{},\
@@ -729,6 +1058,31 @@ fn cmd_snapshot(ctx: &Arc<ServerCtx>, args: &[&str]) -> Reply {
 mod tests {
     use super::*;
 
+    /// A test context with the wire flight recorder sized by `options`
+    /// exactly as [`serve`] sizes it.
+    fn test_ctx(options: ServeOptions) -> Arc<ServerCtx> {
+        let flight_capacity = if options.table_options.metrics {
+            options.table_options.flight_capacity
+        } else {
+            0
+        };
+        Arc::new(ServerCtx {
+            catalog: Arc::new(SpatialCatalog::new()),
+            options,
+            registry: Registry::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            flight: FlightRecorder::new(flight_capacity),
+            wire_estimates: AtomicU64::new(0),
+        })
+    }
+
+    fn line(ctx: &Arc<ServerCtx>, conn: &mut ConnState, req: &str) -> String {
+        match handle_request(ctx, conn, req) {
+            Reply::Line(s) | Reply::Quit(s) => s,
+        }
+    }
+
     #[test]
     fn parse_rect_accepts_finite_and_rejects_everything_else() {
         assert!(parse_rect(&["0", "0", "1.5", "2"], 2).is_ok());
@@ -746,20 +1100,9 @@ mod tests {
 
     #[test]
     fn dispatch_maps_errors_to_the_exit_code_taxonomy() {
-        let ctx = Arc::new(ServerCtx {
-            catalog: Arc::new(SpatialCatalog::new()),
-            options: ServeOptions::default(),
-            registry: Registry::new(),
-            shutdown: AtomicBool::new(false),
-            active: AtomicU64::new(0),
-        });
+        let ctx = test_ctx(ServeOptions::default());
         let mut conn = ConnState {
             readers: std::collections::HashMap::new(),
-        };
-        let line = |ctx: &Arc<ServerCtx>, conn: &mut ConnState, req: &str| -> String {
-            match handle_request(ctx, conn, req) {
-                Reply::Line(s) | Reply::Quit(s) => s,
-            }
         };
         assert_eq!(line(&ctx, &mut conn, "PING"), "OK pong");
         assert_eq!(line(&ctx, &mut conn, "TABLES"), "OK 0");
@@ -780,20 +1123,9 @@ mod tests {
 
     #[test]
     fn maintain_verb_runs_and_switches_modes() {
-        let ctx = Arc::new(ServerCtx {
-            catalog: Arc::new(SpatialCatalog::new()),
-            options: ServeOptions::default(),
-            registry: Registry::new(),
-            shutdown: AtomicBool::new(false),
-            active: AtomicU64::new(0),
-        });
+        let ctx = test_ctx(ServeOptions::default());
         let mut conn = ConnState {
             readers: std::collections::HashMap::new(),
-        };
-        let line = |ctx: &Arc<ServerCtx>, conn: &mut ConnState, req: &str| -> String {
-            match handle_request(ctx, conn, req) {
-                Reply::Line(s) | Reply::Quit(s) => s,
-            }
         };
         assert!(line(&ctx, &mut conn, "MAINTAIN").starts_with("ERR 2 "));
         assert!(line(&ctx, &mut conn, "MAINTAIN ghost").starts_with("ERR 2 "));
@@ -818,5 +1150,149 @@ mod tests {
         assert!(line(&ctx, &mut conn, "ANALYZE t").starts_with("OK analyzed t"));
         let stats = line(&ctx, &mut conn, "STATS t");
         assert!(stats.contains("\"staleness\":0.000000"), "{stats:?}");
+    }
+
+    #[test]
+    fn trace_ids_echo_on_ok_and_err_but_malformed_never_echo() {
+        let ctx = test_ctx(ServeOptions::default());
+        let mut conn = ConnState {
+            readers: std::collections::HashMap::new(),
+        };
+        assert_eq!(line(&ctx, &mut conn, "TID=req-7 PING"), "TID=req-7 OK pong");
+        assert_eq!(line(&ctx, &mut conn, "PING"), "OK pong", "no echo unasked");
+        // Errors echo too, so the client can still join the reply.
+        assert!(line(&ctx, &mut conn, "TID=a.b_c NOPE").starts_with("TID=a.b_c ERR 2 "));
+        // Malformed tokens are refused without reflection.
+        for bad in [
+            "TID= PING",
+            "TID=has/slash PING",
+            "TID=qu\"ote PING",
+            &format!("TID={} PING", "x".repeat(65)),
+        ] {
+            let reply = line(&ctx, &mut conn, bad);
+            assert!(reply.starts_with("ERR 2 "), "{bad:?} -> {reply:?}");
+            assert!(!reply.contains("TID="), "{bad:?} must not echo");
+        }
+        // Exactly 64 chars is still valid.
+        let max = format!("TID={} PING", "y".repeat(64));
+        assert!(line(&ctx, &mut conn, &max).ends_with("OK pong"));
+    }
+
+    #[test]
+    fn explain_matches_estimate_bitwise_and_carries_detail() {
+        let ctx = test_ctx(ServeOptions::default());
+        let mut conn = ConnState {
+            readers: std::collections::HashMap::new(),
+        };
+        assert_eq!(line(&ctx, &mut conn, "CREATE t"), "OK created t");
+        for i in 0..200 {
+            let x = f64::from(i % 20) * 5.0;
+            let y = f64::from(i / 20) * 5.0;
+            let req = format!("INSERT t {x} {y} {} {}", x + 3.0, y + 3.0);
+            assert!(line(&ctx, &mut conn, &req).starts_with("OK "));
+        }
+        assert!(line(&ctx, &mut conn, "ANALYZE t").starts_with("OK analyzed t"));
+        let est = line(&ctx, &mut conn, "ESTIMATE t 10 10 60 40");
+        let explain = line(&ctx, &mut conn, "EXPLAIN t 10 10 60 40");
+        let value = est.strip_prefix("OK ").expect("estimate ok").to_string();
+        assert!(
+            explain.starts_with(&format!("OK {{\"estimate\":{value},")),
+            "headline must be the serving-path bits: {explain:?} vs {est:?}"
+        );
+        assert!(explain.contains("\"path\":\"indexed\""), "{explain:?}");
+        assert!(explain.contains("\"technique\":"), "{explain:?}");
+        assert!(explain.contains("\"prune\":{"), "{explain:?}");
+        assert!(explain.contains("\"terms\":[{"), "{explain:?}");
+        assert!(!explain.contains('\n'), "EXPLAIN is single-line");
+        // Usage errors mirror ESTIMATE's.
+        assert!(line(&ctx, &mut conn, "EXPLAIN ghost 0 0 1 1").starts_with("ERR 2 "));
+        assert!(line(&ctx, &mut conn, "EXPLAIN t nan 0 1 1").starts_with("ERR 2 "));
+    }
+
+    #[test]
+    fn flight_drains_wire_records_with_trace_ids() {
+        let mut options = ServeOptions::default();
+        options.table_options.flight_sample = 1; // record every estimate
+        let ctx = test_ctx(options);
+        let mut conn = ConnState {
+            readers: std::collections::HashMap::new(),
+        };
+        assert_eq!(line(&ctx, &mut conn, "CREATE t"), "OK created t");
+        assert_eq!(line(&ctx, &mut conn, "INSERT t 0 0 1 1"), "OK 0");
+        assert!(line(&ctx, &mut conn, "TID=q1 ESTIMATE t 0 0 2 2").starts_with("TID=q1 OK "));
+        assert!(line(&ctx, &mut conn, "ESTIMATE t 0 0 3 3").starts_with("OK "));
+        if !minskew_obs::enabled() {
+            // Under `minskew-obs/noop` the ring has capacity 0: the verb
+            // still answers, with an empty frame.
+            assert_eq!(line(&ctx, &mut conn, "FLIGHT"), "OK 0");
+            return;
+        }
+        let reply = line(&ctx, &mut conn, "FLIGHT");
+        let mut lines = reply.lines();
+        assert_eq!(lines.next(), Some("OK 2"), "{reply:?}");
+        let first = lines.next().expect("first record");
+        assert!(
+            first.contains("\"schema\":\"minskew-obs/flight-v1\""),
+            "{first:?}"
+        );
+        assert!(first.contains("\"tid\":\"q1\""), "{first:?}");
+        let second = lines.next().expect("second record");
+        assert!(second.contains("\"tid\":\"\""), "{second:?}");
+        // Bounded drains keep the newest.
+        let bounded = line(&ctx, &mut conn, "FLIGHT 1");
+        assert!(bounded.starts_with("OK 1\n"), "{bounded:?}");
+        // Per-table recorders answer too (empty here: no slow/wrong/sampled
+        // engine-side records were produced).
+        assert_eq!(line(&ctx, &mut conn, "FLIGHT t"), "OK 0");
+        assert!(line(&ctx, &mut conn, "FLIGHT ghost").starts_with("ERR 2 "));
+        assert!(line(&ctx, &mut conn, "FLIGHT t bogus").starts_with("ERR 2 "));
+    }
+
+    #[test]
+    fn metrics_verb_scrapes_registries_live() {
+        let ctx = test_ctx(ServeOptions::default());
+        let mut conn = ConnState {
+            readers: std::collections::HashMap::new(),
+        };
+        assert_eq!(line(&ctx, &mut conn, "PING"), "OK pong");
+        let reply = line(&ctx, &mut conn, "METRICS");
+        let (head, body) = reply.split_once('\n').expect("framed");
+        let k: usize = head
+            .strip_prefix("OK ")
+            .expect("ok")
+            .parse()
+            .expect("count");
+        assert_eq!(body.lines().count(), k, "{reply:?}");
+        assert!(body.contains("\"schema\": \"minskew-obs/v1\""), "{body:?}");
+        let text = line(&ctx, &mut conn, "METRICS text");
+        assert!(text.starts_with("OK "), "{text:?}");
+        if minskew_obs::enabled() {
+            // Under `minskew-obs/noop` the registries stay empty; the verb
+            // still frames a valid (schema-only) document.
+            assert!(body.contains("serve.verb.ping"), "{body:?}");
+            assert!(text.contains("serve.requests"), "{text:?}");
+        }
+        assert_eq!(line(&ctx, &mut conn, "CREATE t"), "OK created t");
+        assert!(
+            line(&ctx, &mut conn, "METRICS t").starts_with("OK "),
+            "table registry"
+        );
+        assert!(line(&ctx, &mut conn, "METRICS ghost").starts_with("ERR 2 "));
+        assert!(line(&ctx, &mut conn, "METRICS t xml").starts_with("ERR 2 "));
+    }
+
+    #[test]
+    fn bare_stats_reports_request_latency_quantiles() {
+        let ctx = test_ctx(ServeOptions::default());
+        let mut conn = ConnState {
+            readers: std::collections::HashMap::new(),
+        };
+        assert_eq!(line(&ctx, &mut conn, "PING"), "OK pong");
+        let stats = line(&ctx, &mut conn, "STATS");
+        assert!(stats.starts_with("OK {\"tables\":0,"), "{stats:?}");
+        assert!(stats.contains("\"request_ns\":{\"count\":"), "{stats:?}");
+        assert!(stats.contains("\"p50\":"), "{stats:?}");
+        assert!(stats.contains("\"p95\":"), "{stats:?}");
+        assert!(stats.contains("\"p99\":"), "{stats:?}");
     }
 }

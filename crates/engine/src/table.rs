@@ -9,12 +9,16 @@ use minskew_core::{
 };
 use minskew_data::Dataset;
 use minskew_geom::Rect;
-use minskew_obs::{Gauge, Histogram, Registry, Stopwatch};
+use minskew_obs::{
+    FlightRecorder, FlightTrigger, Gauge, Histogram, QueryRecord, Registry, Stopwatch,
+};
 use minskew_rtree::{RStarTree, RTreeConfig};
 
 use crate::cache::{cache_key, QueryCache};
 use crate::monitor::{AccuracyReport, Reservoir};
-use crate::publish::{EstimateScratch, SnapshotCell, TableSnapshot};
+use crate::publish::{
+    CacheDisposition, EstimateScratch, EstimateTrace, SnapshotCell, TableSnapshot,
+};
 use crate::reader::SpatialReader;
 use crate::{CostModel, Explain, Plan};
 
@@ -228,6 +232,31 @@ pub struct TableOptions {
     /// [`MaintenanceMode::OnlineRefine`] repairs in place from query
     /// feedback instead of re-reading the data.
     pub maintenance: MaintenanceMode,
+    /// Capacity of the table's flight recorder
+    /// ([`minskew_obs::FlightRecorder`]): the ring of structured records
+    /// for slow / wrong / sampled queries, drained via
+    /// [`SpatialTable::flight_recorder`] (or the server's `FLIGHT` verb).
+    /// `0` disables recording. Recording is bit-invisible like the rest of
+    /// the instrumentation and inert when [`TableOptions::metrics`] is
+    /// off. Defaults to 256.
+    pub flight_capacity: usize,
+    /// Latency (nanoseconds) at or above which a *sampled* estimate is
+    /// captured as a `slow` flight record. Only sampled calls read the
+    /// clock (see [`TableOptions::metrics_sampling`]), so slow-query
+    /// detection rides the sampled path and adds no timing to the
+    /// unsampled fast path. `0` disables the slow trigger. Defaults to
+    /// 1 ms.
+    pub flight_slow_ns: u64,
+    /// Relative residual `|exact − estimate| / max(|exact|, 1)` above
+    /// which [`SpatialTable::audit_accuracy`]'s replay captures a `wrong`
+    /// flight record for the offending query. Non-positive disables the
+    /// wrong trigger. Defaults to 1.0 (estimate off by 100%).
+    pub flight_residual: f64,
+    /// Capture one in this many sampled (timed) estimates as a `sampled`
+    /// flight record regardless of latency, so the ring always carries a
+    /// baseline of ordinary traffic. `0` disables the sampled trigger.
+    /// Defaults to 0.
+    pub flight_sample: u32,
 }
 
 impl Default for TableOptions {
@@ -246,6 +275,10 @@ impl Default for TableOptions {
             accuracy_drift_threshold: 0.5,
             shards: 1,
             maintenance: MaintenanceMode::default(),
+            flight_capacity: 256,
+            flight_slow_ns: 1_000_000,
+            flight_residual: 1.0,
+            flight_sample: 0,
         }
     }
 }
@@ -493,6 +526,10 @@ pub struct SpatialTable {
     current: Arc<TableSnapshot>,
     /// The publication cell lock-free readers subscribe to.
     cell: Arc<SnapshotCell<TableSnapshot>>,
+    /// The table's flight recorder: slow / wrong / sampled query records
+    /// (see [`TableOptions::flight_capacity`]). Shared by `Arc` so the
+    /// server can drain it without the table lock.
+    flight: Arc<FlightRecorder>,
 }
 
 impl std::fmt::Debug for SpatialTable {
@@ -541,6 +578,13 @@ impl SpatialTable {
         let metrics = TableMetrics::new(&registry);
         let current = Arc::new(TableSnapshot::new(0, 0, 0, None, None));
         let cell = Arc::new(SnapshotCell::new(current.clone()));
+        // Metrics off ⇒ no recording at all; sizing the ring to zero makes
+        // that structural instead of a per-call check.
+        let flight = Arc::new(FlightRecorder::new(if options.metrics {
+            options.flight_capacity
+        } else {
+            0
+        }));
         Ok(SpatialTable {
             rows: Vec::new(),
             live: 0,
@@ -555,6 +599,7 @@ impl SpatialTable {
             data_era: 0,
             current,
             cell,
+            flight,
             options,
         })
     }
@@ -1009,6 +1054,12 @@ impl SpatialTable {
     /// The sampled serving path: same functions in the same order as the
     /// unsampled path (so the result is bit-identical), with a [`Stopwatch`]
     /// lap between stages feeding the `engine.query.*_ns` histograms.
+    ///
+    /// This is also where the flight recorder's `slow` and `sampled`
+    /// triggers live: only sampled calls read the clock, so slow-query
+    /// detection rides this path and the unsampled fast path stays exactly
+    /// as it was. Recording happens strictly after the value is computed
+    /// and only writes the ring's atomics — bit-invisible by construction.
     fn estimate_timed(&self, query: &Rect, serving: &mut ServingState) -> f64 {
         let mut clock = Stopwatch::start();
         if self.options.query_cache {
@@ -1016,13 +1067,17 @@ impl SpatialTable {
             let cached = serving.cache.get(&key);
             self.metrics.cache_probe_ns.record(clock.lap());
             if let Some(value) = cached {
+                // A cache hit cannot be slow and carries no scan evidence;
+                // it is never flight-recorded.
                 return value;
             }
             let raw = self.estimate_raw(query, &mut serving.scratch);
             self.metrics.index_scan_ns.record(clock.lap());
             let value = self.clamp_estimate(raw);
             self.metrics.clamp_ns.record(clock.lap());
-            self.record_estimate_latency(clock.total());
+            let total_ns = clock.total();
+            self.record_estimate_latency(total_ns);
+            self.note_flight(query, value, total_ns, serving.sampled);
             serving.cache.insert(key, value);
             serving.reservoir.observe(*query);
             return value;
@@ -1031,9 +1086,79 @@ impl SpatialTable {
         self.metrics.index_scan_ns.record(clock.lap());
         let value = self.clamp_estimate(raw);
         self.metrics.clamp_ns.record(clock.lap());
-        self.record_estimate_latency(clock.total());
+        let total_ns = clock.total();
+        self.record_estimate_latency(total_ns);
+        self.note_flight(query, value, total_ns, serving.sampled);
         serving.reservoir.observe(*query);
         value
+    }
+
+    /// Offers one computed, timed estimate to the flight recorder: `slow`
+    /// when the latency threshold fires, else a 1-in-N `sampled` baseline
+    /// record. Table-level records carry no trace id (wire records, which
+    /// do, are captured by the server).
+    fn note_flight(&self, query: &Rect, estimate: f64, latency_ns: u64, sampled: u64) {
+        if self.flight.capacity() == 0 {
+            return;
+        }
+        let slow = self.options.flight_slow_ns > 0 && latency_ns >= self.options.flight_slow_ns;
+        // `sampled` is the 1-based index of this call within the timed
+        // stream, so `(sampled - 1) % N == 0` captures the 1st, N+1th, ….
+        let trigger = if slow {
+            FlightTrigger::Slow
+        } else if self.options.flight_sample > 0
+            && (sampled.wrapping_sub(1)).is_multiple_of(u64::from(self.options.flight_sample))
+        {
+            FlightTrigger::Sampled
+        } else {
+            return;
+        };
+        self.flight.record(&QueryRecord {
+            trigger,
+            tid: String::new(),
+            query: [query.lo.x, query.lo.y, query.hi.x, query.hi.y],
+            estimate,
+            exact: None,
+            latency_ns,
+            generation: self.generation,
+        });
+    }
+
+    /// [`SpatialTable::try_estimate`] with the evidence attached: which
+    /// serving path ran, what the cache would have done, per-bucket
+    /// contributions, extension-rule inputs, and pruning counters. The
+    /// trace's headline estimate is **bit-identical** to `try_estimate`
+    /// for the same query — EXPLAIN recomputes through the identical
+    /// serving path and never inserts into (or evicts from) the query
+    /// cache, so tracing perturbs nothing.
+    pub fn try_explain(&self, query: &Rect) -> Result<EstimateTrace, EstimateError> {
+        if !query.is_finite() {
+            return Err(EstimateError::NonFiniteQuery);
+        }
+        let mut guard = self.serving.lock().unwrap_or_else(PoisonError::into_inner);
+        let serving = &mut *guard;
+        if serving.seen_generation != self.generation {
+            serving.cache.invalidate();
+            serving.seen_generation = self.generation;
+        }
+        let cached = self.options.query_cache && serving.cache.get(&cache_key(query)).is_some();
+        serving.scratch.used_router = false;
+        let mut trace = self.current.explain(query, &mut serving.scratch);
+        trace.cache = if !self.options.query_cache {
+            CacheDisposition::Bypassed
+        } else if cached {
+            CacheDisposition::Hit
+        } else {
+            CacheDisposition::Miss
+        };
+        Ok(trace)
+    }
+
+    /// The table's flight recorder: the ring of slow / wrong / sampled
+    /// query records (see [`TableOptions::flight_capacity`]). The `Arc`
+    /// lets a server drain records without holding the table lock.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.flight)
     }
 
     /// Records a sampled end-to-end estimate latency into the per-technique
@@ -1283,6 +1408,30 @@ impl SpatialTable {
             exacts.push(actual);
             num += (actual - estimate).abs();
             den += actual;
+            // The replay is the only place the system holds a (query,
+            // exact, estimate) triple: a residual past the threshold files
+            // a `wrong` flight record so the offending query is
+            // inspectable after the fact.
+            let residual = (actual - estimate).abs() / actual.abs().max(1.0);
+            if self.flight.capacity() > 0
+                && self.options.flight_residual > 0.0
+                && residual > self.options.flight_residual
+            {
+                self.flight.record(&QueryRecord {
+                    trigger: FlightTrigger::Wrong,
+                    tid: String::new(),
+                    query: [
+                        sample.query.lo.x,
+                        sample.query.lo.y,
+                        sample.query.hi.x,
+                        sample.query.hi.y,
+                    ],
+                    estimate,
+                    exact: Some(actual),
+                    latency_ns: 0,
+                    generation: self.generation,
+                });
+            }
         }
         // Cache the replayed exact counts back into the reservoir so the
         // online refiner (and the next audit) can reuse them. Mutations

@@ -25,6 +25,9 @@
 //!   hierarchical dot-separated names, exported to JSON
 //!   ([`Registry::to_json`], schema-pinned by a golden test) or
 //!   human-readable text ([`Registry::to_text`]).
+//! * [`FlightRecorder`] — a fixed-capacity lock-free ring of structured
+//!   [`QueryRecord`]s (slow / wrong / sampled queries), drained as pinned
+//!   `minskew-obs/flight-v1` JSONL.
 //!
 //! # Example
 //!
@@ -47,10 +50,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod export;
+mod flight;
 mod metrics;
 mod registry;
 mod span;
 
+pub use flight::{FlightRecorder, FlightTrigger, QueryRecord, TID_BYTES};
 pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use registry::{Registry, RegistrySnapshot};
 pub use span::{Span, Stopwatch, Timer, Trace, TraceEvent};

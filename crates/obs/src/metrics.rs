@@ -240,6 +240,49 @@ impl HistogramSnapshot {
         }
         self.buckets.last().map_or(0, |&(i, _)| bucket_bounds(i).1)
     }
+
+    /// Adds another snapshot's samples into this one, bucket by bucket.
+    /// `count` and `sum` use wrapping arithmetic (matching the live
+    /// histogram's wrapping `sum`), and the sparse bucket list stays in
+    /// ascending bucket order. Commutative and associative, so merging a
+    /// set of per-shard snapshots yields the same distribution regardless
+    /// of merge order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, nb));
+                        b.next();
+                    } else {
+                        merged.push((ia, na.wrapping_add(nb)));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a.by_ref().copied());
+                    break;
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.by_ref().copied());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +336,53 @@ mod tests {
         assert!(snap.mean() > 0.0);
         assert_eq!(snap.quantile_upper_bound(0.0), 2);
         assert_eq!(snap.quantile_upper_bound(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_of_empty_snapshot_is_zero() {
+        // Directly on the snapshot so this holds under `noop` too.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile_upper_bound(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_and_single_bucket() {
+        // A single-bucket distribution answers every quantile with that
+        // bucket's upper bound — including the q=0.0 floor (the target
+        // rank is floored at 1 so "the 0th sample" still means "the
+        // smallest recorded sample's bucket", not a phantom rank).
+        let single = HistogramSnapshot {
+            count: 5,
+            sum: 5 * 700,
+            buckets: vec![(9, 5)],
+        };
+        for q in [0.0, 0.25, 0.5, 1.0, 7.0] {
+            assert_eq!(single.quantile_upper_bound(q), 1 << 10, "q={q}");
+        }
+        // Out-of-range q clamps rather than indexing past the ends.
+        let two = HistogramSnapshot {
+            count: 4,
+            sum: 0,
+            buckets: vec![(0, 2), (5, 2)],
+        };
+        assert_eq!(two.quantile_upper_bound(-3.0), 2);
+        assert_eq!(two.quantile_upper_bound(0.5), 2);
+        // Rank ceil(0.51 * 4) = 3 lands in the second bucket.
+        assert_eq!(two.quantile_upper_bound(0.51), 1 << 6);
+        assert_eq!(two.quantile_upper_bound(2.0), 1 << 6);
+        // The top bucket's upper bound saturates at u64::MAX.
+        let top = HistogramSnapshot {
+            count: 1,
+            sum: u64::MAX,
+            buckets: vec![(63, 1)],
+        };
+        assert_eq!(top.quantile_upper_bound(1.0), u64::MAX);
     }
 
     #[cfg(not(feature = "noop"))]

@@ -144,16 +144,42 @@ impl RegistrySnapshot {
     }
 
     /// Merges another snapshot into this one and restores the sorted-name
-    /// invariant. Metrics sharing a name across the two snapshots both
-    /// survive (consumers see duplicate rows rather than silently summed
-    /// values); use distinct name prefixes per registry to avoid that.
+    /// invariant. Metrics sharing a name across the two snapshots
+    /// coalesce into one row — counters add (wrapping, matching the live
+    /// counter's representation), histograms add bucket by bucket
+    /// ([`HistogramSnapshot::merge`]), and gauges keep the larger value by
+    /// IEEE total order (a commutative high-water rule: last-write-wins
+    /// has no meaning across concurrent shards). Every combiner is
+    /// commutative and associative, so folding per-shard snapshots in any
+    /// order produces byte-identical exports — pinned by the proptest
+    /// suite in `tests/golden_metrics.rs`.
     pub fn merge(&mut self, other: RegistrySnapshot) {
-        self.counters.extend(other.counters);
-        self.gauges.extend(other.gauges);
-        self.histograms.extend(other.histograms);
+        fn coalesce<T>(
+            dst: &mut Vec<(String, T)>,
+            src: Vec<(String, T)>,
+            mut add: impl FnMut(&mut T, T),
+        ) {
+            for (name, value) in src {
+                match dst.binary_search_by(|(n, _)| n.as_str().cmp(&name)) {
+                    Ok(i) => add(&mut dst[i].1, value),
+                    Err(i) => dst.insert(i, (name, value)),
+                }
+            }
+        }
+        // Self-merges from older snapshots may predate the sorted-name
+        // invariant; re-establish it before binary searching.
         self.counters.sort_by(|a, b| a.0.cmp(&b.0));
         self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        coalesce(&mut self.counters, other.counters, |a, b| {
+            *a = a.wrapping_add(b);
+        });
+        coalesce(&mut self.gauges, other.gauges, |a, b| {
+            if b.total_cmp(a) == std::cmp::Ordering::Greater {
+                *a = b;
+            }
+        });
+        coalesce(&mut self.histograms, other.histograms, |a, b| a.merge(&b));
     }
 }
 

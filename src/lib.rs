@@ -62,21 +62,23 @@ pub mod prelude {
         build_rtree_partitioning_default, build_uniform, morton_key, morton_schedule, simd_level,
         try_build_equi_area, try_build_equi_count, try_build_grid, try_build_optimal_bsp,
         try_build_rtree_partitioning, try_build_uniform, verify_snapshot, Bucket, BucketIndex,
-        BucketPlane, BuildError, EstimateError, ExtensionRule, FormatVersion, FractalEstimator,
-        IndexScratch, MinSkewBuildTrace, MinSkewBuilder, QueryPrep, RTreeBuildMethod,
-        RefineObservation, RefineOptions, RefineReport, SamplingEstimator, ServingFootprint,
-        ShardInfo, ShardScratch, ShardedHistogram, SnapshotError, SnapshotInfo, SpatialEstimator,
-        SpatialHistogram, SplitEvent, SplitStrategy, MAX_SHARDS,
+        BucketPlane, BuildError, EstimateError, EstimateExplain, ExplainTerm, ExtensionRule,
+        FormatVersion, FractalEstimator, IndexScratch, KernelExplain, MinSkewBuildTrace,
+        MinSkewBuilder, PruneStats, QueryPrep, RTreeBuildMethod, RefineObservation, RefineOptions,
+        RefineReport, SamplingEstimator, ServingFootprint, ShardInfo, ShardScratch,
+        ShardedHistogram, SnapshotError, SnapshotInfo, SpatialEstimator, SpatialHistogram,
+        SplitEvent, SplitStrategy, MAX_SHARDS,
     };
     pub use minskew_data::{
         write_atomic, CsvRectSource, Dataset, DensityGrid, FaultInjector, FaultKind, RectSource,
     };
     pub use minskew_engine::{
-        serve, AccuracyReport, AnalyzeOptions, BatchQueryError, CatalogEntry, CatalogError,
-        EstimateScratch, MaintenanceAction, MaintenanceMode, MaintenanceReport, ServeOptions,
-        ServerHandle, SnapshotCell, SnapshotIoError, SnapshotLoadReport, SpatialCatalog,
-        SpatialReader, SpatialTable, StatsDiagnostics, StatsFallback, StatsTechnique, TableOptions,
-        TableSnapshot, MAX_TABLE_NAME,
+        serve, AccuracyReport, AnalyzeOptions, BatchQueryError, CacheDisposition, CatalogEntry,
+        CatalogError, EstimatePath, EstimateScratch, EstimateTrace, MaintenanceAction,
+        MaintenanceMode, MaintenanceReport, ServeOptions, ServerHandle, SnapshotCell,
+        SnapshotIoError, SnapshotLoadReport, SpatialCatalog, SpatialReader, SpatialTable,
+        StatsDiagnostics, StatsFallback, StatsTechnique, TableOptions, TableSnapshot,
+        MAX_TABLE_NAME,
     };
     pub use minskew_geom::{Point, Rect};
     pub use minskew_workload::{

@@ -97,6 +97,68 @@ fn overflowing_sum_stays_a_valid_json_number() {
     assert!(json.contains("\"sum\": 18446744073709551614"), "{json}");
 }
 
+#[test]
+fn every_non_finite_gauge_value_exports_as_null() {
+    // Regression pin for the non-finite JSON hazard: NaN, +inf, and -inf
+    // must all land as `null` (JSON has no Inf/NaN tokens) in the scraped
+    // document — the same family of values the wire `STATS` reply filters
+    // out of its staleness field before formatting.
+    if !minskew_obs::enabled() {
+        return;
+    }
+    let r = Registry::new();
+    r.gauge("gauge.a").set(f64::NAN);
+    r.gauge("gauge.b").set(f64::INFINITY);
+    r.gauge("gauge.c").set(f64::NEG_INFINITY);
+    let json = r.to_json();
+    assert!(json.contains("\"gauge.a\": null"), "{json}");
+    assert!(json.contains("\"gauge.b\": null"), "{json}");
+    assert!(json.contains("\"gauge.c\": null"), "{json}");
+    assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+}
+
+#[test]
+fn snapshot_merge_coalesces_same_named_metrics() {
+    if !minskew_obs::enabled() {
+        return;
+    }
+    let a = Registry::new();
+    a.counter("req").add(u64::MAX - 1); // forces the wrap below
+    a.counter("only.a").add(3);
+    a.gauge("hi.water").set(1.5);
+    a.histogram("lat").record(1);
+    let b = Registry::new();
+    b.counter("req").add(3);
+    b.gauge("hi.water").set(-7.0);
+    b.gauge("only.b").set(2.0);
+    b.histogram("lat").record(1);
+    b.histogram("lat").record(1_000);
+    let mut snap = a.snapshot();
+    snap.merge(b.snapshot());
+    // Counters add with wrapping arithmetic, like the live counter.
+    assert_eq!(
+        snap.counters,
+        vec![("only.a".to_owned(), 3), ("req".to_owned(), 1)]
+    );
+    // Gauges keep the larger value by IEEE total order.
+    assert_eq!(
+        snap.gauges,
+        vec![("hi.water".to_owned(), 1.5), ("only.b".to_owned(), 2.0)]
+    );
+    // Histograms add bucket by bucket: the merged snapshot equals one
+    // histogram that saw every sample.
+    let all = Registry::new();
+    let h = all.histogram("lat");
+    h.record(1);
+    h.record(1);
+    h.record(1_000);
+    assert_eq!(snap.histograms, all.snapshot().histograms);
+    // The merged document is valid, duplicate-free JSON.
+    let json = snap.to_json();
+    assert_eq!(json.matches("\"req\"").count(), 1, "{json}");
+    assert_eq!(json.matches("\"hi.water\"").count(), 1, "{json}");
+}
+
 /// Counter merges across minskew-par workers are order-independent: the
 /// same multiset of `add`s lands on the same totals no matter how the
 /// scheduler interleaves workers. This is what makes `par.*` metrics
@@ -104,6 +166,7 @@ fn overflowing_sum_stays_a_valid_json_number() {
 #[cfg(feature = "proptest")]
 mod prop {
     use super::*;
+    use minskew_obs::RegistrySnapshot;
     use proptest::prelude::*;
 
     proptest! {
@@ -134,6 +197,91 @@ mod prop {
                 v
             });
             prop_assert_eq!(c.get(), 2 * serial);
+        }
+
+        /// `RegistrySnapshot::merge` is a commutative, associative fold:
+        /// scraping N shard registries and merging in any order yields a
+        /// byte-identical export — and the merged histogram is exactly the
+        /// histogram that saw every shard's samples.
+        #[test]
+        fn prop_snapshot_merges_are_order_independent(
+            shard_counters in proptest::collection::vec(0u64..1_000_000, 3..6),
+            shard_samples in proptest::collection::vec(
+                proptest::collection::vec(0u64..2_000_000, 0..24),
+                3..6,
+            ),
+            rotation in 0usize..6,
+        ) {
+            if !minskew_obs::enabled() {
+                return Ok(());
+            }
+            let shards = shard_counters.len().min(shard_samples.len());
+            let snaps: Vec<RegistrySnapshot> = (0..shards)
+                .map(|i| {
+                    let r = Registry::new();
+                    r.counter("shard.req").add(shard_counters[i]);
+                    r.gauge("shard.peak").set(shard_counters[i] as f64 / 7.0);
+                    let h = r.histogram("shard.lat");
+                    for &s in &shard_samples[i] {
+                        h.record(s);
+                    }
+                    r.snapshot()
+                })
+                .collect();
+            let mut fwd = RegistrySnapshot::default();
+            for s in &snaps {
+                fwd.merge(s.clone());
+            }
+            let mut rev = RegistrySnapshot::default();
+            for s in snaps.iter().rev() {
+                rev.merge(s.clone());
+            }
+            let mut rot = RegistrySnapshot::default();
+            for k in 0..shards {
+                rot.merge(snaps[(k + rotation) % shards].clone());
+            }
+            prop_assert_eq!(&fwd.to_json(), &rev.to_json());
+            prop_assert_eq!(&fwd.to_json(), &rot.to_json());
+            // Histogram-bucket addition: the merged rows equal one
+            // histogram fed every shard's samples.
+            let all = Registry::new();
+            let h = all.histogram("shard.lat");
+            for samples in shard_samples.iter().take(shards) {
+                for &s in samples {
+                    h.record(s);
+                }
+            }
+            prop_assert_eq!(&fwd.histograms, &all.snapshot().histograms);
+            // Counter addition matches the serial wrapping sum.
+            let total = shard_counters
+                .iter()
+                .take(shards)
+                .fold(0u64, |acc, v| acc.wrapping_add(*v));
+            prop_assert_eq!(fwd.counters[0].1, total);
+        }
+
+        /// Same-named counters wrap on merge exactly like the live
+        /// counter's u64 representation — no saturation, no panic.
+        #[test]
+        fn prop_counter_merge_wraps_like_the_live_counter(
+            a in 0u64..1_000,
+            b in 0u64..1_000,
+        ) {
+            if !minskew_obs::enabled() {
+                return Ok(());
+            }
+            let near_max = u64::MAX - a;
+            let r1 = Registry::new();
+            r1.counter("wrap").add(near_max);
+            let r2 = Registry::new();
+            r2.counter("wrap").add(b);
+            let mut merged = r1.snapshot();
+            merged.merge(r2.snapshot());
+            prop_assert_eq!(merged.counters[0].1, near_max.wrapping_add(b));
+            // Merging in the other direction lands on the same value.
+            let mut flipped = r2.snapshot();
+            flipped.merge(r1.snapshot());
+            prop_assert_eq!(flipped.counters[0].1, near_max.wrapping_add(b));
         }
     }
 }

@@ -24,7 +24,9 @@
 //! gated matrix with `RUST_TEST_THREADS=1 --features refine`.
 
 use minskew::prelude::*;
-use minskew_datagen::{charminar_with, uniform_rects};
+use minskew_datagen::charminar_with;
+#[cfg(feature = "refine")]
+use minskew_datagen::uniform_rects;
 
 /// Deterministic query mix over (and beyond) the dataset extent.
 fn queries_for(data: &Dataset) -> Vec<Rect> {

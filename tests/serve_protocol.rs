@@ -41,6 +41,23 @@ impl Client {
     fn send(&mut self, line: &str) -> String {
         self.send_raw(format!("{line}\n").as_bytes())
     }
+
+    /// Sends a framed verb (`FLIGHT` / `METRICS`): reads the `OK <k>`
+    /// header, then exactly `k` body lines. Returns `(header, body)`.
+    fn send_framed(&mut self, line: &str) -> (String, Vec<String>) {
+        let header = self.send(line);
+        let count = header
+            .strip_prefix("OK ")
+            .and_then(|rest| rest.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut body = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read frame line");
+            body.push(line.trim_end_matches('\n').to_string());
+        }
+        (header, body)
+    }
 }
 
 fn start_server() -> ServerHandle {
@@ -78,10 +95,16 @@ fn golden_transcript_for_every_verb() {
     );
     assert_eq!(c.send("ESTIMATE t 0 0 10 10"), "OK 4", "histogram estimate");
     assert_eq!(c.send("BATCH t 2 0 0 10 10 20 20 30 30"), "OK 4 0");
-    assert_eq!(
-        c.send("STATS"),
-        "OK {\"tables\":1,\"active_connections\":1}"
+    // No-arg STATS carries the request-latency quantiles; the counts and
+    // bounds depend on wall-clock timing, so pin shape rather than bytes.
+    let stats = c.send("STATS");
+    assert!(
+        stats.starts_with("OK {\"tables\":1,\"active_connections\":1,\"request_ns\":{\"count\":"),
+        "{stats}"
     );
+    for key in ["\"p50\":", "\"p95\":", "\"p99\":"] {
+        assert!(stats.contains(key), "{stats}");
+    }
     assert_eq!(
         c.send("STATS t"),
         "OK {\"table\":\"t\",\"rows\":4,\"buckets\":1,\"shards\":2,\
@@ -198,6 +221,17 @@ fn malformed_input_fuzz_yields_typed_errors_and_never_wedges() {
         b"create-with-trailing-space ".to_vec(),
         " \t ".as_bytes().to_vec(),
         vec![b'A'; 4096], // one long unknown verb
+        // Malformed trace ids: empty token, illegal characters, over-long
+        // token. All must yield a typed error with NO `TID=` echo.
+        b"TID= PING".to_vec(),
+        b"TID=bad!token PING".to_vec(),
+        b"TID=qu\"ote PING".to_vec(),
+        {
+            let mut long = b"TID=".to_vec();
+            long.extend(std::iter::repeat_n(b'a', 65));
+            long.extend(b" PING");
+            long
+        },
     ];
     for (i, case) in fuzz.iter().enumerate() {
         let mut request = case.clone();
@@ -205,7 +239,8 @@ fn malformed_input_fuzz_yields_typed_errors_and_never_wedges() {
         let reply = c.send_raw(&request);
         assert!(
             reply.starts_with("ERR "),
-            "fuzz case {i} must yield a typed error, got {reply:?}"
+            "fuzz case {i} must yield a typed error (and malformed trace \
+             ids must never be echoed), got {reply:?}"
         );
         // The connection still serves normal traffic: no wedge, no panic.
         assert_eq!(
@@ -218,6 +253,126 @@ fn malformed_input_fuzz_yields_typed_errors_and_never_wedges() {
     // A second connection is unaffected by the first one's abuse.
     let mut c2 = Client::connect(handle.addr());
     assert_eq!(c2.send("TABLES"), "OK 1 t");
+    handle.shutdown();
+}
+
+#[test]
+fn trace_ids_and_observability_verbs_round_trip() {
+    // A server whose wire flight recorder samples every estimate, so the
+    // FLIGHT drain below is deterministic.
+    let catalog = Arc::new(SpatialCatalog::new());
+    let armed = TableOptions {
+        flight_sample: 1,
+        metrics_sampling: 1,
+        ..TableOptions::default()
+    };
+    let handle = serve(
+        Arc::clone(&catalog),
+        ServeOptions {
+            table_options: armed,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind server");
+    let mut c = Client::connect(handle.addr());
+    assert_eq!(c.send("CREATE t"), "OK created t");
+    for id in 0..4 {
+        assert_eq!(c.send("INSERT t 0 0 10 10"), format!("OK {id}"));
+    }
+    assert_eq!(
+        c.send("ANALYZE t"),
+        "OK analyzed t buckets=1 fallback=none shards=1"
+    );
+
+    // Valid trace ids echo on success and on typed errors alike, and the
+    // un-tagged replies stay byte-identical to the golden transcript.
+    assert_eq!(c.send("TID=q1 PING"), "TID=q1 OK pong");
+    assert_eq!(
+        c.send("TID=q1 FROB"),
+        "TID=q1 ERR 2 usage: unknown verb \"FROB\""
+    );
+    assert_eq!(c.send("TID=q2 ESTIMATE t 0 0 10 10"), "TID=q2 OK 4");
+    assert_eq!(c.send("ESTIMATE t 0 0 10 10"), "OK 4", "no tag, no echo");
+    // The full token alphabet survives the round trip.
+    assert_eq!(c.send("TID=a.Z-9_x PING"), "TID=a.Z-9_x OK pong");
+
+    // EXPLAIN: the headline field is byte-identical to the ESTIMATE reply
+    // (both print the same bits through the same formatter).
+    let explain = c.send("EXPLAIN t 0 0 10 10");
+    assert!(explain.starts_with("OK {\"estimate\":4,"), "{explain}");
+    for key in ["\"path\":", "\"cache\":", "\"generation\":", "\"detail\":"] {
+        assert!(explain.contains(key), "{explain}");
+    }
+    assert_eq!(
+        c.send("EXPLAIN t nan 0 1 1"),
+        "ERR 2 rectangle corner coordinates must be finite"
+    );
+
+    // FLIGHT: framed `OK <k>` + k pinned JSONL lines, carrying the trace
+    // id stamped on the sampled ESTIMATE above.
+    let (header, body) = c.send_framed("FLIGHT");
+    if minskew_obs::enabled() {
+        assert!(
+            !body.is_empty(),
+            "sample-every recorder drained nothing: {header}"
+        );
+        assert_eq!(header, format!("OK {}", body.len()));
+        for line in &body {
+            assert!(
+                line.starts_with("{\"schema\":\"minskew-obs/flight-v1\","),
+                "{line}"
+            );
+        }
+        assert!(
+            body.iter().any(|l| l.contains("\"tid\":\"q2\"")),
+            "trace id q2 missing from flight records: {body:?}"
+        );
+        // A bounded drain returns at most that many records.
+        let (_, bounded) = c.send_framed("FLIGHT 1");
+        assert_eq!(bounded.len(), 1);
+    } else {
+        assert_eq!(header, "OK 0", "noop build records nothing");
+    }
+    // The per-table recorder drains through the same verb.
+    let (table_header, _) = c.send_framed("FLIGHT t");
+    assert!(table_header.starts_with("OK "), "{table_header}");
+    assert!(
+        c.send("FLIGHT ghost").starts_with("ERR 2 "),
+        "unknown table"
+    );
+
+    // METRICS: framed registry scrape in both formats, server and table.
+    let (header, body) = c.send_framed("METRICS");
+    assert!(header.starts_with("OK "), "{header}");
+    assert_eq!(body.first().map(String::as_str), Some("{"));
+    let doc = body.join("\n");
+    assert!(doc.contains("\"schema\": \"minskew-obs/v1\""), "{doc}");
+    if minskew_obs::enabled() {
+        assert!(doc.contains("serve.verb.ping"), "{doc}");
+        assert!(doc.contains("serve.flight.recorded"), "{doc}");
+    }
+    let (_, text_body) = c.send_framed("METRICS text");
+    if minskew_obs::enabled() {
+        assert!(
+            text_body.iter().any(|l| l.starts_with("serve.requests")),
+            "{text_body:?}"
+        );
+    }
+    let (_, table_body) = c.send_framed("METRICS t json");
+    if minskew_obs::enabled() {
+        assert!(
+            table_body.iter().any(|l| l.contains("engine.")),
+            "table scrape must expose engine metrics: {table_body:?}"
+        );
+    }
+    assert!(c.send("METRICS t yaml").starts_with("ERR 2 "), "bad format");
+    assert!(
+        c.send("METRICS ghost").starts_with("ERR 2 "),
+        "unknown table"
+    );
+
+    // The connection survived the whole tour.
+    assert_eq!(c.send("PING"), "OK pong");
     handle.shutdown();
 }
 
